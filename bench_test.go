@@ -1,0 +1,157 @@
+// Benchmarks: one per paper table and figure (regenerating the artifact
+// at quick scale and validating its shape checks), the DESIGN.md ablation
+// benches, plus end-to-end platform throughput micro-benchmarks.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The first iteration of the shared-platform figures (fig2/7/8/10/11)
+// pays for one simulated day; later iterations reuse the memoized run, so
+// reported ns/op for those measure analysis cost, not simulation cost.
+package xfaas_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"xfaas"
+)
+
+// benchExperiment regenerates one paper artifact per iteration and fails
+// the benchmark if its shape checks regress.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := xfaas.ExperimentByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	scale := xfaas.QuickScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := e.Run(scale)
+		if !res.ChecksOK() {
+			b.Fatalf("%s shape checks failed:\n%s", id, res.Render(false))
+		}
+	}
+}
+
+// Tables.
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// Figures.
+
+func BenchmarkFig2(b *testing.B)  { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFig7(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+
+// Additional paper measurements.
+
+func BenchmarkLocalityMemAB(b *testing.B) { benchExperiment(b, "localitymem") }
+func BenchmarkTeamSkew(b *testing.B)      { benchExperiment(b, "teamskew") }
+
+// Additional behaviours.
+
+func BenchmarkCriticality(b *testing.B)       { benchExperiment(b, "criticality") }
+func BenchmarkBaselineColdstart(b *testing.B) { benchExperiment(b, "baseline-coldstart") }
+func BenchmarkOutage(b *testing.B)            { benchExperiment(b, "outage") }
+func BenchmarkRIM(b *testing.B)               { benchExperiment(b, "rim") }
+func BenchmarkExtensionOppFrac(b *testing.B)  { benchExperiment(b, "extension-oppfrac") }
+
+// Ablations called out in DESIGN.md.
+
+func BenchmarkAblationTimeShift(b *testing.B)      { benchExperiment(b, "ablation-timeshift") }
+func BenchmarkAblationGlobalDispatch(b *testing.B) { benchExperiment(b, "ablation-gtc") }
+func BenchmarkAblationAIMD(b *testing.B)           { benchExperiment(b, "ablation-aimd") }
+func BenchmarkAblationJIT(b *testing.B)            { benchExperiment(b, "fig12") }
+func BenchmarkAblationLocality(b *testing.B)       { benchExperiment(b, "localitymem") }
+
+// Platform micro-benchmarks: simulated-calls-per-wall-second of the full
+// control plane at two fleet sizes.
+
+func benchPlatformThroughput(b *testing.B, regions, workers int, rps float64) {
+	b.Helper()
+	pcfg := xfaas.DefaultPopulationConfig()
+	pcfg.Functions = 60
+	pcfg.TotalRPS = rps
+	pcfg.SpikyFunctions = 0
+	pcfg.MidnightSpikeFrac = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	totalCalls := 0.0
+	for i := 0; i < b.N; i++ {
+		cfg := xfaas.DefaultConfig()
+		cfg.Seed = uint64(i + 1)
+		cfg.Cluster.Regions = regions
+		cfg.Cluster.TotalWorkers = workers
+		cfg.CodePushInterval = 0
+		pop := xfaas.NewPopulation(pcfg, xfaas.NewRand(cfg.Seed+100))
+		p := xfaas.New(cfg, pop.Registry)
+		gen := xfaas.NewGenerator(p.Engine, pop, p.Topo.CapacityShare(), p.SubmitFunc(), xfaas.NewRand(cfg.Seed+200))
+		gen.Start()
+		p.Engine.RunFor(30 * time.Minute)
+		totalCalls += gen.Generated.Value()
+	}
+	b.StopTimer()
+	b.ReportMetric(totalCalls/b.Elapsed().Seconds(), "simcalls/s")
+}
+
+func BenchmarkPlatformSmall(b *testing.B) { benchPlatformThroughput(b, 3, 12, 10) }
+func BenchmarkPlatformLarge(b *testing.B) { benchPlatformThroughput(b, 12, 48, 40) }
+
+// Hot-path micro-benchmark: a single worker executing back-to-back calls
+// through the public API types.
+func BenchmarkSubmitPath(b *testing.B) {
+	cfg := xfaas.DefaultConfig()
+	cfg.Cluster.Regions = 1
+	cfg.Cluster.TotalWorkers = 4
+	cfg.CodePushInterval = 0
+	reg := xfaas.NewRegistry()
+	spec := &xfaas.FunctionSpec{
+		Name: "bench-fn", Namespace: "main", Runtime: "php",
+		Trigger: xfaas.TriggerQueue, Deadline: time.Hour,
+		Retry: xfaas.RetryPolicy{MaxAttempts: 3, Backoff: 10 * time.Second},
+		Zone:  xfaas.NewZone(xfaas.Internal),
+		Resources: xfaas.ResourceModel{
+			CPUMu: math.Log(10), CPUSigma: 0.3,
+			MemMu: math.Log(8), MemSigma: 0.3,
+			TimeMu: math.Log(0.05), TimeSigma: 0.3,
+			CodeMB: 8, JITCodeMB: 4,
+		},
+	}
+	reg.MustRegister(spec)
+	p := xfaas.New(cfg, reg)
+	src := xfaas.NewRand(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := &xfaas.Call{
+			Spec:     spec,
+			CPUWorkM: src.LogNormal(math.Log(10), 0.3),
+			MemMB:    src.LogNormal(math.Log(8), 0.3),
+			ExecSecs: src.LogNormal(math.Log(0.05), 0.3),
+		}
+		if err := p.Submit(0, fmt.Sprintf("client-%d", i%8), c); err != nil {
+			b.Fatal(err)
+		}
+		if i%256 == 255 {
+			p.Engine.RunFor(time.Second) // let the pipeline drain
+		}
+	}
+	b.StopTimer()
+	p.Engine.RunFor(time.Minute)
+}

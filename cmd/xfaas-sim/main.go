@@ -1,0 +1,122 @@
+// Command xfaas-sim regenerates the paper's tables and figures from the
+// simulated platform.
+//
+// Usage:
+//
+//	xfaas-sim -list
+//	xfaas-sim -run fig2 -charts
+//	xfaas-sim -run all -full -out results/
+//
+// Each experiment prints paper-vs-measured rows, PASS/FAIL shape checks,
+// and (with -charts) ASCII renderings of the series. With -out, every
+// series is also written as CSV for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"xfaas/internal/experiment"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments and exit")
+		run    = flag.String("run", "", "experiment id to run, or \"all\"")
+		full   = flag.Bool("full", false, "paper-scale runs (full simulated day) instead of quick")
+		seed   = flag.Uint64("seed", 1, "simulation seed")
+		charts = flag.Bool("charts", true, "render ASCII charts of result series")
+		out    = flag.String("out", "", "directory to write per-series CSV files")
+		md     = flag.Bool("markdown", false, "emit Markdown sections (EXPERIMENTS.md format) instead of terminal output")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("Available experiments (paper artifact → id):")
+		for _, e := range experiment.All() {
+			fmt.Printf("  %-18s %s\n", e.ID, e.Title)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nuse -run <id> or -run all")
+		}
+		return
+	}
+
+	scale := experiment.QuickScale()
+	if *full {
+		scale = experiment.FullScale()
+	}
+	scale.Seed = *seed
+
+	var targets []*experiment.Experiment
+	if *run == "all" {
+		targets = experiment.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := experiment.Get(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			targets = append(targets, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range targets {
+		start := time.Now()
+		res := e.Run(scale)
+		if *md {
+			fmt.Print(res.Markdown())
+		} else {
+			fmt.Print(res.Render(*charts))
+			fmt.Printf("(%s in %.1fs wall clock)\n\n", e.ID, time.Since(start).Seconds())
+		}
+		if !res.ChecksOK() {
+			failed++
+		}
+		if *out != "" {
+			if err := writeCSV(*out, res); err != nil {
+				fmt.Fprintf(os.Stderr, "writing CSV: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) had failing shape checks\n", failed)
+		os.Exit(1)
+	}
+}
+
+func writeCSV(dir string, res *experiment.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, s := range res.Series {
+		name := strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+				return r
+			default:
+				return '-'
+			}
+		}, s.Name)
+		path := filepath.Join(dir, res.ID+"_"+name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(f, "t_seconds,value\n")
+		for i, v := range s.Values {
+			fmt.Fprintf(f, "%g,%g\n", (time.Duration(i) * s.Step).Seconds(), v)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

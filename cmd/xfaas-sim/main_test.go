@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"xfaas/internal/experiment"
+)
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	res := &experiment.Result{ID: "demo"}
+	res.Series = append(res.Series, experiment.NamedSeries{
+		Name:   "calls per minute (smoothed)",
+		Step:   time.Minute,
+		Values: []float64{1, 2, 3},
+	})
+	if err := writeCSV(dir, res); err != nil {
+		t.Fatalf("writeCSV: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("entries = %v, %v", entries, err)
+	}
+	name := entries[0].Name()
+	if !strings.HasPrefix(name, "demo_") || !strings.HasSuffix(name, ".csv") {
+		t.Fatalf("file name = %q", name)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 4 || lines[0] != "t_seconds,value" {
+		t.Fatalf("csv content:\n%s", data)
+	}
+	if lines[2] != "60,2" {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func TestWriteCSVSanitizesNames(t *testing.T) {
+	dir := t.TempDir()
+	res := &experiment.Result{ID: "x"}
+	res.Series = append(res.Series, experiment.NamedSeries{
+		Name:   "weird/name: 100% (per region)",
+		Step:   time.Second,
+		Values: []float64{1},
+	})
+	if err := writeCSV(dir, res); err != nil {
+		t.Fatalf("writeCSV: %v", err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if strings.ContainsAny(entries[0].Name(), "/:% ()") {
+		t.Fatalf("unsanitized name %q", entries[0].Name())
+	}
+}

@@ -1,0 +1,97 @@
+// Command xfaas-trace generates and inspects synthetic XFaaS workload
+// traces without running the platform: it prints the population's
+// composition (trigger shares, quota split, analytic demand), samples
+// per-call resource distributions, and can emit a per-minute arrival
+// series as CSV.
+//
+// Usage:
+//
+//	xfaas-trace -functions 240 -rps 60 -hours 24 -csv arrivals.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xfaas/internal/cluster"
+	"xfaas/internal/function"
+	"xfaas/internal/rng"
+	"xfaas/internal/sim"
+	"xfaas/internal/stats"
+	"xfaas/internal/workload"
+)
+
+func main() {
+	var (
+		functions = flag.Int("functions", 240, "population size")
+		rps       = flag.Float64("rps", 60, "platform mean received RPS")
+		hours     = flag.Int("hours", 24, "trace length in simulated hours")
+		seed      = flag.Uint64("seed", 1, "generation seed")
+		csvPath   = flag.String("csv", "", "write per-minute arrival counts to this CSV file")
+		draws     = flag.Int("draws", 20000, "per-call resource samples for the distribution summary")
+	)
+	flag.Parse()
+
+	cfg := workload.DefaultPopulationConfig()
+	cfg.Functions = *functions
+	cfg.TotalRPS = *rps
+	cfg.SpikeBurstRPS = *rps * 7.5 // keep the Figure 4 burst proportional
+	pop := workload.NewPopulation(cfg, rng.New(*seed))
+
+	fmt.Printf("Population: %d functions, mean %.0f RPS, analytic demand %.0f MIPS, concurrent memory %.1f GB\n",
+		pop.Registry.Len(), pop.TotalMeanRPS(), pop.ExpectedMIPS(), pop.ExpectedConcurrentMemMB(150)/1024)
+
+	counts := map[function.TriggerType]int{}
+	quota := map[function.QuotaType]int{}
+	for _, s := range pop.Registry.All() {
+		counts[s.Trigger]++
+		quota[s.Quota]++
+	}
+	fmt.Printf("Triggers: queue=%d event=%d timer=%d | quota: reserved=%d opportunistic=%d\n",
+		counts[function.TriggerQueue], counts[function.TriggerEvent], counts[function.TriggerTimer],
+		quota[function.QuotaReserved], quota[function.QuotaOpportunistic])
+
+	// Per-call resource summaries (Table 3 style).
+	cpu, mem, dur := stats.NewHistogram(), stats.NewHistogram(), stats.NewHistogram()
+	perModel := *draws/len(pop.Models) + 1
+	for _, m := range pop.Models {
+		for i := 0; i < perModel; i++ {
+			c := m.NewCall(0)
+			cpu.Observe(c.CPUWorkM)
+			mem.Observe(c.MemMB)
+			dur.Observe(c.ExecSecs)
+		}
+	}
+	fmt.Printf("CPU (M instr/call):  %s\n", cpu.Summarize())
+	fmt.Printf("Memory (MB/call):    %s\n", mem.Summarize())
+	fmt.Printf("Exec time (s/call):  %s\n", dur.Summarize())
+
+	// Arrival series.
+	engine := sim.NewEngine()
+	gen := workload.NewGenerator(engine, pop, []float64{1},
+		func(cluster.RegionID, string, *function.Call) error { return nil }, rng.New(*seed+1))
+	gen.Start()
+	engine.RunFor(time.Duration(*hours) * time.Hour)
+	series := gen.ReceivedSeries.Values()
+	smoothed := stats.Resample(series, 72)
+	fmt.Print(stats.ASCIIChart(fmt.Sprintf("arrivals per minute over %dh", *hours), series, 72, 10))
+	_ = smoothed
+	fmt.Printf("Total calls: %.0f, peak/trough (10-min smoothed): %.1f\n",
+		gen.Generated.Value(), stats.PeakToTrough(stats.Resample(series, len(series)/10+1)))
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *csvPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(f, "minute,calls")
+		for i, v := range series {
+			fmt.Fprintf(f, "%d,%g\n", i, v)
+		}
+		f.Close()
+		fmt.Printf("Wrote %s (%d rows)\n", *csvPath, len(series))
+	}
+}

@@ -1,0 +1,3 @@
+module xfaas
+
+go 1.22

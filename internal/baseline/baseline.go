@@ -1,0 +1,315 @@
+// Package baseline implements the conventional FaaS worker model the
+// paper positions XFaaS against: each function runs in dedicated
+// containers that pay a cold start (steps 1-7 of the paper's Figure 1)
+// on first use, are kept alive for an idle timeout hoping for reuse
+// (step 9; Wang et al. [45] measured 10+ minutes across public clouds),
+// and hold memory the whole time. The baseline experiment runs the same
+// workload on this model and on XFaaS with identical hardware to
+// reproduce the paper's headline claim: approximating a universal worker
+// is what makes 66% utilization possible.
+package baseline
+
+import (
+	"time"
+
+	"xfaas/internal/function"
+	"xfaas/internal/sim"
+	"xfaas/internal/stats"
+)
+
+// Params configure the conventional platform.
+type Params struct {
+	// Hosts and per-host capacity (mirror the XFaaS worker shape).
+	Hosts        int
+	HostMemoryMB float64
+	HostCPUMIPS  float64
+	CoreMIPS     float64
+	// ColdStart is the container initialization time (Figure 1 steps
+	// 1-7: container start, runtime init, code download/load).
+	ColdStart time.Duration
+	// IdleTimeout keeps a finished container warm for reuse.
+	IdleTimeout time.Duration
+	// ContainerOverheadMB is resident memory per container beyond the
+	// function's working set (runtime copy per container — the paper's
+	// §4.5 motivation for sharing one runtime process).
+	ContainerOverheadMB float64
+	// MaxQueue bounds the pending queue (0 = unbounded).
+	MaxQueue int
+}
+
+// DefaultParams mirror the public-cloud numbers the paper cites.
+func DefaultParams() Params {
+	return Params{
+		Hosts:               10,
+		HostMemoryMB:        64 * 1024,
+		HostCPUMIPS:         1500,
+		CoreMIPS:            150,
+		ColdStart:           8 * time.Second,
+		IdleTimeout:         10 * time.Minute,
+		ContainerOverheadMB: 256,
+		MaxQueue:            0,
+	}
+}
+
+type containerState int
+
+const (
+	stateStarting containerState = iota
+	stateBusy
+	stateIdle
+)
+
+type container struct {
+	fn        string
+	host      *host
+	state     containerState
+	memMB     float64
+	idleTimer *sim.Timer
+}
+
+type host struct {
+	memUsed  float64
+	cpuInUse float64
+}
+
+type pending struct {
+	call     *function.Call
+	enqueued sim.Time
+}
+
+// Platform is the conventional FaaS platform.
+type Platform struct {
+	engine *sim.Engine
+	params Params
+	hosts  []*host
+	// warm idle containers per function.
+	idle map[string][]*container
+	// queues of waiting calls per function.
+	queue   map[string][]pending
+	queued  int
+	nameSeq []string
+
+	ColdStarts stats.Counter
+	WarmStarts stats.Counter
+	// perFnCold / perFnTotal track cold-start shares per function.
+	perFnCold    map[string]float64
+	perFnTotal   map[string]float64
+	Completed    stats.Counter
+	Dropped      stats.Counter
+	StartLatency *stats.Histogram // submit → execution start
+	// UtilSeries samples mean host CPU utilization per minute.
+	UtilSeries *stats.TimeSeries
+	// IdleMemSeries samples memory held by idle containers (MB).
+	IdleMemSeries *stats.TimeSeries
+}
+
+// New returns a running conventional platform.
+func New(engine *sim.Engine, params Params) *Platform {
+	p := &Platform{
+		engine:        engine,
+		params:        params,
+		idle:          make(map[string][]*container),
+		queue:         make(map[string][]pending),
+		perFnCold:     make(map[string]float64),
+		perFnTotal:    make(map[string]float64),
+		StartLatency:  stats.NewHistogram(),
+		UtilSeries:    stats.NewTimeSeries(time.Minute, stats.ModeMean),
+		IdleMemSeries: stats.NewTimeSeries(time.Minute, stats.ModeMean),
+	}
+	for i := 0; i < params.Hosts; i++ {
+		p.hosts = append(p.hosts, &host{})
+	}
+	engine.Every(30*time.Second, p.sample)
+	return p
+}
+
+// Submit offers one call; it runs on a warm container when available,
+// otherwise a new container cold-starts, otherwise it queues.
+func (p *Platform) Submit(c *function.Call) {
+	c.SubmitTime = p.engine.Now()
+	p.dispatch(pending{call: c, enqueued: p.engine.Now()})
+}
+
+func (p *Platform) dispatch(pd pending) {
+	c := pd.call
+	fn := c.Spec.Name
+	// Reuse a warm container.
+	if list := p.idle[fn]; len(list) > 0 {
+		ct := list[len(list)-1]
+		p.idle[fn] = list[:len(list)-1]
+		ct.idleTimer.Stop()
+		p.WarmStarts.Inc()
+		p.perFnTotal[fn]++
+		p.run(ct, pd)
+		return
+	}
+	// Cold start a new container on a host with room.
+	memNeed := p.params.ContainerOverheadMB + c.MemMB
+	if h := p.pickHost(memNeed); h != nil {
+		ct := &container{fn: fn, host: h, state: stateStarting, memMB: memNeed}
+		h.memUsed += memNeed
+		p.ColdStarts.Inc()
+		p.perFnCold[fn]++
+		p.perFnTotal[fn]++
+		p.engine.Schedule(p.params.ColdStart, func() { p.run(ct, pd) })
+		return
+	}
+	// Queue until capacity frees up.
+	if p.params.MaxQueue > 0 && p.queued >= p.params.MaxQueue {
+		p.Dropped.Inc()
+		return
+	}
+	if _, ok := p.queue[fn]; !ok {
+		p.nameSeq = append(p.nameSeq, fn)
+	}
+	p.queue[fn] = append(p.queue[fn], pd)
+	p.queued++
+}
+
+func (p *Platform) pickHost(memNeed float64) *host {
+	var best *host
+	for _, h := range p.hosts {
+		if h.memUsed+memNeed > p.params.HostMemoryMB {
+			continue
+		}
+		if best == nil || h.memUsed < best.memUsed {
+			best = h
+		}
+	}
+	return best
+}
+
+func (p *Platform) run(ct *container, pd pending) {
+	c := pd.call
+	ct.state = stateBusy
+	p.StartLatency.Observe((p.engine.Now() - pd.enqueued).Seconds())
+	secs := c.ExecSecs
+	core := p.params.CoreMIPS
+	if core > 0 && c.CPUWorkM/core > secs {
+		secs = c.CPUWorkM / core
+	}
+	rate := c.CPUWorkM / secs
+	ct.host.cpuInUse += rate
+	c.ExecStartAt = p.engine.Now()
+	p.engine.Schedule(time.Duration(secs*float64(time.Second)), func() {
+		ct.host.cpuInUse -= rate
+		c.ExecEndAt = p.engine.Now()
+		p.Completed.Inc()
+		p.finish(ct)
+	})
+}
+
+// finish parks the container warm-idle (or hands it straight to a queued
+// call for the same function).
+func (p *Platform) finish(ct *container) {
+	fn := ct.fn
+	if q := p.queue[fn]; len(q) > 0 {
+		pd := q[0]
+		p.queue[fn] = q[1:]
+		p.queued--
+		p.WarmStarts.Inc()
+		p.perFnTotal[fn]++
+		p.run(ct, pd)
+		return
+	}
+	ct.state = stateIdle
+	p.idle[fn] = append(p.idle[fn], ct)
+	ct.idleTimer = p.engine.Schedule(p.params.IdleTimeout, func() { p.reap(ct) })
+	// Freed capacity may admit queued calls of other functions (they
+	// need fresh containers).
+	p.drainQueues()
+}
+
+// reap shuts an idle container down, releasing its memory.
+func (p *Platform) reap(ct *container) {
+	list := p.idle[ct.fn]
+	for i, x := range list {
+		if x == ct {
+			p.idle[ct.fn] = append(list[:i], list[i+1:]...)
+			ct.host.memUsed -= ct.memMB
+			p.drainQueues()
+			return
+		}
+	}
+}
+
+func (p *Platform) drainQueues() {
+	for _, fn := range p.nameSeq {
+		q := p.queue[fn]
+		for len(q) > 0 {
+			memNeed := p.params.ContainerOverheadMB + q[0].call.MemMB
+			h := p.pickHost(memNeed)
+			if h == nil {
+				break
+			}
+			pd := q[0]
+			q = q[1:]
+			p.queued--
+			ct := &container{fn: fn, host: h, state: stateStarting, memMB: memNeed}
+			h.memUsed += memNeed
+			p.ColdStarts.Inc()
+			p.perFnCold[fn]++
+			p.perFnTotal[fn]++
+			p.engine.Schedule(p.params.ColdStart, func() { p.run(ct, pd) })
+		}
+		p.queue[fn] = q
+	}
+}
+
+// MeanUtilization returns current mean host CPU utilization.
+func (p *Platform) MeanUtilization() float64 {
+	s := 0.0
+	for _, h := range p.hosts {
+		u := h.cpuInUse / p.params.HostCPUMIPS
+		if u > 1 {
+			u = 1
+		}
+		s += u
+	}
+	return s / float64(len(p.hosts))
+}
+
+// IdleMemoryMB returns memory currently held by warm-idle containers.
+func (p *Platform) IdleMemoryMB() float64 {
+	s := 0.0
+	for _, list := range p.idle {
+		for _, ct := range list {
+			s += ct.memMB
+		}
+	}
+	return s
+}
+
+// Queued returns the number of waiting calls.
+func (p *Platform) Queued() int { return p.queued }
+
+// MostlyColdFunctions returns the fraction of invoked functions whose
+// starts were ≥ half cold — the long tail the paper's §1 quotes ("81% of
+// the applications are invoked once per minute or less on average").
+func (p *Platform) MostlyColdFunctions() float64 {
+	if len(p.perFnTotal) == 0 {
+		return 0
+	}
+	n := 0
+	for fn, total := range p.perFnTotal {
+		if p.perFnCold[fn] >= total/2 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(p.perFnTotal))
+}
+
+// ColdStartFraction returns cold starts / (cold + warm).
+func (p *Platform) ColdStartFraction() float64 {
+	total := p.ColdStarts.Value() + p.WarmStarts.Value()
+	if total == 0 {
+		return 0
+	}
+	return p.ColdStarts.Value() / total
+}
+
+func (p *Platform) sample() {
+	now := p.engine.Now()
+	p.UtilSeries.Record(now, p.MeanUtilization())
+	p.IdleMemSeries.Record(now, p.IdleMemoryMB())
+}

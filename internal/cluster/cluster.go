@@ -1,0 +1,198 @@
+// Package cluster models the datacenter topology XFaaS runs on: tens of
+// regions with wildly uneven worker-pool capacity (paper Figure 5), where
+// intra-region communication is cheap and cross-region communication is
+// roughly 100-1000x slower (paper §2.3).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"xfaas/internal/rng"
+)
+
+// RegionID identifies a datacenter region.
+type RegionID int
+
+// Region describes one datacenter region.
+type Region struct {
+	ID   RegionID
+	Name string
+	// Workers is the worker-pool size of this region (per namespace; the
+	// simulation uses a single namespace per platform instance).
+	Workers int
+	// DurableQShards is the number of DurableQ shards hosted here,
+	// proportional to local storage capacity.
+	DurableQShards int
+	// Coord is an abstract 1-D position used to derive inter-region
+	// distances; nearby coordinates mean nearby regions.
+	Coord float64
+}
+
+// Topology is an immutable set of regions plus a distance model.
+type Topology struct {
+	regions []Region
+	// intraLatency is the one-way network latency within a region.
+	intraLatency time.Duration
+	// crossLatencyPerUnit scales |coordA - coordB| into latency.
+	crossLatencyPerUnit time.Duration
+}
+
+// Config controls synthetic topology generation.
+type Config struct {
+	Regions int
+	// TotalWorkers across all regions; split unevenly (lognormal weights)
+	// to match Figure 5's skew.
+	TotalWorkers int
+	// ShardsPerRegionMin guarantees each region has at least this many
+	// DurableQ shards.
+	ShardsPerRegionMin int
+	// Skew is the lognormal sigma of the capacity weights (0 = even).
+	Skew float64
+	// IntraLatency and CrossLatencyPerUnit parameterize the latency model;
+	// zero values pick paper-plausible defaults (0.1ms intra, ~10-100ms
+	// cross region).
+	IntraLatency        time.Duration
+	CrossLatencyPerUnit time.Duration
+}
+
+// DefaultConfig mirrors the paper's setting at simulation scale: 12
+// regions (Figure 7 shows 12), skewed capacities.
+func DefaultConfig() Config {
+	return Config{
+		Regions:             12,
+		TotalWorkers:        1200,
+		ShardsPerRegionMin:  2,
+		Skew:                0.8,
+		IntraLatency:        100 * time.Microsecond,
+		CrossLatencyPerUnit: 15 * time.Millisecond,
+	}
+}
+
+// Generate builds a synthetic topology with unevenly distributed capacity.
+func Generate(cfg Config, src *rng.Source) *Topology {
+	if cfg.Regions <= 0 || cfg.TotalWorkers < cfg.Regions {
+		panic("cluster: invalid config")
+	}
+	if cfg.IntraLatency == 0 {
+		cfg.IntraLatency = 100 * time.Microsecond
+	}
+	if cfg.CrossLatencyPerUnit == 0 {
+		cfg.CrossLatencyPerUnit = 15 * time.Millisecond
+	}
+	if cfg.ShardsPerRegionMin <= 0 {
+		cfg.ShardsPerRegionMin = 1
+	}
+	weights := make([]float64, cfg.Regions)
+	total := 0.0
+	for i := range weights {
+		weights[i] = src.LogNormal(0, cfg.Skew)
+		total += weights[i]
+	}
+	regions := make([]Region, cfg.Regions)
+	assigned := 0
+	for i := range regions {
+		w := int(float64(cfg.TotalWorkers) * weights[i] / total)
+		if w < 1 {
+			w = 1
+		}
+		regions[i] = Region{
+			ID:             RegionID(i),
+			Name:           fmt.Sprintf("region-%02d", i),
+			Workers:        w,
+			DurableQShards: cfg.ShardsPerRegionMin + w/64,
+			Coord:          float64(i) + src.Range(-0.2, 0.2),
+		}
+		assigned += w
+	}
+	// Distribute rounding remainder to the largest region.
+	if rem := cfg.TotalWorkers - assigned; rem > 0 {
+		largest := 0
+		for i, r := range regions {
+			if r.Workers > regions[largest].Workers {
+				largest = i
+			}
+		}
+		regions[largest].Workers += rem
+	}
+	return &Topology{
+		regions:             regions,
+		intraLatency:        cfg.IntraLatency,
+		crossLatencyPerUnit: cfg.CrossLatencyPerUnit,
+	}
+}
+
+// NewTopology builds a topology from explicit regions (for tests).
+func NewTopology(regions []Region, intra, crossPerUnit time.Duration) *Topology {
+	cp := append([]Region(nil), regions...)
+	return &Topology{regions: cp, intraLatency: intra, crossLatencyPerUnit: crossPerUnit}
+}
+
+// Regions returns the regions (callers must not mutate).
+func (t *Topology) Regions() []Region { return t.regions }
+
+// NumRegions returns the region count.
+func (t *Topology) NumRegions() int { return len(t.regions) }
+
+// Region returns region metadata by id.
+func (t *Topology) Region(id RegionID) Region { return t.regions[id] }
+
+// TotalWorkers returns the summed worker-pool capacity.
+func (t *Topology) TotalWorkers() int {
+	n := 0
+	for _, r := range t.regions {
+		n += r.Workers
+	}
+	return n
+}
+
+// Latency returns the one-way network latency between two regions.
+func (t *Topology) Latency(a, b RegionID) time.Duration {
+	if a == b {
+		return t.intraLatency
+	}
+	d := t.regions[a].Coord - t.regions[b].Coord
+	if d < 0 {
+		d = -d
+	}
+	return t.intraLatency + time.Duration(float64(t.crossLatencyPerUnit)*d)
+}
+
+// Distance returns the abstract distance between two regions (0 for the
+// same region).
+func (t *Topology) Distance(a, b RegionID) float64 {
+	d := t.regions[a].Coord - t.regions[b].Coord
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// Nearest returns all regions ordered by distance from the given region
+// (the region itself first). Used by the GTC's waterfall to shed load to
+// nearby regions first.
+func (t *Topology) Nearest(from RegionID) []RegionID {
+	ids := make([]RegionID, len(t.regions))
+	for i := range ids {
+		ids[i] = RegionID(i)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := t.Distance(from, ids[i]), t.Distance(from, ids[j])
+		if di != dj {
+			return di < dj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// CapacityShare returns each region's fraction of total worker capacity.
+func (t *Topology) CapacityShare() []float64 {
+	total := float64(t.TotalWorkers())
+	out := make([]float64, len(t.regions))
+	for i, r := range t.regions {
+		out[i] = float64(r.Workers) / total
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+// Package config models Configerator (paper §4.3, [40]): a configuration
+// management system that stores versioned configuration values and
+// delivers them to subscribed critical-path components with a propagation
+// delay. Subscribers cache the last delivered value, so function execution
+// continues on stale configuration when the central controllers are down
+// (paper §4.1's fault-tolerance contract).
+package config
+
+import (
+	"time"
+
+	"xfaas/internal/sim"
+)
+
+// Value is an opaque configuration payload. Producers and consumers agree
+// on the concrete type per key (e.g. a traffic matrix, a routing policy).
+type Value any
+
+type versioned struct {
+	value   Value
+	version uint64
+}
+
+type subscription struct {
+	key string
+	fn  func(Value, uint64)
+}
+
+// Store is the central configuration service. Writes bump the version of
+// a key; subscribers are notified after PropagationDelay of virtual time.
+// While the store is marked down, writes fail and no notifications are
+// delivered, but previously delivered values stay cached at subscribers.
+type Store struct {
+	engine *sim.Engine
+	// PropagationDelay is how long a write takes to reach subscribers.
+	PropagationDelay time.Duration
+	values           map[string]versioned
+	subs             []*subscription
+	down             bool
+}
+
+// NewStore returns a store on the given engine with a default propagation
+// delay of 10 seconds (hyperscale config distribution is not instant).
+func NewStore(engine *sim.Engine) *Store {
+	return &Store{
+		engine:           engine,
+		PropagationDelay: 10 * time.Second,
+		values:           make(map[string]versioned),
+	}
+}
+
+// SetDown marks the store (and by extension the central controllers that
+// publish through it) unavailable or available again.
+func (s *Store) SetDown(down bool) { s.down = down }
+
+// Down reports whether the store is unavailable.
+func (s *Store) Down() bool { return s.down }
+
+// Set writes a new value for key. It reports whether the write was
+// accepted (false while the store is down). Subscribers observe the write
+// after PropagationDelay.
+func (s *Store) Set(key string, v Value) bool {
+	if s.down {
+		return false
+	}
+	cur := s.values[key]
+	nv := versioned{value: v, version: cur.version + 1}
+	s.values[key] = nv
+	for _, sub := range s.subs {
+		if sub.key != key {
+			continue
+		}
+		sub := sub
+		s.engine.Schedule(s.PropagationDelay, func() {
+			if s.down {
+				return
+			}
+			// Deliver only if this is still the newest version; stale
+			// deliveries are suppressed, mirroring last-writer-wins
+			// config distribution.
+			if s.values[key].version == nv.version {
+				sub.fn(nv.value, nv.version)
+			}
+		})
+	}
+	return true
+}
+
+// Get returns the current central value and version for key. ok is false
+// if the key has never been written or the store is down.
+func (s *Store) Get(key string) (Value, uint64, bool) {
+	if s.down {
+		return nil, 0, false
+	}
+	v, ok := s.values[key]
+	if !ok {
+		return nil, 0, false
+	}
+	return v.value, v.version, true
+}
+
+// Subscribe registers fn to receive future writes of key. If the key
+// already has a value it is delivered immediately (synchronously), which
+// gives components a deterministic bootstrap.
+func (s *Store) Subscribe(key string, fn func(v Value, version uint64)) {
+	s.subs = append(s.subs, &subscription{key: key, fn: fn})
+	if cur, ok := s.values[key]; ok && !s.down {
+		fn(cur.value, cur.version)
+	}
+}
+
+// Cache is a subscriber-side cached view of one key. Critical-path
+// components read through a Cache so they keep operating on the last
+// delivered value during store downtime.
+type Cache struct {
+	value   Value
+	version uint64
+	has     bool
+}
+
+// NewCache subscribes a cache to key on store.
+func NewCache(store *Store, key string) *Cache {
+	c := &Cache{}
+	store.Subscribe(key, func(v Value, version uint64) {
+		c.value = v
+		c.version = version
+		c.has = true
+	})
+	return c
+}
+
+// Get returns the cached value; ok is false only if no value was ever
+// delivered.
+func (c *Cache) Get() (Value, bool) { return c.value, c.has }
+
+// Version returns the cached version (0 if none).
+func (c *Cache) Version() uint64 { return c.version }

@@ -1,0 +1,118 @@
+package congestion
+
+import (
+	"time"
+
+	"xfaas/internal/function"
+	"xfaas/internal/sim"
+	"xfaas/internal/stats"
+)
+
+// Control bundles the three protection mechanisms for one function.
+type Control struct {
+	AIMD *AIMD
+	Slow *SlowStart
+	Conc *Concurrency
+	// dispatched measures the function's achieved dispatch RPS for
+	// comparison against the AIMD limit.
+	dispatched *stats.WindowRate
+}
+
+// DispatchRPS returns the function's dispatch rate measured over the last
+// 10 seconds.
+func (c *Control) DispatchRPS(now sim.Time) float64 {
+	return c.dispatched.PerSecond(now)
+}
+
+// Manager owns per-function congestion state and the periodic AIMD ticks.
+// Schedulers consult it on every dispatch; workers report back-pressure
+// exceptions and completions through it.
+type Manager struct {
+	engine *sim.Engine
+	params AIMDParams
+	ss     SlowStartParams
+	// InitialLimit seeds each function's AIMD limit.
+	InitialLimit float64
+	// Advice, when set, returns RIM's pacing multiplier for a downstream
+	// service (1 = unconstrained); it scales the AIMD limit of functions
+	// calling that service — proactive global coordination on top of the
+	// reactive back-pressure loop.
+	Advice func(service string) float64
+
+	funcs map[string]*Control
+
+	DispatchDenied stats.Counter
+}
+
+// NewManager returns a manager with the given parameters and starts the
+// per-window AIMD tick on the engine.
+func NewManager(engine *sim.Engine, params AIMDParams, ss SlowStartParams) *Manager {
+	m := &Manager{
+		engine:       engine,
+		params:       params,
+		ss:           ss,
+		InitialLimit: 1000,
+		funcs:        make(map[string]*Control),
+	}
+	engine.Every(params.Window, m.tick)
+	return m
+}
+
+func (m *Manager) tick() {
+	now := m.engine.Now()
+	for _, ctl := range m.funcs {
+		ctl.AIMD.Tick(now)
+	}
+}
+
+// Control returns (creating if needed) the control state for spec.
+func (m *Manager) Control(spec *function.Spec) *Control {
+	ctl, ok := m.funcs[spec.Name]
+	if !ok {
+		ctl = &Control{
+			AIMD:       NewAIMD(m.params, m.InitialLimit),
+			Slow:       NewSlowStart(m.ss),
+			Conc:       NewConcurrency(spec.ConcurrencyLimit),
+			dispatched: stats.NewWindowRate(time.Second, 10),
+		}
+		m.funcs[spec.Name] = ctl
+	}
+	return ctl
+}
+
+// AllowDispatch checks AIMD rate, slow start and the concurrency limit
+// for one dispatch of spec, accounting for it (including acquiring a
+// concurrency slot) when admitted. The caller must pair a successful
+// AllowDispatch with OnComplete.
+func (m *Manager) AllowDispatch(spec *function.Spec) bool {
+	now := m.engine.Now()
+	ctl := m.Control(spec)
+	limit := ctl.AIMD.Limit()
+	if m.Advice != nil && spec.Downstream != "" {
+		limit *= m.Advice(spec.Downstream)
+	}
+	if ctl.DispatchRPS(now)+0.1 > limit {
+		m.DispatchDenied.Inc()
+		return false
+	}
+	if !ctl.Slow.Allow(now) {
+		m.DispatchDenied.Inc()
+		return false
+	}
+	if !ctl.Conc.Acquire() {
+		m.DispatchDenied.Inc()
+		return false
+	}
+	ctl.dispatched.Add(now, 1)
+	return true
+}
+
+// OnComplete releases the concurrency slot taken by AllowDispatch.
+func (m *Manager) OnComplete(spec *function.Spec) {
+	m.Control(spec).Conc.Release()
+}
+
+// OnBackpressure records a back-pressure exception attributed to spec.
+func (m *Manager) OnBackpressure(spec *function.Spec) {
+	m.Control(spec).AIMD.OnBackpressure(m.engine.Now())
+}

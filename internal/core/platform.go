@@ -1,0 +1,579 @@
+// Package core assembles the complete XFaaS platform from its components
+// (paper Figure 6): per region a DurableQ shard pool, two submitter pools
+// (normal and spiky), a QueueLB, a scheduler and a worker pool behind a
+// WorkerLB; globally the central rate limiter, the congestion manager,
+// the Global Traffic Conductor, the Utilization Controller, the Locality
+// Optimizer loop, the cooperative-JIT code-push distributor, and the
+// configuration management system tying the control plane to the critical
+// path. Everything runs on one deterministic simulation engine.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"xfaas/internal/cluster"
+	"xfaas/internal/config"
+	"xfaas/internal/congestion"
+	"xfaas/internal/downstream"
+	"xfaas/internal/durableq"
+	"xfaas/internal/function"
+	"xfaas/internal/gtc"
+	"xfaas/internal/jit"
+	"xfaas/internal/kv"
+	"xfaas/internal/locality"
+	"xfaas/internal/queuelb"
+	"xfaas/internal/ratelimit"
+	"xfaas/internal/rim"
+	"xfaas/internal/rng"
+	"xfaas/internal/scheduler"
+	"xfaas/internal/sim"
+	"xfaas/internal/stats"
+	"xfaas/internal/submitter"
+	"xfaas/internal/utilization"
+	"xfaas/internal/worker"
+	"xfaas/internal/workerlb"
+	"xfaas/internal/workload"
+)
+
+// DownstreamSpec declares a downstream service the platform's functions
+// may call.
+type DownstreamSpec struct {
+	Name        string
+	CapacityRPS float64
+}
+
+// Config assembles a platform.
+type Config struct {
+	Seed      uint64
+	Cluster   cluster.Config
+	Scheduler scheduler.Params
+	Worker    worker.Params
+	Submitter submitter.Params
+	AIMD      congestion.AIMDParams
+	SlowStart congestion.SlowStartParams
+	Util      utilization.Params
+	Rollout   jit.RolloutParams
+
+	// SchedulersPerRegion is the number of stateless scheduler replicas
+	// per region (the paper runs hundreds; they coordinate only through
+	// DurableQ leases). Values below 1 mean 1.
+	SchedulersPerRegion int
+	// LeaseTimeout for DurableQ shards.
+	LeaseTimeout time.Duration
+	// QueueLocalFrac is the QueueLB's local-region routing share.
+	QueueLocalFrac float64
+	// LocalityGroups per region (0 disables locality groups — the §5.2
+	// ablation baseline).
+	LocalityGroups int
+	// LocalityInterval is the Locality Optimizer's refresh period.
+	LocalityInterval time.Duration
+	// EnableGTC turns on cross-region dispatch.
+	EnableGTC bool
+	// GTCInterval is the traffic-matrix recompute period.
+	GTCInterval time.Duration
+	// CodePushInterval is the cooperative-JIT push cadence (paper: every
+	// three hours); 0 disables pushes.
+	CodePushInterval time.Duration
+	// SpikyClients are routed to the spiky submitter pool.
+	SpikyClients []string
+	// Downstreams to instantiate.
+	Downstreams []DownstreamSpec
+	// RIM parameterizes the global Resource Isolation and Management
+	// advice loop; it runs whenever downstreams exist and EnableRIM is
+	// set. Disable to isolate the reactive AIMD loop (the §5.5 incident
+	// experiments do).
+	RIM       rim.Params
+	EnableRIM bool
+	// MetricsInterval is the utilization/memory sampling period.
+	MetricsInterval time.Duration
+	// PrewarmJIT starts workers with all registered functions already
+	// JIT-compiled — the steady state of a long-running fleet. Disable
+	// for cold-ramp experiments (Figure 12).
+	PrewarmJIT bool
+}
+
+// DefaultConfig returns a paper-shaped platform at simulation scale: 12
+// regions with skewed capacity, workers scaled down so that the default
+// workload (≈100 received RPS, ≈640 M instructions per call) lands near
+// the paper's 66% daily average utilization when time-shifting works.
+func DefaultConfig() Config {
+	cl := cluster.DefaultConfig()
+	cl.TotalWorkers = 48
+	wp := worker.DefaultParams()
+	wp.CPUMIPS = 1500
+	wp.CoreMIPS = 150
+	wp.MaxConcurrency = 256
+	return Config{
+		Seed:                1,
+		Cluster:             cl,
+		Scheduler:           scheduler.DefaultParams(),
+		Worker:              wp,
+		Submitter:           submitter.DefaultParams(),
+		AIMD:                congestion.DefaultAIMDParams(),
+		SlowStart:           congestion.DefaultSlowStartParams(),
+		Util:                utilization.DefaultParams(),
+		Rollout:             jit.DefaultRolloutParams(),
+		SchedulersPerRegion: 1,
+		LeaseTimeout:        15 * time.Minute,
+		QueueLocalFrac:      0.85,
+		LocalityGroups:      4,
+		LocalityInterval:    10 * time.Minute,
+		EnableGTC:           true,
+		GTCInterval:         time.Minute,
+		CodePushInterval:    3 * time.Hour,
+		SpikyClients:        []string{"team-spiky"},
+		RIM:                 rim.DefaultParams(),
+		EnableRIM:           true,
+		MetricsInterval:     30 * time.Second,
+		PrewarmJIT:          true,
+	}
+}
+
+// ProvisionWorkers sizes a worker pool so that demandMIPS lands at
+// cpuTarget CPU utilization and concurrentMemMB fits within half of each
+// worker's usable memory, with a floor of minWorkers. Both experiments
+// and tests use it to provision paper-shaped fleets from a workload's
+// analytic demand.
+func ProvisionWorkers(wp worker.Params, demandMIPS, concurrentMemMB, cpuTarget float64, minWorkers int) int {
+	byCPU := int(math.Ceil(demandMIPS / (cpuTarget * wp.CPUMIPS)))
+	usable := wp.MemoryMB - wp.RuntimeBaseMB
+	byMem := int(math.Ceil(concurrentMemMB / (0.5 * usable)))
+	w := byCPU
+	if byMem > w {
+		w = byMem
+	}
+	if w < minWorkers {
+		w = minWorkers
+	}
+	return w
+}
+
+// Region bundles one region's data-plane components.
+type Region struct {
+	ID      cluster.RegionID
+	Shards  []*durableq.Shard
+	Workers []*worker.Worker
+	LB      *workerlb.LB
+	QueueLB *queuelb.LB
+	Normal  *submitter.Submitter
+	Spiky   *submitter.Submitter
+	// Sched is the first scheduler replica (the common single-replica
+	// case); Scheds lists all replicas.
+	Sched  *scheduler.Scheduler
+	Scheds []*scheduler.Scheduler
+	// UtilSeries samples the region's mean worker utilization
+	// (Figure 7).
+	UtilSeries *stats.TimeSeries
+	// MemSeries samples the region's mean worker memory (Figure 10).
+	MemSeries *stats.TimeSeries
+}
+
+// Platform is a fully wired XFaaS instance on a simulation engine.
+type Platform struct {
+	Engine      *sim.Engine
+	Topo        *cluster.Topology
+	Store       *config.Store
+	KV          *kv.Store
+	Central     *ratelimit.Central
+	Cong        *congestion.Manager
+	Downstreams *downstream.Registry
+	Registry    *function.Registry
+	GTC         *gtc.Conductor
+	Util        *utilization.Controller
+	Distributor *jit.Distributor
+	// RIM is the global coordination advisor (nil without downstreams).
+	RIM *rim.RIM
+
+	cfg     Config
+	regions []*Region
+	src     *rng.Source
+	idSeq   uint64
+	spiky   map[string]bool
+
+	codeVersion int
+	// localityWarm flips once locality groups have been partitioned from
+	// measured (not cold-start) rates; afterwards only worker counts
+	// rebalance, keeping the function→group mapping stable.
+	localityWarm bool
+	// avgCostM is the EWMA of observed per-call cost, used to convert
+	// queue backlogs into MIPS demand for the GTC.
+	avgCostM float64
+
+	// Executed aggregates successful completions per minute across all
+	// regions (Figure 2's bottom curve).
+	Executed *stats.TimeSeries
+	// ExecutedCPU aggregates executed CPU (million instructions) per
+	// minute, split by quota type (Figure 11).
+	ReservedCPU      *stats.TimeSeries
+	OpportunisticCPU *stats.TimeSeries
+	// Completions and Failures count terminal call outcomes.
+	Completions stats.Counter
+	// OnExecutedHook, when set, observes every successful completion
+	// (experiment instrumentation).
+	OnExecutedHook func(*function.Call)
+	// onExecutedSubs are additional completion listeners (trigger
+	// chaining, workflows); see AddOnExecuted.
+	onExecutedSubs []func(*function.Call)
+}
+
+// AddOnExecuted registers an additional completion listener; unlike the
+// single OnExecutedHook field, listeners compose (workflow chaining plus
+// experiment instrumentation can coexist).
+func (p *Platform) AddOnExecuted(fn func(*function.Call)) {
+	p.onExecutedSubs = append(p.onExecutedSubs, fn)
+}
+
+// New builds and starts a platform for the given function registry.
+func New(cfg Config, registry *function.Registry) *Platform {
+	src := rng.New(cfg.Seed)
+	engine := sim.NewEngine()
+	p := &Platform{
+		Engine:           engine,
+		Topo:             cluster.Generate(cfg.Cluster, src.Split()),
+		Store:            config.NewStore(engine),
+		KV:               kv.NewStore(64),
+		Central:          ratelimit.NewCentral(engine),
+		Downstreams:      downstream.NewRegistry(),
+		Registry:         registry,
+		cfg:              cfg,
+		src:              src,
+		spiky:            make(map[string]bool),
+		avgCostM:         100,
+		Executed:         stats.NewTimeSeries(time.Minute, stats.ModeSum),
+		ReservedCPU:      stats.NewTimeSeries(time.Minute, stats.ModeSum),
+		OpportunisticCPU: stats.NewTimeSeries(time.Minute, stats.ModeSum),
+	}
+	p.Cong = congestion.NewManager(engine, cfg.AIMD, cfg.SlowStart)
+	for _, c := range cfg.SpikyClients {
+		p.spiky[c] = true
+	}
+	if len(cfg.Downstreams) > 0 {
+		var sources []rim.Source
+		for _, d := range cfg.Downstreams {
+			svc := downstream.NewService(engine, src.Split(), d.Name, d.CapacityRPS)
+			p.Downstreams.Add(svc)
+			sources = append(sources, svc)
+		}
+		if cfg.EnableRIM {
+			p.RIM = rim.New(engine, cfg.RIM, p.Store, sources...)
+			p.Cong.Advice = p.RIM.MultiplierFor
+		}
+	}
+
+	// Shards first: schedulers need the global view.
+	allShards := make([][]*durableq.Shard, p.Topo.NumRegions())
+	for i, r := range p.Topo.Regions() {
+		for k := 0; k < r.DurableQShards; k++ {
+			sh := durableq.NewShard(durableq.ShardID{Region: r.ID, Index: k}, engine)
+			sh.LeaseTimeout = cfg.LeaseTimeout
+			allShards[i] = append(allShards[i], sh)
+		}
+	}
+	p.Store.Set(queuelb.PolicyKey, queuelb.LocalFirstPolicy(p.Topo, cfg.QueueLocalFrac))
+
+	for i, r := range p.Topo.Regions() {
+		reg := &Region{
+			ID:         r.ID,
+			Shards:     allShards[i],
+			UtilSeries: stats.NewTimeSeries(time.Minute, stats.ModeMean),
+			MemSeries:  stats.NewTimeSeries(time.Minute, stats.ModeMean),
+		}
+		for w := 0; w < r.Workers; w++ {
+			wk := worker.New(worker.ID{Region: r.ID, Index: w}, engine, cfg.Worker, src.Split(), p.Downstreams)
+			if cfg.PrewarmJIT {
+				wk.Runtime.Prewarm(registry.Names())
+			}
+			reg.Workers = append(reg.Workers, wk)
+		}
+		reg.LB = workerlb.New(src.Split(), reg.Workers)
+		reg.QueueLB = queuelb.New(r.ID, src.Split(), allShards, p.Store)
+		reg.Normal = submitter.New(engine, r.ID, submitter.PoolNormal, cfg.Submitter, reg.QueueLB, p.KV, src.Split(), &p.idSeq)
+		reg.Spiky = submitter.New(engine, r.ID, submitter.PoolSpiky, cfg.Submitter, reg.QueueLB, p.KV, src.Split(), &p.idSeq)
+		nSched := cfg.SchedulersPerRegion
+		if nSched < 1 {
+			nSched = 1
+		}
+		for k := 0; k < nSched; k++ {
+			sc := scheduler.New(engine, src.Split(), r.ID, cfg.Scheduler, allShards, reg.LB, p.Central, p.Cong, p.Store)
+			sc.OnExecuted = p.onExecuted
+			reg.Scheds = append(reg.Scheds, sc)
+		}
+		reg.Sched = reg.Scheds[0]
+		p.regions = append(p.regions, reg)
+	}
+
+	// Control plane.
+	if cfg.EnableGTC {
+		p.GTC = gtc.NewConductor(engine, p.Topo, p.Store, cfg.GTCInterval, p.snapshot)
+	}
+	p.Util = utilization.New(engine, cfg.Util, p.Store, p.MeanUtilization)
+	p.Store.Subscribe(utilization.ScaleKey, func(v config.Value, _ uint64) {
+		p.Central.SetScale(v.(float64))
+	})
+	if cfg.LocalityGroups > 0 {
+		p.refreshLocality()
+		engine.Every(cfg.LocalityInterval, p.refreshLocality)
+	}
+	p.Distributor = jit.NewDistributor(engine, cfg.Rollout)
+	if cfg.CodePushInterval > 0 {
+		engine.Every(cfg.CodePushInterval, p.pushCode)
+	}
+	engine.Every(cfg.MetricsInterval, p.sampleMetrics)
+	return p
+}
+
+// Regions exposes the per-region components.
+func (p *Platform) Regions() []*Region { return p.regions }
+
+// Region returns one region's components.
+func (p *Platform) Region(id cluster.RegionID) *Region { return p.regions[id] }
+
+// Submit enters one call into the platform through the submitter tier of
+// the given region, selecting the spiky pool for negotiated spiky
+// clients.
+func (p *Platform) Submit(region cluster.RegionID, client string, c *function.Call) error {
+	if int(region) >= len(p.regions) {
+		return fmt.Errorf("core: unknown region %d", region)
+	}
+	reg := p.regions[region]
+	if p.spiky[client] {
+		return reg.Spiky.Submit(client, c)
+	}
+	return reg.Normal.Submit(client, c)
+}
+
+// SubmitFunc adapts Submit for the workload generator.
+func (p *Platform) SubmitFunc() workload.SubmitFunc {
+	return func(region cluster.RegionID, client string, c *function.Call) error {
+		return p.Submit(region, client, c)
+	}
+}
+
+// MeanUtilization is the fleet-wide mean worker CPU utilization.
+func (p *Platform) MeanUtilization() float64 {
+	s, n := 0.0, 0
+	for _, reg := range p.regions {
+		for _, w := range reg.Workers {
+			s += w.CPUUtilization()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// PendingCalls sums stored, unleased calls across all shards.
+func (p *Platform) PendingCalls() int {
+	n := 0
+	for _, reg := range p.regions {
+		for _, sh := range reg.Shards {
+			n += sh.Pending()
+		}
+	}
+	return n
+}
+
+func (p *Platform) onExecuted(c *function.Call) {
+	now := p.Engine.Now()
+	p.Executed.Record(now, 1)
+	p.Completions.Inc()
+	if c.Spec.Quota == function.QuotaOpportunistic {
+		p.OpportunisticCPU.Record(now, c.CPUWorkM)
+	} else {
+		p.ReservedCPU.Record(now, c.CPUWorkM)
+	}
+	const alpha = 0.02
+	p.avgCostM = (1-alpha)*p.avgCostM + alpha*c.CPUWorkM
+	if p.OnExecutedHook != nil {
+		p.OnExecutedHook(c)
+	}
+	for _, fn := range p.onExecutedSubs {
+		fn(c)
+	}
+}
+
+// snapshot feeds the GTC: demand is each region's ready backlog converted
+// to MIPS via the observed average call cost; supply is the region's
+// worker MIPS.
+func (p *Platform) snapshot() gtc.Snapshot {
+	now := p.Engine.Now()
+	n := p.Topo.NumRegions()
+	snap := gtc.Snapshot{Demand: make([]float64, n), Supply: make([]float64, n)}
+	for i, reg := range p.regions {
+		ready := 0
+		for _, sh := range reg.Shards {
+			ready += sh.PendingReady(now)
+		}
+		alive := 0
+		for _, w := range reg.Workers {
+			if !w.Failed() {
+				alive++
+			}
+		}
+		snap.Demand[i] = float64(ready) * p.avgCostM
+		snap.Supply[i] = float64(alive) * p.cfg.Worker.CPUMIPS
+	}
+	return snap
+}
+
+// refreshLocality recomputes locality assignments per region from the
+// registry's declared profiles and current measured rates. Pools too
+// small to split meaningfully (fewer than two workers per group) stay
+// unpartitioned — a one-worker locality group would turn a hot function
+// into a permanent hotspot.
+func (p *Platform) refreshLocality() {
+	profiles := p.funcProfiles()
+	for _, reg := range p.regions {
+		if len(reg.Workers) < 2*p.cfg.LocalityGroups {
+			reg.LB.SetAssignment(nil)
+			continue
+		}
+		if a := reg.LB.Assignment(); a != nil && p.localityWarm {
+			// Keep the function→group mapping stable (workers keep a
+			// stable subset of functions, §4.5.2); only move workers
+			// between groups to track measured load.
+			a.Rebalance(meanLoads(reg.LB.GroupLoads()), len(reg.Workers))
+			reg.LB.SetAssignment(a)
+			continue
+		}
+		a := locality.Partition(profiles, p.cfg.LocalityGroups, len(reg.Workers))
+		reg.LB.SetAssignment(a)
+	}
+	if p.Engine.Now() > 0 {
+		// The first refresh after traffic started partitioned from
+		// measured rates; later refreshes only rebalance.
+		p.localityWarm = true
+	}
+}
+
+// meanLoads guards against all-zero measured loads (idle region) so
+// Rebalance keeps an even split rather than panicking on zeros.
+func meanLoads(loads []float64) []float64 {
+	total := 0.0
+	for _, l := range loads {
+		total += l
+	}
+	if total == 0 {
+		out := make([]float64, len(loads))
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	return loads
+}
+
+func (p *Platform) funcProfiles() []locality.FuncProfile {
+	core := p.cfg.Worker.CoreMIPS
+	if core <= 0 {
+		core = p.cfg.Worker.CPUMIPS
+	}
+	var out []locality.FuncProfile
+	for _, spec := range p.Registry.All() {
+		r := spec.Resources
+		// The partitioner balances what actually fills worker memory:
+		// the function's expected concurrent working set (Little's law
+		// over its measured rate) plus its resident code footprint.
+		eDur := math.Exp(r.TimeMu+r.TimeSigma*r.TimeSigma/2) +
+			math.Exp(r.CPUMu+r.CPUSigma*r.CPUSigma/2)/core
+		eMem := math.Exp(r.MemMu + r.MemSigma*r.MemSigma/2)
+		rate := p.Central.CurrentRPS(spec) + 0.02
+		concurrentMB := rate*eDur*eMem + r.CodeMB + r.JITCodeMB
+		load := p.Central.CurrentRPS(spec)*p.Central.AvgCost(spec) + 1
+		out = append(out, locality.FuncProfile{
+			Name:      spec.Name,
+			MemMB:     concurrentMB,
+			Load:      load,
+			Ephemeral: spec.Ephemeral,
+		})
+	}
+	return out
+}
+
+// pushCode performs one cooperative-JIT code rollout: all functions'
+// latest code is bundled and staged out per locality group of workers.
+func (p *Platform) pushCode() {
+	p.codeVersion++
+	hot := p.hotFunctions()
+	var groups [][]jit.Target
+	for _, reg := range p.regions {
+		a := reg.LB.Assignment()
+		if a == nil {
+			g := make([]jit.Target, len(reg.Workers))
+			for i, w := range reg.Workers {
+				g[i] = w
+			}
+			groups = append(groups, g)
+			continue
+		}
+		idx := 0
+		for _, n := range a.WorkerCounts {
+			if idx+n > len(reg.Workers) {
+				n = len(reg.Workers) - idx
+			}
+			g := make([]jit.Target, 0, n)
+			for _, w := range reg.Workers[idx : idx+n] {
+				g = append(g, w)
+			}
+			groups = append(groups, g)
+			idx += n
+		}
+	}
+	p.Distributor.Push(p.codeVersion, groups, hot)
+}
+
+// hotFunctions returns the names of functions with measurable traffic
+// (seeder profiling targets); all names if none measured yet.
+func (p *Platform) hotFunctions() []string {
+	var hot []string
+	for _, spec := range p.Registry.All() {
+		if p.Central.CurrentRPS(spec) > 0.1 {
+			hot = append(hot, spec.Name)
+		}
+	}
+	if len(hot) == 0 {
+		hot = p.Registry.Names()
+	}
+	return hot
+}
+
+func (p *Platform) sampleMetrics() {
+	now := p.Engine.Now()
+	for _, reg := range p.regions {
+		var util, mem float64
+		for _, w := range reg.Workers {
+			util += w.CPUUtilization()
+			mem += w.MemUsedMB()
+		}
+		n := float64(len(reg.Workers))
+		reg.UtilSeries.Record(now, util/n)
+		reg.MemSeries.Record(now, mem/n)
+	}
+}
+
+// SLOMisses sums deadline misses across all scheduler replicas.
+func (p *Platform) SLOMisses() float64 {
+	s := 0.0
+	for _, reg := range p.regions {
+		for _, sc := range reg.Scheds {
+			s += sc.SLOMisses.Value()
+		}
+	}
+	return s
+}
+
+// Acked sums successful completions acknowledged to DurableQs across all
+// scheduler replicas.
+func (p *Platform) Acked() float64 {
+	s := 0.0
+	for _, reg := range p.regions {
+		for _, sc := range reg.Scheds {
+			s += sc.Acked.Value()
+		}
+	}
+	return s
+}

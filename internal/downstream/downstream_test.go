@@ -1,0 +1,117 @@
+package downstream
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"xfaas/internal/rng"
+	"xfaas/internal/sim"
+)
+
+func TestHealthyServiceServesAll(t *testing.T) {
+	e := sim.NewEngine()
+	s := NewService(e, rng.New(1), "tao", 1000)
+	for sec := 0; sec < 10; sec++ {
+		for i := 0; i < 100; i++ { // 100 RPS << 1000 capacity
+			if err := s.Invoke(); err != nil {
+				t.Fatalf("healthy service errored: %v", err)
+			}
+		}
+		e.RunFor(time.Second)
+	}
+	if s.Availability() != 1 {
+		t.Fatalf("availability = %v", s.Availability())
+	}
+}
+
+func TestOverloadSheds(t *testing.T) {
+	e := sim.NewEngine()
+	s := NewService(e, rng.New(2), "tao", 100)
+	// Warm up the load window so the overload measurement is steady.
+	for sec := 0; sec < 10; sec++ {
+		for i := 0; i < 400; i++ {
+			s.Invoke()
+		}
+		e.RunFor(time.Second)
+	}
+	servedBefore := s.Served.Value()
+	var bp int
+	for sec := 0; sec < 30; sec++ {
+		for i := 0; i < 400; i++ { // 4x overload
+			if err := s.Invoke(); errors.Is(err, ErrBackpressure) {
+				bp++
+			}
+		}
+		e.RunFor(time.Second)
+	}
+	total := 30 * 400
+	shedFrac := float64(bp) / float64(total)
+	// At 4x overload the service sheds ~75%.
+	if shedFrac < 0.65 || shedFrac > 0.85 {
+		t.Fatalf("shed fraction = %v, want ≈0.75", shedFrac)
+	}
+	servedRate := (s.Served.Value() - servedBefore) / 30
+	if servedRate > 130 {
+		t.Fatalf("served rate = %v, want ≤ capacity-ish", servedRate)
+	}
+}
+
+func TestBugRateFails(t *testing.T) {
+	e := sim.NewEngine()
+	s := NewService(e, rng.New(3), "kvstore", 1e6)
+	s.SetBugRate(0.5)
+	var fails int
+	for i := 0; i < 10000; i++ {
+		if err := s.Invoke(); errors.Is(err, ErrFailure) {
+			fails++
+		}
+	}
+	f := float64(fails) / 10000
+	if f < 0.45 || f > 0.55 {
+		t.Fatalf("failure rate = %v, want ≈0.5", f)
+	}
+	s.SetBugRate(0)
+	if err := s.Invoke(); errors.Is(err, ErrFailure) {
+		t.Fatal("bug cleared but still failing (probabilistically possible but rate is 0)")
+	}
+}
+
+func TestAvailabilityDegradesAndRecovers(t *testing.T) {
+	e := sim.NewEngine()
+	s := NewService(e, rng.New(4), "wtcache", 1e6)
+	for i := 0; i < 1000; i++ {
+		s.Invoke()
+	}
+	before := s.Availability()
+	s.SetBugRate(0.3)
+	for i := 0; i < 10000; i++ {
+		s.Invoke()
+	}
+	during := s.Availability()
+	if during >= before {
+		t.Fatalf("availability did not degrade: %v -> %v", before, during)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewRegistry()
+	r.Add(NewService(e, rng.New(5), "tao", 100))
+	if _, ok := r.Get("tao"); !ok {
+		t.Fatal("registered service missing")
+	}
+	if _, ok := r.Get("nope"); ok {
+		t.Fatal("missing service found")
+	}
+}
+
+func TestInvalidParamsPanic(t *testing.T) {
+	e := sim.NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity should panic")
+		}
+	}()
+	NewService(e, rng.New(1), "x", 0)
+}

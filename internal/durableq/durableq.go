@@ -1,0 +1,230 @@
+// Package durableq implements XFaaS's only stateful component (paper
+// §4.3): sharded durable queues that persist function calls until they
+// complete. Each shard keeps a separate queue per function ordered by the
+// call's execution start time. A call offered to a scheduler is leased:
+// it will not be offered to another scheduler unless the first fails to
+// execute it (NACK or lease timeout), giving at-least-once semantics.
+package durableq
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+
+	"xfaas/internal/cluster"
+	"xfaas/internal/function"
+	"xfaas/internal/sim"
+	"xfaas/internal/stats"
+)
+
+// ShardID identifies a DurableQ shard within a region.
+type ShardID struct {
+	Region cluster.RegionID
+	Index  int
+}
+
+func (s ShardID) String() string { return fmt.Sprintf("dq-%d-%d", s.Region, s.Index) }
+
+type lease struct {
+	call  *function.Call
+	timer *sim.Timer
+}
+
+// Shard is one durable queue shard.
+type Shard struct {
+	ID     ShardID
+	engine *sim.Engine
+	// LeaseTimeout bounds how long a scheduler may hold a call without
+	// ACK/NACK before it is redelivered.
+	LeaseTimeout time.Duration
+
+	queues    map[string]*callHeap
+	funcNames []string // sorted; parallel index for deterministic polling
+	cursor    int      // round-robin position for fairness across functions
+	leases    map[uint64]*lease
+
+	// Metrics.
+	Enqueued    stats.Counter
+	Acked       stats.Counter
+	Nacked      stats.Counter
+	Redelivered stats.Counter
+	DeadLetters stats.Counter
+	Expired     stats.Counter
+	pending     int
+}
+
+// NewShard returns an empty shard with a 5-minute lease timeout.
+func NewShard(id ShardID, engine *sim.Engine) *Shard {
+	return &Shard{
+		ID:           id,
+		engine:       engine,
+		LeaseTimeout: 5 * time.Minute,
+		queues:       make(map[string]*callHeap),
+		leases:       make(map[uint64]*lease),
+	}
+}
+
+// Enqueue persists a call. The call becomes eligible for delivery once
+// virtual time reaches its StartAfter.
+func (s *Shard) Enqueue(c *function.Call) {
+	c.State = function.StateQueued
+	c.QueuedAt = s.engine.Now()
+	q, ok := s.queues[c.Spec.Name]
+	if !ok {
+		q = &callHeap{}
+		s.queues[c.Spec.Name] = q
+		s.funcNames = append(s.funcNames, c.Spec.Name)
+		sort.Strings(s.funcNames)
+	}
+	heap.Push(q, queued{call: c, readyAt: c.StartAfter})
+	s.Enqueued.Inc()
+	s.pending++
+}
+
+// Pending returns the number of calls stored and not currently leased.
+func (s *Shard) Pending() int { return s.pending }
+
+// Leased returns the number of outstanding leases.
+func (s *Shard) Leased() int { return len(s.leases) }
+
+// PendingReady returns how many stored calls are ready (start time passed)
+// at virtual time now. O(pending); used by control-plane snapshots, not
+// the critical path.
+func (s *Shard) PendingReady(now sim.Time) int {
+	n := 0
+	for _, q := range s.queues {
+		for _, it := range *q {
+			if it.readyAt <= now {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Poll offers up to max ready calls to the caller (a scheduler), leasing
+// each. Functions are served round-robin so one hot function cannot
+// starve the rest of a shard. If filter is non-nil, only calls it accepts
+// are offered (used for function-subset pulls); rejected calls stay
+// queued.
+func (s *Shard) Poll(max int, filter func(*function.Call) bool) []*function.Call {
+	if max <= 0 || len(s.funcNames) == 0 {
+		return nil
+	}
+	now := s.engine.Now()
+	var out []*function.Call
+	n := len(s.funcNames)
+	for scanned := 0; scanned < n && len(out) < max; scanned++ {
+		name := s.funcNames[(s.cursor+scanned)%n]
+		q := s.queues[name]
+		for q.Len() > 0 && len(out) < max {
+			top := (*q)[0]
+			if top.readyAt > now {
+				break
+			}
+			if filter != nil && !filter(top.call) {
+				break
+			}
+			heap.Pop(q)
+			s.pending--
+			out = append(out, s.offer(top.call))
+		}
+	}
+	s.cursor = (s.cursor + 1) % n
+	return out
+}
+
+func (s *Shard) offer(c *function.Call) *function.Call {
+	c.State = function.StateLeased
+	c.Attempt++
+	l := &lease{call: c}
+	l.timer = s.engine.Schedule(s.LeaseTimeout, func() { s.expireLease(c.ID) })
+	s.leases[c.ID] = l
+	return c
+}
+
+func (s *Shard) expireLease(id uint64) {
+	l, ok := s.leases[id]
+	if !ok {
+		return
+	}
+	delete(s.leases, id)
+	s.Expired.Inc()
+	s.retryOrDrop(l.call, 0)
+}
+
+// Renew extends a held lease by another LeaseTimeout — schedulers renew
+// the leases of calls they are still buffering or executing, so
+// redelivery happens only when a scheduler actually dies. It reports
+// whether the lease was still held.
+func (s *Shard) Renew(id uint64) bool {
+	l, ok := s.leases[id]
+	if !ok {
+		return false
+	}
+	l.timer.Stop()
+	l.timer = s.engine.Schedule(s.LeaseTimeout, func() { s.expireLease(id) })
+	return true
+}
+
+// Ack confirms successful execution; the call is permanently removed. It
+// reports whether the lease was still held.
+func (s *Shard) Ack(id uint64) bool {
+	l, ok := s.leases[id]
+	if !ok {
+		return false
+	}
+	l.timer.Stop()
+	delete(s.leases, id)
+	l.call.State = function.StateSucceeded
+	s.Acked.Inc()
+	return true
+}
+
+// Nack reports failed execution; the call is redelivered after the
+// function's retry backoff, or dead-lettered once attempts are exhausted.
+func (s *Shard) Nack(id uint64) bool {
+	l, ok := s.leases[id]
+	if !ok {
+		return false
+	}
+	l.timer.Stop()
+	delete(s.leases, id)
+	s.Nacked.Inc()
+	s.retryOrDrop(l.call, l.call.Spec.Retry.Backoff)
+	return true
+}
+
+func (s *Shard) retryOrDrop(c *function.Call, backoff time.Duration) {
+	if c.Attempt >= c.Spec.Retry.MaxAttempts {
+		c.State = function.StateFailed
+		s.DeadLetters.Inc()
+		return
+	}
+	s.Redelivered.Inc()
+	c.State = function.StateQueued
+	q := s.queues[c.Spec.Name]
+	heap.Push(q, queued{call: c, readyAt: s.engine.Now() + backoff})
+	s.pending++
+}
+
+type queued struct {
+	call    *function.Call
+	readyAt sim.Time
+}
+
+// callHeap orders by (readyAt, ID) for deterministic FIFO within a start
+// time.
+type callHeap []queued
+
+func (h callHeap) Len() int { return len(h) }
+func (h callHeap) Less(i, j int) bool {
+	if h[i].readyAt != h[j].readyAt {
+		return h[i].readyAt < h[j].readyAt
+	}
+	return h[i].call.ID < h[j].call.ID
+}
+func (h callHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *callHeap) Push(x any)   { *h = append(*h, x.(queued)) }
+func (h *callHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }

@@ -1,0 +1,210 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (plus the ablations DESIGN.md calls out). Each experiment
+// builds the needed platform slice, runs it on the simulation engine, and
+// reports paper-vs-measured rows, named series for charting, and
+// machine-checkable shape assertions. Absolute numbers are simulation-
+// scale; the checks encode the paper's qualitative claims (who wins, by
+// roughly what factor, where crossovers fall).
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"xfaas/internal/stats"
+)
+
+// Scale selects the fidelity/runtime tradeoff.
+type Scale struct {
+	// Quick shrinks populations and time windows for tests and benches.
+	Quick bool
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// QuickScale is the test/bench default.
+func QuickScale() Scale { return Scale{Quick: true, Seed: 1} }
+
+// FullScale is the CLI default.
+func FullScale() Scale { return Scale{Quick: false, Seed: 1} }
+
+// Row is one paper-vs-measured comparison line.
+type Row struct {
+	Label    string
+	Paper    string
+	Measured string
+}
+
+// Check is a machine-verifiable shape assertion.
+type Check struct {
+	Name   string
+	OK     bool
+	Detail string
+}
+
+// NamedSeries is a chartable time series.
+type NamedSeries struct {
+	Name   string
+	Step   time.Duration
+	Values []float64
+}
+
+// Result is an experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Rows   []Row
+	Checks []Check
+	Series []NamedSeries
+	Notes  []string
+}
+
+func (r *Result) row(label, paper, format string, args ...any) {
+	r.Rows = append(r.Rows, Row{Label: label, Paper: paper, Measured: fmt.Sprintf(format, args...)})
+}
+
+func (r *Result) check(name string, ok bool, format string, args ...any) {
+	r.Checks = append(r.Checks, Check{Name: name, OK: ok, Detail: fmt.Sprintf(format, args...)})
+}
+
+func (r *Result) series(name string, step time.Duration, values []float64) {
+	r.Series = append(r.Series, NamedSeries{Name: name, Step: step, Values: values})
+}
+
+func (r *Result) note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// ChecksOK reports whether every check passed.
+func (r *Result) ChecksOK() bool {
+	for _, c := range r.Checks {
+		if !c.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// Render formats the result for a terminal, including ASCII charts of its
+// series.
+func (r *Result) Render(charts bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	if len(r.Rows) > 0 {
+		wl, wp := 8, 8
+		for _, row := range r.Rows {
+			if len(row.Label) > wl {
+				wl = len(row.Label)
+			}
+			if len(row.Paper) > wp {
+				wp = len(row.Paper)
+			}
+		}
+		fmt.Fprintf(&b, "%-*s  %-*s  %s\n", wl, "metric", wp, "paper", "measured")
+		for _, row := range r.Rows {
+			fmt.Fprintf(&b, "%-*s  %-*s  %s\n", wl, row.Label, wp, row.Paper, row.Measured)
+		}
+	}
+	for _, c := range r.Checks {
+		mark := "PASS"
+		if !c.OK {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "[%s] %s: %s\n", mark, c.Name, c.Detail)
+	}
+	if charts {
+		for _, s := range r.Series {
+			b.WriteString(stats.ASCIIChart(fmt.Sprintf("%s (per %v)", s.Name, s.Step), s.Values, 72, 8))
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the result as a Markdown section (EXPERIMENTS.md).
+func (r *Result) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### `%s` — %s\n\n", r.ID, r.Title)
+	if len(r.Rows) > 0 {
+		b.WriteString("| metric | paper | measured |\n|---|---|---|\n")
+		for _, row := range r.Rows {
+			fmt.Fprintf(&b, "| %s | %s | %s |\n", mdEscape(row.Label), mdEscape(row.Paper), mdEscape(row.Measured))
+		}
+		b.WriteString("\n")
+	}
+	for _, c := range r.Checks {
+		mark := "✅"
+		if !c.OK {
+			mark = "❌"
+		}
+		fmt.Fprintf(&b, "- %s %s (%s)\n", mark, c.Name, c.Detail)
+	}
+	if len(r.Checks) > 0 {
+		b.WriteString("\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "> %s\n\n", n)
+	}
+	// Up to two representative series, rendered as fenced ASCII charts so
+	// the figure shapes are visible inline.
+	for i, s := range r.Series {
+		if i >= 2 {
+			fmt.Fprintf(&b, "*(%d more series available via `xfaas-sim -run %s -out dir/`)*\n\n", len(r.Series)-2, r.ID)
+			break
+		}
+		b.WriteString("```\n")
+		b.WriteString(stats.ASCIIChart(fmt.Sprintf("%s (per %v)", s.Name, s.Step), s.Values, 72, 8))
+		b.WriteString("```\n\n")
+	}
+	return b.String()
+}
+
+func mdEscape(s string) string {
+	return strings.ReplaceAll(s, "|", "\\|")
+}
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	ID          string
+	Title       string
+	Description string
+	Run         func(Scale) *Result
+}
+
+var registry = map[string]*Experiment{}
+
+func register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiment: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment by id.
+func Get(id string) (*Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment sorted by id.
+func All() []*Experiment {
+	out := make([]*Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IDs returns all experiment ids, sorted.
+func IDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}

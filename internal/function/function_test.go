@@ -1,0 +1,128 @@
+package function
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"xfaas/internal/isolation"
+)
+
+func validSpec(name string) *Spec {
+	return &Spec{
+		Name:      name,
+		Namespace: "php-main",
+		Runtime:   "php",
+		Team:      "infra",
+		Deadline:  time.Minute,
+		Retry:     DefaultRetry,
+		Zone:      isolation.NewZone(isolation.Internal),
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := validSpec("f").Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		mutate func(*Spec)
+		want   string
+	}{
+		{func(s *Spec) { s.Name = "" }, "empty name"},
+		{func(s *Spec) { s.Namespace = "" }, "empty namespace"},
+		{func(s *Spec) { s.Deadline = 0 }, "non-positive deadline"},
+		{func(s *Spec) { s.Deadline = 25 * time.Hour }, "deadline above 24h"},
+		{func(s *Spec) { s.QuotaMIPS = -1 }, "negative quota"},
+		{func(s *Spec) { s.ConcurrencyLimit = -1 }, "negative concurrency"},
+		{func(s *Spec) { s.Retry.MaxAttempts = 0 }, "MaxAttempts"},
+	}
+	for _, c := range cases {
+		s := validSpec("f")
+		c.mutate(s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("want error containing %q, got %v", c.want, err)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(validSpec("b"))
+	r.MustRegister(validSpec("a"))
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	names := r.Names()
+	if names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	if _, ok := r.Get("a"); !ok {
+		t.Fatal("Get(a) failed")
+	}
+	if _, ok := r.Get("zzz"); ok {
+		t.Fatal("Get of missing function succeeded")
+	}
+	// Re-registering replaces without duplicating.
+	updated := validSpec("a")
+	updated.Team = "newteam"
+	r.MustRegister(updated)
+	if r.Len() != 2 {
+		t.Fatalf("len after re-register = %d", r.Len())
+	}
+	got, _ := r.Get("a")
+	if got.Team != "newteam" {
+		t.Fatal("re-register did not replace spec")
+	}
+	if err := r.Register(&Spec{}); err == nil {
+		t.Fatal("invalid spec registered")
+	}
+	all := r.All()
+	if len(all) != 2 || all[0].Name != "a" {
+		t.Fatalf("All = %v", all)
+	}
+}
+
+func TestMustRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRegister of invalid spec did not panic")
+		}
+	}()
+	NewRegistry().MustRegister(&Spec{})
+}
+
+func TestCallExpired(t *testing.T) {
+	c := &Call{Deadline: time.Minute}
+	if c.Expired(30 * time.Second) {
+		t.Fatal("not yet expired")
+	}
+	if !c.Expired(2 * time.Minute) {
+		t.Fatal("should be expired")
+	}
+	noDeadline := &Call{}
+	if noDeadline.Expired(time.Hour) {
+		t.Fatal("zero deadline should never expire")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if TriggerQueue.String() != "queue" || TriggerEvent.String() != "event" || TriggerTimer.String() != "timer" {
+		t.Fatal("trigger strings wrong")
+	}
+	if CritLow.String() != "low" || CritHigh.String() != "high" {
+		t.Fatal("criticality strings wrong")
+	}
+	if QuotaReserved.String() != "reserved" || QuotaOpportunistic.String() != "opportunistic" {
+		t.Fatal("quota strings wrong")
+	}
+	if StateQueued.String() != "queued" || StateFailed.String() != "failed" {
+		t.Fatal("state strings wrong")
+	}
+}
+
+func TestCriticalityOrdering(t *testing.T) {
+	if !(CritLow < CritNormal && CritNormal < CritHigh) {
+		t.Fatal("criticality ordering must be low < normal < high")
+	}
+}

@@ -1,0 +1,316 @@
+// Package httpapi exposes a running platform over HTTP: register
+// functions, invoke them, and read telemetry. The simulation engine is
+// advanced in step with the wall clock (optionally time-compressed), so
+// xfaasd behaves like a live miniature XFaaS cell that can be driven with
+// curl while the full control plane — queues, schedulers, quotas, AIMD,
+// locality groups — runs underneath.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"xfaas/internal/cluster"
+	"xfaas/internal/core"
+	"xfaas/internal/function"
+	"xfaas/internal/isolation"
+	"xfaas/internal/rng"
+	"xfaas/internal/stats"
+)
+
+// FunctionRequest is the JSON body of POST /functions.
+type FunctionRequest struct {
+	Name        string  `json:"name"`
+	Criticality string  `json:"criticality"`         // low|normal|high
+	Quota       string  `json:"quota"`               // reserved|opportunistic
+	QuotaMIPS   float64 `json:"quota_mips"`          // 0 = unlimited
+	DeadlineSec float64 `json:"deadline_seconds"`    // default 300
+	Concurrency int     `json:"concurrency_limit"`   // 0 = unlimited
+	CPUMedianM  float64 `json:"cpu_median_minstr"`   // default 20
+	MemMedianMB float64 `json:"mem_median_mb"`       // default 16
+	ExecMedianS float64 `json:"exec_median_seconds"` // default 0.2
+}
+
+// InvokeRequest is the JSON body of POST /invoke.
+type InvokeRequest struct {
+	Function string `json:"function"`
+	Client   string `json:"client"`
+	Region   int    `json:"region"`
+	// DelaySeconds sets a future execution start time.
+	DelaySeconds float64 `json:"delay_seconds"`
+}
+
+// Server bridges HTTP handlers and the single-threaded engine. All
+// engine access happens under mu; the pacing loop takes the same lock,
+// so handlers and virtual time never race.
+type Server struct {
+	mu  sync.Mutex
+	p   *core.Platform
+	src *rng.Source
+	// Speedup compresses wall time: 60 means one wall second advances a
+	// virtual minute.
+	Speedup float64
+
+	started   time.Time
+	functions map[string]*function.Spec
+}
+
+// NewServer wraps a platform. Call Pace (usually in a goroutine) to bind
+// virtual time to the wall clock.
+func NewServer(p *core.Platform, seed uint64) *Server {
+	return &Server{
+		p:         p,
+		src:       rng.New(seed),
+		Speedup:   1,
+		started:   time.Now(),
+		functions: make(map[string]*function.Spec),
+	}
+}
+
+// Pace advances the engine in step with the wall clock until stop is
+// closed. Granularity is 50ms of wall time per step.
+func (s *Server) Pace(stop <-chan struct{}) {
+	const step = 50 * time.Millisecond
+	ticker := time.NewTicker(step)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			s.mu.Lock()
+			s.p.Engine.RunFor(time.Duration(float64(step) * s.Speedup))
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Advance moves virtual time forward directly (tests and batch drivers).
+func (s *Server) Advance(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.p.Engine.RunFor(d)
+}
+
+// Handler returns the HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /functions", s.handleRegister)
+	mux.HandleFunc("POST /invoke", s.handleInvoke)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /functions/{name}", s.handleFunction)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req FunctionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad json: %v", err)
+		return
+	}
+	if req.Name == "" {
+		httpError(w, http.StatusBadRequest, "name required")
+		return
+	}
+	crit := function.CritNormal
+	switch req.Criticality {
+	case "", "normal":
+	case "low":
+		crit = function.CritLow
+	case "high":
+		crit = function.CritHigh
+	default:
+		httpError(w, http.StatusBadRequest, "criticality must be low|normal|high")
+		return
+	}
+	quota := function.QuotaReserved
+	deadline := 300 * time.Second
+	switch req.Quota {
+	case "", "reserved":
+	case "opportunistic":
+		quota = function.QuotaOpportunistic
+		deadline = 24 * time.Hour
+	default:
+		httpError(w, http.StatusBadRequest, "quota must be reserved|opportunistic")
+		return
+	}
+	if req.DeadlineSec > 0 {
+		deadline = time.Duration(req.DeadlineSec * float64(time.Second))
+	}
+	orDefault := func(v, d float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return d
+	}
+	spec := &function.Spec{
+		Name:             req.Name,
+		Namespace:        "main",
+		Runtime:          "php",
+		Team:             "http",
+		Trigger:          function.TriggerQueue,
+		Criticality:      crit,
+		Quota:            quota,
+		QuotaMIPS:        req.QuotaMIPS,
+		Deadline:         deadline,
+		ConcurrencyLimit: req.Concurrency,
+		Retry:            function.DefaultRetry,
+		Zone:             isolation.NewZone(isolation.Internal),
+		Resources: function.ResourceModel{
+			CPUMu: math.Log(orDefault(req.CPUMedianM, 20)), CPUSigma: 0.5,
+			MemMu: math.Log(orDefault(req.MemMedianMB, 16)), MemSigma: 0.5,
+			TimeMu: math.Log(orDefault(req.ExecMedianS, 0.2)), TimeSigma: 0.5,
+			CodeMB: 8, JITCodeMB: 4,
+		},
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.p.Registry.Register(spec); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.functions[spec.Name] = spec
+	writeJSON(w, http.StatusCreated, map[string]string{"registered": spec.Name})
+}
+
+func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	var req InvokeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad json: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	spec, ok := s.functions[req.Function]
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown function %q", req.Function)
+		return
+	}
+	if req.Region < 0 || req.Region >= s.p.Topo.NumRegions() {
+		httpError(w, http.StatusBadRequest, "region out of range")
+		return
+	}
+	res := spec.Resources
+	c := &function.Call{
+		Spec:     spec,
+		CPUWorkM: s.src.LogNormal(res.CPUMu, res.CPUSigma),
+		MemMB:    s.src.LogNormal(res.MemMu, res.MemSigma),
+		ExecSecs: s.src.LogNormal(res.TimeMu, res.TimeSigma),
+	}
+	if req.DelaySeconds > 0 {
+		c.StartAfter = s.p.Engine.Now() + time.Duration(req.DelaySeconds*float64(time.Second))
+	}
+	client := req.Client
+	if client == "" {
+		client = "http"
+	}
+	if err := s.p.Submit(cluster.RegionID(req.Region), client, c); err != nil {
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"call_id":      c.ID,
+		"virtual_time": s.p.Engine.Now().Seconds(),
+	})
+}
+
+// StatsResponse is the GET /stats payload.
+type StatsResponse struct {
+	VirtualTimeSec  float64       `json:"virtual_time_seconds"`
+	UptimeSec       float64       `json:"uptime_seconds"`
+	MeanUtilization float64       `json:"mean_utilization"`
+	OpportunisticS  float64       `json:"opportunistic_scale"`
+	Acked           float64       `json:"calls_executed"`
+	SLOMisses       float64       `json:"slo_misses"`
+	Pending         int           `json:"calls_pending"`
+	Regions         []RegionStats `json:"regions"`
+}
+
+// RegionStats is per-region telemetry.
+type RegionStats struct {
+	Region      int     `json:"region"`
+	Workers     int     `json:"workers"`
+	Utilization float64 `json:"utilization"`
+	Acked       float64 `json:"calls_executed"`
+	CrossPulls  float64 `json:"cross_region_pulls"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := StatsResponse{
+		VirtualTimeSec:  s.p.Engine.Now().Seconds(),
+		UptimeSec:       time.Since(s.started).Seconds(),
+		MeanUtilization: s.p.MeanUtilization(),
+		OpportunisticS:  s.p.Central.Scale(),
+		Acked:           s.p.Acked(),
+		SLOMisses:       s.p.SLOMisses(),
+		Pending:         s.p.PendingCalls(),
+	}
+	for _, reg := range s.p.Regions() {
+		var acked, pulls float64
+		for _, sc := range reg.Scheds {
+			acked += sc.Acked.Value()
+			pulls += sc.CrossRegionPulls.Value()
+		}
+		resp.Regions = append(resp.Regions, RegionStats{
+			Region:      int(reg.ID),
+			Workers:     len(reg.Workers),
+			Utilization: stats.MeanOf(lastValues(reg.UtilSeries, 5)),
+			Acked:       acked,
+			CrossPulls:  pulls,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// FunctionResponse is the GET /functions/{name} payload.
+type FunctionResponse struct {
+	Name        string  `json:"name"`
+	Criticality string  `json:"criticality"`
+	Quota       string  `json:"quota"`
+	DeadlineSec float64 `json:"deadline_seconds"`
+	RPSLimit    float64 `json:"rps_limit"` // -1 = unlimited
+	CurrentRPS  float64 `json:"current_rps"`
+}
+
+func (s *Server) handleFunction(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	spec, ok := s.functions[name]
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown function %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, FunctionResponse{
+		Name:        spec.Name,
+		Criticality: spec.Criticality.String(),
+		Quota:       spec.Quota.String(),
+		DeadlineSec: spec.Deadline.Seconds(),
+		RPSLimit:    s.p.Central.RPSLimit(spec),
+		CurrentRPS:  s.p.Central.CurrentRPS(spec),
+	})
+}
+
+func lastValues(ts *stats.TimeSeries, n int) []float64 {
+	v := ts.Values()
+	if len(v) > n {
+		v = v[len(v)-n:]
+	}
+	return v
+}

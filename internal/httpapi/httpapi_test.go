@@ -1,0 +1,152 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"xfaas/internal/core"
+	"xfaas/internal/function"
+)
+
+func newTestServer(t *testing.T) (*Server, http.Handler) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Cluster.Regions = 2
+	cfg.Cluster.TotalWorkers = 6
+	cfg.CodePushInterval = 0
+	p := core.New(cfg, function.NewRegistry())
+	s := NewServer(p, 7)
+	return s, s.Handler()
+}
+
+func do(t *testing.T, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestRegisterInvokeStats(t *testing.T) {
+	s, h := newTestServer(t)
+
+	rec := do(t, h, "POST", "/functions", FunctionRequest{Name: "resize", ExecMedianS: 0.1})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("register status = %d: %s", rec.Code, rec.Body)
+	}
+	for i := 0; i < 50; i++ {
+		rec = do(t, h, "POST", "/invoke", InvokeRequest{Function: "resize", Region: i % 2})
+		if rec.Code != http.StatusAccepted {
+			t.Fatalf("invoke status = %d: %s", rec.Code, rec.Body)
+		}
+	}
+	s.Advance(5 * time.Minute)
+
+	rec = do(t, h, "GET", "/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status = %d", rec.Code)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Acked != 50 {
+		t.Fatalf("executed = %v, want 50", st.Acked)
+	}
+	if st.VirtualTimeSec != 300 {
+		t.Fatalf("virtual time = %v", st.VirtualTimeSec)
+	}
+	if len(st.Regions) != 2 {
+		t.Fatalf("regions = %d", len(st.Regions))
+	}
+}
+
+func TestFunctionIntrospection(t *testing.T) {
+	s, h := newTestServer(t)
+	do(t, h, "POST", "/functions", FunctionRequest{
+		Name: "limited", Quota: "opportunistic", QuotaMIPS: 100, CPUMedianM: 10,
+	})
+	s.Advance(time.Second)
+	rec := do(t, h, "GET", "/functions/limited", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var fr FunctionResponse
+	json.Unmarshal(rec.Body.Bytes(), &fr)
+	if fr.Quota != "opportunistic" || fr.RPSLimit <= 0 {
+		t.Fatalf("response = %+v", fr)
+	}
+	if rec := do(t, h, "GET", "/functions/ghost", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("ghost status = %d", rec.Code)
+	}
+}
+
+func TestInvokeValidation(t *testing.T) {
+	_, h := newTestServer(t)
+	if rec := do(t, h, "POST", "/invoke", InvokeRequest{Function: "nope"}); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown function status = %d", rec.Code)
+	}
+	do(t, h, "POST", "/functions", FunctionRequest{Name: "f"})
+	if rec := do(t, h, "POST", "/invoke", InvokeRequest{Function: "f", Region: 99}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad region status = %d", rec.Code)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	_, h := newTestServer(t)
+	if rec := do(t, h, "POST", "/functions", FunctionRequest{}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty name status = %d", rec.Code)
+	}
+	if rec := do(t, h, "POST", "/functions", FunctionRequest{Name: "x", Criticality: "extreme"}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad criticality status = %d", rec.Code)
+	}
+	if rec := do(t, h, "POST", "/functions", FunctionRequest{Name: "x", Quota: "free"}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad quota status = %d", rec.Code)
+	}
+}
+
+func TestDelayedInvocationHonored(t *testing.T) {
+	s, h := newTestServer(t)
+	do(t, h, "POST", "/functions", FunctionRequest{Name: "later", ExecMedianS: 0.05})
+	do(t, h, "POST", "/invoke", InvokeRequest{Function: "later", DelaySeconds: 600})
+	s.Advance(5 * time.Minute)
+	var st StatsResponse
+	rec := do(t, h, "GET", "/stats", nil)
+	json.Unmarshal(rec.Body.Bytes(), &st)
+	if st.Acked != 0 {
+		t.Fatalf("delayed call ran early: %v", st.Acked)
+	}
+	s.Advance(10 * time.Minute)
+	rec = do(t, h, "GET", "/stats", nil)
+	json.Unmarshal(rec.Body.Bytes(), &st)
+	if st.Acked != 1 {
+		t.Fatalf("delayed call never ran: %v", st.Acked)
+	}
+}
+
+func TestPaceAdvancesWithWallClock(t *testing.T) {
+	s, _ := newTestServer(t)
+	s.Speedup = 100
+	stop := make(chan struct{})
+	go s.Pace(stop)
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	s.mu.Lock()
+	now := s.p.Engine.Now()
+	s.mu.Unlock()
+	// ≥ 100ms wall elapsed at 100x ⇒ ≥ 10s virtual (generous bounds for
+	// scheduler jitter).
+	if now < 10*time.Second {
+		t.Fatalf("virtual time = %v, want ≥ 10s", now)
+	}
+}

@@ -1,0 +1,160 @@
+// Package isolation implements the Bell–LaPadula style multilevel
+// security / information-flow model XFaaS uses for data isolation across
+// functions sharing a Linux process (paper §4.7): data may only flow from
+// lower to higher classification levels ("no read up, no write down"), and
+// flows are checked at isolation-zone boundaries by both the scheduler and
+// the workers.
+package isolation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Level is a linear classification level; higher values are more
+// sensitive.
+type Level int
+
+// Classification levels used across the repository. Platforms may define
+// more; only the ordering matters to the model.
+const (
+	Public Level = iota
+	Internal
+	Confidential
+	Restricted
+)
+
+func (l Level) String() string {
+	switch l {
+	case Public:
+		return "public"
+	case Internal:
+		return "internal"
+	case Confidential:
+		return "confidential"
+	case Restricted:
+		return "restricted"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// Zone is an isolation zone: a classification level plus a compartment
+// set (need-to-know categories). Zones form a lattice ordered by
+// DominatedBy.
+type Zone struct {
+	Level        Level
+	compartments map[string]bool
+}
+
+// NewZone returns a zone at the given level with the given compartments.
+func NewZone(level Level, compartments ...string) Zone {
+	z := Zone{Level: level}
+	if len(compartments) > 0 {
+		z.compartments = make(map[string]bool, len(compartments))
+		for _, c := range compartments {
+			z.compartments[c] = true
+		}
+	}
+	return z
+}
+
+// Compartments returns the zone's compartments, sorted.
+func (z Zone) Compartments() []string {
+	out := make([]string, 0, len(z.compartments))
+	for c := range z.compartments {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasCompartment reports whether the zone includes compartment c.
+func (z Zone) HasCompartment(c string) bool { return z.compartments[c] }
+
+// DominatedBy reports whether z ⊑ other in the Bell–LaPadula lattice:
+// z.Level ≤ other.Level and z's compartments ⊆ other's compartments.
+// Data labelled z may flow to a principal labelled other.
+func (z Zone) DominatedBy(other Zone) bool {
+	if z.Level > other.Level {
+		return false
+	}
+	for c := range z.compartments {
+		if !other.compartments[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// Join returns the least upper bound of two zones: max level, union of
+// compartments. The label of data derived from both inputs.
+func (z Zone) Join(other Zone) Zone {
+	lvl := z.Level
+	if other.Level > lvl {
+		lvl = other.Level
+	}
+	out := Zone{Level: lvl}
+	if len(z.compartments)+len(other.compartments) > 0 {
+		out.compartments = make(map[string]bool, len(z.compartments)+len(other.compartments))
+		for c := range z.compartments {
+			out.compartments[c] = true
+		}
+		for c := range other.compartments {
+			out.compartments[c] = true
+		}
+	}
+	return out
+}
+
+func (z Zone) String() string {
+	if len(z.compartments) == 0 {
+		return z.Level.String()
+	}
+	return z.Level.String() + "{" + strings.Join(z.Compartments(), ",") + "}"
+}
+
+// FlowError describes a rejected information flow.
+type FlowError struct {
+	From, To Zone
+	Op       string
+}
+
+func (e *FlowError) Error() string {
+	return fmt.Sprintf("isolation: %s from %s to %s violates Bell-LaPadula", e.Op, e.From, e.To)
+}
+
+// Checker enforces flow policy at system boundaries. It counts decisions
+// so experiments and tests can assert enforcement happened.
+type Checker struct {
+	Allowed uint64
+	Denied  uint64
+}
+
+// CheckArgFlow verifies a function call's arguments (labelled src) may
+// flow into execution zone dst — the scheduler-side check from §4.7.
+func (c *Checker) CheckArgFlow(src, dst Zone) error {
+	return c.check("argument flow", src, dst)
+}
+
+// CheckRead verifies a principal in zone subject may read data labelled
+// object ("no read up": object ⊑ subject).
+func (c *Checker) CheckRead(subject, object Zone) error {
+	return c.check("read", object, subject)
+}
+
+// CheckWrite verifies a principal in zone subject may write data labelled
+// object ("no write down": subject ⊑ object).
+func (c *Checker) CheckWrite(subject, object Zone) error {
+	return c.check("write", subject, object)
+}
+
+func (c *Checker) check(op string, from, to Zone) error {
+	if from.DominatedBy(to) {
+		c.Allowed++
+		return nil
+	}
+	c.Denied++
+	return &FlowError{From: from, To: to, Op: op}
+}

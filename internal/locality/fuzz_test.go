@@ -1,0 +1,31 @@
+package locality
+
+import "testing"
+
+// FuzzWorkerShares verifies the largest-remainder allocation always sums
+// exactly to the pool and never starves a group.
+func FuzzWorkerShares(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, uint8(10))
+	f.Add([]byte{0, 0}, uint8(2))
+	f.Fuzz(func(t *testing.T, raw []byte, extra uint8) {
+		if len(raw) == 0 || len(raw) > 64 {
+			return
+		}
+		loads := make([]float64, len(raw))
+		for i, b := range raw {
+			loads[i] = float64(b)
+		}
+		total := len(raw) + int(extra)
+		shares := WorkerShares(loads, total)
+		sum := 0
+		for _, s := range shares {
+			if s < 1 {
+				t.Fatalf("starved group: %v", shares)
+			}
+			sum += s
+		}
+		if sum != total {
+			t.Fatalf("sum = %d, want %d", sum, total)
+		}
+	})
+}

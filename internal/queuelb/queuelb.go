@@ -1,0 +1,148 @@
+// Package queuelb implements the QueueLB (paper §4.3): it receives
+// function calls from submitters and selects a DurableQ shard to persist
+// each call. A routing policy delivered through the configuration
+// management system specifies the traffic split per
+// (source-region, destination-region) pair, balancing load across the
+// unevenly provisioned DurableQ pools; within a region the shard is chosen
+// uniformly (the paper shards by random UUID).
+package queuelb
+
+import (
+	"xfaas/internal/cluster"
+	"xfaas/internal/config"
+	"xfaas/internal/durableq"
+	"xfaas/internal/function"
+	"xfaas/internal/rng"
+	"xfaas/internal/stats"
+)
+
+// RoutingPolicy is a row-stochastic matrix: Policy[src][dst] is the
+// fraction of region src's submissions persisted in region dst.
+type RoutingPolicy [][]float64
+
+// PolicyKey is the config-store key QueueLBs subscribe to.
+const PolicyKey = "queuelb/routing-policy"
+
+// LocalFirstPolicy keeps localFrac of each region's submissions in-region
+// and spreads the remainder across other regions proportionally to their
+// DurableQ shard capacity.
+func LocalFirstPolicy(topo *cluster.Topology, localFrac float64) RoutingPolicy {
+	if localFrac < 0 || localFrac > 1 {
+		panic("queuelb: localFrac out of [0,1]")
+	}
+	n := topo.NumRegions()
+	p := make(RoutingPolicy, n)
+	for i := 0; i < n; i++ {
+		p[i] = make([]float64, n)
+		otherShards := 0
+		for j, r := range topo.Regions() {
+			if j != i {
+				otherShards += r.DurableQShards
+			}
+		}
+		if n == 1 || otherShards == 0 {
+			p[i][i] = 1
+			continue
+		}
+		p[i][i] = localFrac
+		for j, r := range topo.Regions() {
+			if j != i {
+				p[i][j] = (1 - localFrac) * float64(r.DurableQShards) / float64(otherShards)
+			}
+		}
+	}
+	return p
+}
+
+// Validate checks the policy is row-stochastic over n regions.
+func (p RoutingPolicy) Validate(n int) bool {
+	if len(p) != n {
+		return false
+	}
+	for _, row := range p {
+		if len(row) != n {
+			return false
+		}
+		sum := 0.0
+		for _, v := range row {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		if sum < 0.999999 || sum > 1.000001 {
+			return false
+		}
+	}
+	return true
+}
+
+// LB is one region's queue load balancer.
+type LB struct {
+	region cluster.RegionID
+	src    *rng.Source
+	shards [][]*durableq.Shard // indexed by region
+	cache  *config.Cache
+
+	Routed      stats.Counter
+	CrossRegion stats.Counter
+}
+
+// New returns a QueueLB for region, routing over the per-region shard
+// pools, with the routing policy subscribed from store.
+func New(region cluster.RegionID, src *rng.Source, shards [][]*durableq.Shard, store *config.Store) *LB {
+	return &LB{
+		region: region,
+		src:    src,
+		shards: shards,
+		cache:  config.NewCache(store, PolicyKey),
+	}
+}
+
+func (lb *LB) policyRow() []float64 {
+	v, ok := lb.cache.Get()
+	if !ok {
+		return nil
+	}
+	p, ok := v.(RoutingPolicy)
+	if !ok || int(lb.region) >= len(p) {
+		return nil
+	}
+	return p[lb.region]
+}
+
+// pickRegion samples a destination region from the policy row, falling
+// back to the local region with no policy.
+func (lb *LB) pickRegion() cluster.RegionID {
+	row := lb.policyRow()
+	if row == nil {
+		return lb.region
+	}
+	u := lb.src.Float64()
+	acc := 0.0
+	for j, w := range row {
+		acc += w
+		if u < acc {
+			return cluster.RegionID(j)
+		}
+	}
+	return lb.region
+}
+
+// Route persists the call into a DurableQ shard chosen per policy and
+// returns the shard.
+func (lb *LB) Route(c *function.Call) *durableq.Shard {
+	dst := lb.pickRegion()
+	pool := lb.shards[dst]
+	if len(pool) == 0 {
+		dst = lb.region
+		pool = lb.shards[dst]
+	}
+	shard := pool[lb.src.Intn(len(pool))]
+	shard.Enqueue(c)
+	lb.Routed.Inc()
+	if dst != lb.region {
+		lb.CrossRegion.Inc()
+	}
+	return shard
+}

@@ -1,0 +1,142 @@
+package queuelb
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"xfaas/internal/cluster"
+	"xfaas/internal/config"
+	"xfaas/internal/durableq"
+	"xfaas/internal/function"
+	"xfaas/internal/rng"
+	"xfaas/internal/sim"
+)
+
+func topo3() *cluster.Topology {
+	return cluster.NewTopology([]cluster.Region{
+		{ID: 0, Coord: 0, Workers: 10, DurableQShards: 2},
+		{ID: 1, Coord: 1, Workers: 10, DurableQShards: 6},
+		{ID: 2, Coord: 2, Workers: 10, DurableQShards: 2},
+	}, time.Millisecond, 10*time.Millisecond)
+}
+
+func shardsFor(e *sim.Engine, topo *cluster.Topology) [][]*durableq.Shard {
+	out := make([][]*durableq.Shard, topo.NumRegions())
+	for i, r := range topo.Regions() {
+		for k := 0; k < r.DurableQShards; k++ {
+			out[i] = append(out[i], durableq.NewShard(durableq.ShardID{Region: r.ID, Index: k}, e))
+		}
+	}
+	return out
+}
+
+func qlbSpec() *function.Spec {
+	return &function.Spec{Name: "f", Namespace: "ns", Deadline: time.Hour, Retry: function.DefaultRetry}
+}
+
+func TestLocalFirstPolicyRowStochastic(t *testing.T) {
+	topo := topo3()
+	for _, frac := range []float64{0, 0.5, 0.9, 1} {
+		p := LocalFirstPolicy(topo, frac)
+		if !p.Validate(3) {
+			t.Fatalf("policy with frac=%v not row-stochastic: %v", frac, p)
+		}
+		if p[0][0] != frac && frac != 1 {
+			t.Fatalf("local weight = %v, want %v", p[0][0], frac)
+		}
+	}
+}
+
+func TestLocalFirstPolicyWeightsByShards(t *testing.T) {
+	p := LocalFirstPolicy(topo3(), 0.5)
+	// Region 1 has 6 of region 0's 8 "other" shards.
+	if p[0][1] <= p[0][2] {
+		t.Fatalf("bigger shard pool did not get more weight: %v", p[0])
+	}
+}
+
+func TestSingleRegionPolicy(t *testing.T) {
+	topo := cluster.NewTopology([]cluster.Region{{ID: 0, Workers: 1, DurableQShards: 1}}, time.Millisecond, time.Millisecond)
+	p := LocalFirstPolicy(topo, 0.5)
+	if p[0][0] != 1 {
+		t.Fatalf("single region must route local: %v", p)
+	}
+}
+
+func TestRouteHonorsPolicy(t *testing.T) {
+	e := sim.NewEngine()
+	topo := topo3()
+	shards := shardsFor(e, topo)
+	store := config.NewStore(e)
+	store.Set(PolicyKey, LocalFirstPolicy(topo, 0.5))
+	lb := New(0, rng.New(1), shards, store)
+	var id uint64
+	for i := 0; i < 2000; i++ {
+		id++
+		lb.Route(&function.Call{ID: id, Spec: qlbSpec()})
+	}
+	local := 0
+	for _, sh := range shards[0] {
+		local += sh.Pending()
+	}
+	frac := float64(local) / 2000
+	if frac < 0.42 || frac > 0.58 {
+		t.Fatalf("local fraction = %v, want ≈0.5", frac)
+	}
+	if lb.CrossRegion.Value() == 0 {
+		t.Fatal("no cross-region routing with 0.5 policy")
+	}
+}
+
+func TestRouteDefaultsLocalWithoutPolicy(t *testing.T) {
+	e := sim.NewEngine()
+	topo := topo3()
+	shards := shardsFor(e, topo)
+	store := config.NewStore(e) // no policy written
+	lb := New(1, rng.New(2), shards, store)
+	var id uint64
+	for i := 0; i < 100; i++ {
+		id++
+		lb.Route(&function.Call{ID: id, Spec: qlbSpec()})
+	}
+	local := 0
+	for _, sh := range shards[1] {
+		local += sh.Pending()
+	}
+	if local != 100 {
+		t.Fatalf("without policy %d/100 stayed local", local)
+	}
+}
+
+func TestRouteSpreadsAcrossShards(t *testing.T) {
+	e := sim.NewEngine()
+	topo := topo3()
+	shards := shardsFor(e, topo)
+	store := config.NewStore(e)
+	store.Set(PolicyKey, LocalFirstPolicy(topo, 1))
+	lb := New(1, rng.New(3), shards, store)
+	var id uint64
+	for i := 0; i < 6000; i++ {
+		id++
+		lb.Route(&function.Call{ID: id, Spec: qlbSpec()})
+	}
+	for k, sh := range shards[1] {
+		if sh.Pending() < 700 || sh.Pending() > 1300 {
+			t.Fatalf("shard %d got %d of 6000 across 6 shards", k, sh.Pending())
+		}
+	}
+}
+
+// Property: LocalFirstPolicy is always row-stochastic for generated
+// topologies and fractions.
+func TestPolicyStochasticProperty(t *testing.T) {
+	f := func(seed uint64, fracRaw uint8) bool {
+		topo := cluster.Generate(cluster.DefaultConfig(), rng.New(seed))
+		frac := float64(fracRaw%101) / 100
+		return LocalFirstPolicy(topo, frac).Validate(topo.NumRegions())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

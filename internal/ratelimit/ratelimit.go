@@ -1,0 +1,172 @@
+// Package ratelimit implements the Central Rate Limiter (paper Figure 6,
+// §4.6.1): every function has a global CPU quota (million instructions per
+// second); the limiter converts it to a requests-per-second limit by
+// dividing the quota by the function's average cost per invocation, and
+// throttles invocations that would exceed the global RPS. For
+// opportunistic-quota functions the limit is scaled by the Utilization
+// Controller's factor S (§4.6.2).
+package ratelimit
+
+import (
+	"math"
+	"time"
+
+	"xfaas/internal/function"
+	"xfaas/internal/sim"
+	"xfaas/internal/stats"
+)
+
+// Central is the global rate limiter. It is logically centralized (as in
+// the paper); schedulers and submitters consult it on every admission
+// decision.
+type Central struct {
+	engine *sim.Engine
+	// Scale is the opportunistic scaling factor S set by the Utilization
+	// Controller; 1 means quota-as-configured, 0 stops opportunistic work.
+	scale float64
+
+	funcs map[string]*funcState
+	// Window over which global RPS is measured.
+	window time.Duration
+
+	Allowed   stats.Counter
+	Throttled stats.Counter
+}
+
+type funcState struct {
+	spec *function.Spec
+	// avgCost is an EWMA of observed millions of instructions per call,
+	// seeded from the declared resource model so new functions have a
+	// sane limit before their first completion report.
+	avgCost float64
+	rate    *stats.WindowRate
+	// bucket enforces the RPS limit. A token bucket handles fractional
+	// limits exactly: a 0.05-RPS function accrues a token every 20
+	// seconds instead of being rounded out of existence by a windowed
+	// rate check.
+	bucket *TokenBucket
+}
+
+// NewCentral returns a limiter measuring RPS over a 10-second window.
+func NewCentral(engine *sim.Engine) *Central {
+	return &Central{
+		engine: engine,
+		scale:  1,
+		funcs:  make(map[string]*funcState),
+		window: 10 * time.Second,
+	}
+}
+
+// SetScale stores the opportunistic scaling factor S (clamped to ≥0).
+func (c *Central) SetScale(s float64) {
+	if s < 0 {
+		s = 0
+	}
+	c.scale = s
+}
+
+// Scale returns the current opportunistic scaling factor.
+func (c *Central) Scale() float64 { return c.scale }
+
+func (c *Central) state(spec *function.Spec) *funcState {
+	fs, ok := c.funcs[spec.Name]
+	if !ok {
+		seed := expectedCost(spec)
+		fs = &funcState{
+			spec:    spec,
+			avgCost: seed,
+			rate:    stats.NewWindowRate(time.Second, int(c.window/time.Second)),
+		}
+		c.funcs[spec.Name] = fs
+	}
+	return fs
+}
+
+// expectedCost is the mean of the spec's lognormal CPU model, or a 1-MIPS
+// floor when no model is declared.
+func expectedCost(spec *function.Spec) float64 {
+	m := spec.Resources
+	if m.CPUMu == 0 && m.CPUSigma == 0 {
+		return 1
+	}
+	// E[lognormal] = exp(mu + sigma^2/2).
+	v := math.Exp(m.CPUMu + m.CPUSigma*m.CPUSigma/2)
+	if v < 1e-6 {
+		v = 1e-6
+	}
+	return v
+}
+
+// RPSLimit returns the function's current global RPS limit: quota divided
+// by average cost, scaled by S for opportunistic functions. A zero quota
+// means "unlimited" and reports a negative limit.
+func (c *Central) RPSLimit(spec *function.Spec) float64 {
+	if spec.QuotaMIPS <= 0 {
+		return -1
+	}
+	fs := c.state(spec)
+	r := spec.QuotaMIPS / fs.avgCost
+	if spec.Quota == function.QuotaOpportunistic {
+		r *= c.scale
+	}
+	return r
+}
+
+// Allow consults the limiter for one invocation of spec at virtual time
+// now, accounting for it if admitted.
+func (c *Central) Allow(spec *function.Spec) bool {
+	now := c.engine.Now()
+	limit := c.RPSLimit(spec)
+	fs := c.state(spec)
+	if limit >= 0 {
+		if limit <= 0 {
+			c.Throttled.Inc()
+			return false
+		}
+		if fs.bucket == nil {
+			fs.bucket = NewTokenBucket(limit, burstFor(limit))
+		} else if fs.bucket.Rate() != limit {
+			fs.bucket.SetRate(now, limit)
+			fs.bucket.SetBurst(now, burstFor(limit))
+		}
+		if !fs.bucket.Allow(now, 1) {
+			c.Throttled.Inc()
+			return false
+		}
+	}
+	fs.rate.Add(now, 1)
+	c.Allowed.Inc()
+	return true
+}
+
+// burstFor sizes a limit's burst allowance: about two seconds of rate,
+// with a floor of one call so fractional limits still make progress.
+func burstFor(limit float64) float64 {
+	b := 2 * limit
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// CurrentRPS returns the measured global RPS for the function.
+func (c *Central) CurrentRPS(spec *function.Spec) float64 {
+	return c.state(spec).rate.PerSecond(c.engine.Now())
+}
+
+// RecordCost feeds an observed per-invocation CPU cost (millions of
+// instructions) into the EWMA used for quota→RPS conversion. Workers call
+// this on completion.
+func (c *Central) RecordCost(spec *function.Spec, costM float64) {
+	if costM <= 0 {
+		return
+	}
+	fs := c.state(spec)
+	const alpha = 0.05
+	fs.avgCost = (1-alpha)*fs.avgCost + alpha*costM
+}
+
+// AvgCost returns the EWMA cost estimate for the function.
+func (c *Central) AvgCost(spec *function.Spec) float64 {
+	return c.state(spec).avgCost
+}

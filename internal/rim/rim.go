@@ -1,0 +1,155 @@
+// Package rim implements the global Resource Isolation and Management
+// system the paper's XFaaS leans on (§1.2): "Instead of making decisions
+// locally, RIM collects global metrics across different systems to assist
+// XFaaS in real-time coordination with downstream services."
+//
+// Components (downstream services, worker pools) register as metric
+// sources. RIM periodically aggregates their utilization into a global
+// view and publishes per-service pacing advice through the configuration
+// store: a rate multiplier that is 1 while a service is comfortable,
+// ramps down linearly between the soft and hard utilization thresholds,
+// and bottoms out at a floor so probing traffic survives. Schedulers
+// apply the multiplier when pacing functions that call the service —
+// proactive, metrics-driven protection that complements the reactive
+// AIMD back-pressure loop.
+package rim
+
+import (
+	"sort"
+	"time"
+
+	"xfaas/internal/config"
+	"xfaas/internal/sim"
+	"xfaas/internal/stats"
+)
+
+// AdviceKey is the config-store key the advice map is published under.
+const AdviceKey = "rim/advice"
+
+// Source is a component that reports a utilization-like pressure metric
+// in [0, ∞) where 1.0 means "at capacity".
+type Source interface {
+	// RIMName identifies the component in the advice map.
+	RIMName() string
+	// RIMUtilization is the component's current pressure.
+	RIMUtilization() float64
+}
+
+// Params tune the advice function.
+type Params struct {
+	// Interval between metric collections.
+	Interval time.Duration
+	// Soft is the utilization below which advice is 1 (no constraint).
+	Soft float64
+	// Hard is the utilization at which advice reaches Floor.
+	Hard float64
+	// Floor is the minimum multiplier (keeps recovery probes alive).
+	Floor float64
+}
+
+// DefaultParams advise throttling from 80% utilization, floor 5%.
+func DefaultParams() Params {
+	return Params{
+		Interval: 15 * time.Second,
+		Soft:     0.8,
+		Hard:     1.2,
+		Floor:    0.05,
+	}
+}
+
+// Advice maps component name → rate multiplier in [Floor, 1].
+type Advice map[string]float64
+
+// Multiplier returns the advice for name (1 when unknown).
+func (a Advice) Multiplier(name string) float64 {
+	if m, ok := a[name]; ok {
+		return m
+	}
+	return 1
+}
+
+// RIM aggregates sources and publishes advice.
+type RIM struct {
+	engine  *sim.Engine
+	params  Params
+	store   *config.Store
+	sources []Source
+
+	current Advice
+
+	Collections stats.Counter
+	// Constrained counts advice publications where at least one
+	// component was below multiplier 1.
+	Constrained stats.Counter
+}
+
+// New starts a RIM aggregating the given sources every Interval.
+func New(engine *sim.Engine, params Params, store *config.Store, sources ...Source) *RIM {
+	if params.Hard <= params.Soft {
+		panic("rim: Hard must exceed Soft")
+	}
+	if params.Floor <= 0 || params.Floor > 1 {
+		panic("rim: Floor out of (0, 1]")
+	}
+	r := &RIM{
+		engine:  engine,
+		params:  params,
+		store:   store,
+		sources: sources,
+		current: Advice{},
+	}
+	engine.Every(params.Interval, r.collect)
+	return r
+}
+
+// Register adds a source after construction.
+func (r *RIM) Register(s Source) { r.sources = append(r.sources, s) }
+
+// MultiplierFor returns the current advice for a component (1 when
+// unknown) — the scheduler-side read path.
+func (r *RIM) MultiplierFor(name string) float64 { return r.current.Multiplier(name) }
+
+// Current returns a copy of the advice map in name order.
+func (r *RIM) Current() Advice {
+	out := make(Advice, len(r.current))
+	for k, v := range r.current {
+		out[k] = v
+	}
+	return out
+}
+
+func (r *RIM) collect() {
+	advice := make(Advice, len(r.sources))
+	constrained := false
+	// Deterministic iteration for reproducible publications.
+	srcs := append([]Source(nil), r.sources...)
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i].RIMName() < srcs[j].RIMName() })
+	for _, s := range srcs {
+		m := r.multiplier(s.RIMUtilization())
+		advice[s.RIMName()] = m
+		if m < 1 {
+			constrained = true
+		}
+	}
+	r.current = advice
+	r.store.Set(AdviceKey, advice)
+	r.Collections.Inc()
+	if constrained {
+		r.Constrained.Inc()
+	}
+}
+
+// multiplier maps utilization to a pacing multiplier: 1 below Soft,
+// linear ramp to Floor at Hard, Floor beyond.
+func (r *RIM) multiplier(util float64) float64 {
+	p := r.params
+	switch {
+	case util <= p.Soft:
+		return 1
+	case util >= p.Hard:
+		return p.Floor
+	default:
+		frac := (util - p.Soft) / (p.Hard - p.Soft)
+		return 1 - frac*(1-p.Floor)
+	}
+}

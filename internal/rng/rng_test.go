@@ -1,0 +1,238 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d/100 times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling splits produced identical first draw")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(5)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) hit only %d values", len(seen))
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(11)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Exp(2.5)
+	}
+	mean := sum / n
+	if math.Abs(mean-2.5) > 0.05 {
+		t.Fatalf("Exp mean = %v, want ≈2.5", mean)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := New(13)
+	for _, mean := range []float64{0.5, 3, 20, 200} {
+		sum := 0.0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += float64(s.Poisson(mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean) > mean*0.05+0.05 {
+			t.Fatalf("Poisson(%v) mean = %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	s := New(1)
+	if s.Poisson(0) != 0 || s.Poisson(-1) != 0 {
+		t.Fatal("Poisson of non-positive mean should be 0")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(17)
+	var sum, sq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := s.Normal()
+		sum += v
+		sq += v * v
+	}
+	mean, varr := sum/n, sq/n
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("Normal mean = %v", mean)
+	}
+	if math.Abs(varr-1) > 0.02 {
+		t.Fatalf("Normal variance = %v", varr)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	s := New(19)
+	var below int
+	const n = 100000
+	median := math.Exp(1.7)
+	for i := 0; i < n; i++ {
+		if s.LogNormal(1.7, 0.9) < median {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("lognormal median fraction = %v", frac)
+	}
+}
+
+func TestLogNormalFromQuantiles(t *testing.T) {
+	mu, sigma := LogNormalFromQuantiles(100, 10000, 0.99)
+	s := New(23)
+	var sample []float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sample = append(sample, s.LogNormal(mu, sigma))
+	}
+	var under50, under99 int
+	for _, v := range sample {
+		if v < 100 {
+			under50++
+		}
+		if v < 10000 {
+			under99++
+		}
+	}
+	if f := float64(under50) / n; math.Abs(f-0.5) > 0.01 {
+		t.Fatalf("fitted p50 off: fraction below=%v", f)
+	}
+	if f := float64(under99) / n; math.Abs(f-0.99) > 0.005 {
+		t.Fatalf("fitted p99 off: fraction below=%v", f)
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999} {
+		z := NormalQuantile(p)
+		// Φ(z) via erf.
+		back := 0.5 * (1 + math.Erf(z/math.Sqrt2))
+		if math.Abs(back-p) > 1e-6 {
+			t.Fatalf("NormalQuantile(%v) = %v, Φ back = %v", p, z, back)
+		}
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	s := New(29)
+	const n = 100000
+	var above int
+	for i := 0; i < n; i++ {
+		v := s.Pareto(1, 2)
+		if v < 1 {
+			t.Fatalf("Pareto below scale: %v", v)
+		}
+		if v > 10 {
+			above++
+		}
+	}
+	// P(X>10) = (1/10)^2 = 0.01.
+	if f := float64(above) / n; math.Abs(f-0.01) > 0.004 {
+		t.Fatalf("Pareto tail fraction = %v, want ≈0.01", f)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	s := New(31)
+	z := NewZipf(s, 100, 1.2)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf rank 0 (%d) not more popular than rank 50 (%d)", counts[0], counts[50])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 100000 {
+		t.Fatalf("Zipf sample lost draws: %d", total)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := New(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkLogNormal(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.LogNormal(1, 0.5)
+	}
+}

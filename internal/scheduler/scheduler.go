@@ -1,0 +1,489 @@
+// Package scheduler implements the XFaaS scheduler (paper §4.4): it polls
+// DurableQs — across regions, per the Global Traffic Conductor's traffic
+// matrix — into per-function FuncBuffers ordered by criticality then
+// deadline, selects the most suitable calls subject to quota (central
+// rate limiter, opportunistic scaling), adaptive concurrency control
+// (AIMD, slow start, concurrency limits) and Bell–LaPadula argument-flow
+// checks, moves them through a RunQ with flow control, dispatches to the
+// WorkerLB, and ACKs/NACKs the owning DurableQ on completion.
+package scheduler
+
+import (
+	"sort"
+	"time"
+
+	"xfaas/internal/cluster"
+	"xfaas/internal/config"
+	"xfaas/internal/congestion"
+	"xfaas/internal/downstream"
+	"xfaas/internal/durableq"
+	"xfaas/internal/function"
+	"xfaas/internal/gtc"
+	"xfaas/internal/isolation"
+	"xfaas/internal/ratelimit"
+	"xfaas/internal/rng"
+	"xfaas/internal/sim"
+	"xfaas/internal/stats"
+	"xfaas/internal/workerlb"
+
+	"errors"
+)
+
+// Params configure a scheduler.
+type Params struct {
+	// PollInterval is the DurableQ polling and scheduling cadence.
+	PollInterval time.Duration
+	// PollBatch bounds calls pulled per tick across all source regions.
+	PollBatch int
+	// RunQLimit is the flow-control threshold: polling and buffer→RunQ
+	// movement pause while the RunQ is this deep (slow workers).
+	RunQLimit int
+	// BufferCap bounds each FuncBuffer; full buffers stop polling that
+	// function so deferred calls wait durably in the DurableQ rather
+	// than in scheduler memory.
+	BufferCap int
+	// DispatchBatch bounds dispatches per tick.
+	DispatchBatch int
+	// ShardsPerPoll is how many shards are sampled per source region per
+	// tick.
+	ShardsPerPoll int
+	// LeaseRenewInterval is how often the scheduler renews the DurableQ
+	// leases of calls it still holds (buffered, queued or running), so
+	// only a crashed scheduler's calls are redelivered.
+	LeaseRenewInterval time.Duration
+}
+
+// DefaultParams suit the simulation scale. The RunQ is a short staging
+// buffer (the paper slows FuncBuffer→RunQ movement as soon as it builds
+// up); keeping it shallow means a quota change (e.g. S dropping to zero)
+// never strands thousands of already-admitted calls.
+func DefaultParams() Params {
+	return Params{
+		PollInterval:       time.Second,
+		PollBatch:          4096,
+		RunQLimit:          512,
+		BufferCap:          2048,
+		DispatchBatch:      4096,
+		ShardsPerPoll:      4,
+		LeaseRenewInterval: 4 * time.Minute,
+	}
+}
+
+// Scheduler is one stateless scheduler replica. The paper runs many per
+// region, coordinating only through DurableQ leases; the platform's
+// SchedulersPerRegion instantiates any number, and crash/failover tests
+// exercise the statelessness claim.
+type Scheduler struct {
+	engine *sim.Engine
+	src    *rng.Source
+	region cluster.RegionID
+	params Params
+
+	shards [][]*durableq.Shard // global view, indexed by region
+	lb     *workerlb.LB
+	cen    *ratelimit.Central
+	cong   *congestion.Manager
+	check  *isolation.Checker
+	matrix *config.Cache
+
+	buffers map[string]*FuncBuffer
+	names   []string // buffer names, sorted; rebuilt on new functions
+	stale   bool
+	runQ    []*function.Call // nil entries are already dispatched
+	runHead int
+	runLen  int // live (non-nil, unread) entries
+	origin  map[uint64]*durableq.Shard
+
+	ticker  *sim.Ticker
+	renewer *sim.Ticker
+
+	// OnExecuted, when set, is invoked for every successfully completed
+	// call (platform-level series aggregation).
+	OnExecuted func(*function.Call)
+
+	// Metrics.
+	Polled            stats.Counter
+	Scheduled         stats.Counter
+	Dispatched        stats.Counter
+	QuotaThrottled    stats.Counter
+	CongestionDenied  stats.Counter
+	IsolationDenied   stats.Counter
+	Acked             stats.Counter
+	Nacked            stats.Counter
+	Evacuated         stats.Counter
+	CrossRegionPulls  stats.Counter
+	SLOMisses         stats.Counter
+	SchedulingDelay   *stats.Histogram // start-time→dispatch seconds, reserved calls
+	OpportunistDelay  *stats.Histogram // start-time→dispatch seconds, opportunistic
+	ExecutedSeries    *stats.TimeSeries
+	ExecutedCPUSeries *stats.TimeSeries
+}
+
+// New returns a running scheduler for region. store supplies the GTC
+// traffic matrix; pass the same instance the conductor publishes to.
+func New(engine *sim.Engine, src *rng.Source, region cluster.RegionID, params Params,
+	shards [][]*durableq.Shard, lb *workerlb.LB, cen *ratelimit.Central,
+	cong *congestion.Manager, store *config.Store) *Scheduler {
+
+	s := &Scheduler{
+		engine:            engine,
+		src:               src,
+		region:            region,
+		params:            params,
+		shards:            shards,
+		lb:                lb,
+		cen:               cen,
+		cong:              cong,
+		check:             &isolation.Checker{},
+		matrix:            config.NewCache(store, gtc.MatrixKey),
+		buffers:           make(map[string]*FuncBuffer),
+		origin:            make(map[uint64]*durableq.Shard),
+		SchedulingDelay:   stats.NewHistogram(),
+		OpportunistDelay:  stats.NewHistogram(),
+		ExecutedSeries:    stats.NewTimeSeries(time.Minute, stats.ModeSum),
+		ExecutedCPUSeries: stats.NewTimeSeries(time.Minute, stats.ModeSum),
+	}
+	s.ticker = engine.Every(params.PollInterval, s.tick)
+	if params.LeaseRenewInterval > 0 {
+		s.renewer = engine.Every(params.LeaseRenewInterval, s.renewLeases)
+	}
+	return s
+}
+
+// renewLeases extends the lease of every call this scheduler still holds,
+// in deterministic (sorted) order.
+func (s *Scheduler) renewLeases() {
+	ids := make([]uint64, 0, len(s.origin))
+	for id := range s.origin {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		s.origin[id].Renew(id)
+	}
+}
+
+// Stop halts the scheduler (crash injection in tests). Leased calls left
+// behind stop being renewed and are redelivered by DurableQ lease
+// timeouts.
+func (s *Scheduler) Stop() {
+	s.ticker.Stop()
+	if s.renewer != nil {
+		s.renewer.Stop()
+	}
+}
+
+// IsolationChecker exposes the flow checker for inspection.
+func (s *Scheduler) IsolationChecker() *isolation.Checker { return s.check }
+
+// Buffered returns the number of calls across all FuncBuffers.
+func (s *Scheduler) Buffered() int {
+	n := 0
+	for _, b := range s.buffers {
+		n += b.Len()
+	}
+	return n
+}
+
+// RunQLen returns the current RunQ depth.
+func (s *Scheduler) RunQLen() int { return s.runLen }
+
+func (s *Scheduler) tick() {
+	if s.lb.Alive() == 0 {
+		// Total local worker outage: hand everything back to the
+		// DurableQs so other regions' schedulers can execute it, and
+		// stop pulling until workers return.
+		s.evacuate()
+		return
+	}
+	s.poll()
+	s.schedule()
+	s.dispatch()
+}
+
+// evacuate NACKs every held call (RunQ and FuncBuffers) for redelivery
+// elsewhere.
+func (s *Scheduler) evacuate() {
+	for i := s.runHead; i < len(s.runQ); i++ {
+		if c := s.runQ[i]; c != nil {
+			s.cong.OnComplete(c.Spec) // release the concurrency slot
+			s.nack(c)
+			s.Evacuated.Inc()
+		}
+	}
+	s.runQ = s.runQ[:0]
+	s.runHead = 0
+	s.runLen = 0
+	for _, b := range s.buffers {
+		for b.Len() > 0 {
+			s.nack(b.Pop())
+			s.Evacuated.Inc()
+		}
+	}
+}
+
+// matrixRow returns this region's row of the traffic matrix (nil = local
+// only).
+func (s *Scheduler) matrixRow() []float64 {
+	v, ok := s.matrix.Get()
+	if !ok {
+		return nil
+	}
+	m, ok := v.(gtc.Matrix)
+	if !ok || int(s.region) >= len(m) {
+		return nil
+	}
+	return m[s.region]
+}
+
+// poll pulls ready calls from DurableQs into FuncBuffers, splitting the
+// poll budget across source regions per the traffic matrix.
+func (s *Scheduler) poll() {
+	if s.RunQLen() >= s.params.RunQLimit {
+		return // flow control: workers are behind
+	}
+	row := s.matrixRow()
+	budget := s.params.PollBatch
+	scale := s.cen.Scale()
+	filter := func(c *function.Call) bool {
+		if c.Spec.Quota == function.QuotaOpportunistic && scale <= 0.01 {
+			return false // deferred: wait durably in the queue
+		}
+		// Buffer at most ~a minute of dispatchable work per function so
+		// quota-throttled calls wait in the DurableQ (not in scheduler
+		// memory past their lease).
+		cap := s.params.BufferCap
+		if limit := s.cen.RPSLimit(c.Spec); limit >= 0 {
+			byRate := int(limit*60) + 16
+			if byRate < cap {
+				cap = byRate
+			}
+		}
+		if b, ok := s.buffers[c.Spec.Name]; ok && b.Len() >= cap {
+			return false
+		}
+		return true
+	}
+	pullFrom := func(region int, max int) {
+		if max <= 0 || len(s.shards[region]) == 0 {
+			return
+		}
+		perShard := max/s.params.ShardsPerPoll + 1
+		for i := 0; i < s.params.ShardsPerPoll && max > 0; i++ {
+			shard := s.shards[region][s.src.Intn(len(s.shards[region]))]
+			n := perShard
+			if n > max {
+				n = max
+			}
+			calls := shard.Poll(n, filter)
+			for _, c := range calls {
+				s.admit(c, shard)
+			}
+			max -= len(calls)
+			if region != int(s.region) {
+				s.CrossRegionPulls.Add(float64(len(calls)))
+			}
+		}
+	}
+	if row == nil {
+		pullFrom(int(s.region), budget)
+		return
+	}
+	for j, frac := range row {
+		if frac <= 0 {
+			continue
+		}
+		pullFrom(j, int(float64(budget)*frac+0.5))
+	}
+}
+
+func (s *Scheduler) admit(c *function.Call, from *durableq.Shard) {
+	s.Polled.Inc()
+	s.origin[c.ID] = from
+	b, ok := s.buffers[c.Spec.Name]
+	if !ok {
+		b = NewFuncBuffer(c.Spec)
+		s.buffers[c.Spec.Name] = b
+		s.names = append(s.names, c.Spec.Name)
+		s.stale = true
+	}
+	b.Push(c)
+}
+
+// schedule moves the most suitable calls from FuncBuffers to the RunQ,
+// gated by quota, congestion control and isolation.
+func (s *Scheduler) schedule() {
+	if s.stale {
+		sort.Strings(s.names)
+		s.stale = false
+	}
+	space := s.params.RunQLimit - s.RunQLen()
+	if space <= 0 {
+		return
+	}
+	// Candidate tops, best (criticality, deadline) first. The per-buffer
+	// fairness cap applies within a criticality level only: higher
+	// criticality levels drain the full remaining budget first, so
+	// important calls win during a capacity crunch (§4.4), while peers at
+	// the same level cannot starve each other.
+	var cands []*FuncBuffer
+	for _, name := range s.names {
+		b := s.buffers[name]
+		if b.Len() > 0 {
+			cands = append(cands, b)
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		return Less(cands[i].Peek(), cands[j].Peek())
+	})
+	for start := 0; start < len(cands) && space > 0; {
+		crit := cands[start].Spec().Criticality
+		end := start
+		for end < len(cands) && cands[end].Spec().Criticality == crit {
+			end++
+		}
+		space = s.scheduleLevel(cands[start:end], space)
+		start = end
+	}
+}
+
+// scheduleLevel admits calls from same-criticality buffers into the RunQ,
+// splitting the budget fairly among them; it returns the unused budget.
+func (s *Scheduler) scheduleLevel(cands []*FuncBuffer, space int) int {
+	perBuf := space/len(cands) + 1
+	for _, b := range cands {
+		if space <= 0 {
+			return 0
+		}
+		spec := b.Spec()
+		taken := 0
+		for b.Len() > 0 && space > 0 && taken < perBuf {
+			c := b.Peek()
+			if err := s.check.CheckArgFlow(c.ArgZone, spec.Zone); err != nil {
+				// Illegal flow: reject permanently (NACK until DLQ).
+				b.Pop()
+				s.IsolationDenied.Inc()
+				s.nack(c)
+				continue
+			}
+			if !s.cen.Allow(spec) {
+				s.QuotaThrottled.Inc()
+				break // over global quota: the whole function waits
+			}
+			// Note: quota was already accounted; a congestion deny here
+			// leaves a small overcount, which is conservative.
+			if !s.cong.AllowDispatch(spec) {
+				s.CongestionDenied.Inc()
+				break
+			}
+			b.Pop()
+			s.runQ = append(s.runQ, c)
+			s.runLen++
+			s.Scheduled.Inc()
+			space--
+			taken++
+		}
+	}
+	return space
+}
+
+// dispatch drains the RunQ to the WorkerLB in order. A rejected call
+// stays in place (it keeps its concurrency slot — it is still scheduled)
+// while later calls are still attempted, so one memory- or CPU-hungry
+// call cannot head-of-line-block lighter work; after a burst of
+// consecutive rejections the workers are considered saturated and the
+// drain pauses until the next tick.
+func (s *Scheduler) dispatch() {
+	const maxConsecutiveRejects = 16
+	rejects, dispatched := 0, 0
+	for i := s.runHead; i < len(s.runQ) && dispatched < s.params.DispatchBatch; i++ {
+		c := s.runQ[i]
+		if c == nil {
+			continue
+		}
+		c.DispatchAt = s.engine.Now()
+		if !s.lb.Dispatch(c, func(err error) { s.complete(c, err) }) {
+			rejects++
+			if rejects >= maxConsecutiveRejects {
+				break
+			}
+			continue
+		}
+		rejects = 0
+		s.runQ[i] = nil
+		s.runLen--
+		dispatched++
+		s.recordDispatchDelay(c)
+		s.Dispatched.Inc()
+	}
+	for s.runHead < len(s.runQ) && s.runQ[s.runHead] == nil {
+		s.runHead++
+	}
+	if s.runHead == len(s.runQ) {
+		s.runQ = s.runQ[:0]
+		s.runHead = 0
+		return
+	}
+	if s.runHead > 4096 && s.runHead*2 > len(s.runQ) {
+		live := s.runQ[s.runHead:]
+		compact := make([]*function.Call, 0, len(live))
+		for _, c := range live {
+			if c != nil {
+				compact = append(compact, c)
+			}
+		}
+		s.runQ = compact
+		s.runHead = 0
+	}
+}
+
+func (s *Scheduler) recordDispatchDelay(c *function.Call) {
+	delay := (c.DispatchAt - c.StartAfter).Seconds()
+	if delay < 0 {
+		delay = 0
+	}
+	if c.Spec.Quota == function.QuotaOpportunistic {
+		s.OpportunistDelay.Observe(delay)
+	} else {
+		s.SchedulingDelay.Observe(delay)
+	}
+}
+
+func (s *Scheduler) complete(c *function.Call, err error) {
+	now := s.engine.Now()
+	s.cong.OnComplete(c.Spec)
+	if errors.Is(err, downstream.ErrBackpressure) {
+		s.cong.OnBackpressure(c.Spec)
+	}
+	if err != nil {
+		s.nack(c)
+		return
+	}
+	s.cen.RecordCost(c.Spec, c.CPUWorkM)
+	if c.Expired(now) {
+		s.SLOMisses.Inc()
+	}
+	s.ExecutedSeries.Record(now, 1)
+	s.ExecutedCPUSeries.Record(now, c.CPUWorkM)
+	if s.OnExecuted != nil {
+		s.OnExecuted(c)
+	}
+	if shard := s.origin[c.ID]; shard != nil {
+		delete(s.origin, c.ID)
+		if shard.Ack(c.ID) {
+			s.Acked.Inc()
+		}
+	}
+}
+
+func (s *Scheduler) nack(c *function.Call) {
+	if shard := s.origin[c.ID]; shard != nil {
+		delete(s.origin, c.ID)
+		if shard.Nack(c.ID) {
+			s.Nacked.Inc()
+		}
+	}
+}

@@ -1,0 +1,388 @@
+package scheduler
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"xfaas/internal/cluster"
+	"xfaas/internal/config"
+	"xfaas/internal/congestion"
+	"xfaas/internal/durableq"
+	"xfaas/internal/function"
+	"xfaas/internal/gtc"
+	"xfaas/internal/isolation"
+	"xfaas/internal/ratelimit"
+	"xfaas/internal/rng"
+	"xfaas/internal/sim"
+	"xfaas/internal/worker"
+	"xfaas/internal/workerlb"
+)
+
+// rig is a one-region test platform slice: one shard, a small worker
+// pool, a scheduler and its control dependencies.
+type rig struct {
+	engine *sim.Engine
+	store  *config.Store
+	shard  *durableq.Shard
+	shards [][]*durableq.Shard
+	pool   []*worker.Worker
+	lb     *workerlb.LB
+	cen    *ratelimit.Central
+	cong   *congestion.Manager
+	sched  *Scheduler
+	idSeq  uint64
+}
+
+func newRig(workers int, workerMIPS float64) *rig {
+	r := &rig{engine: sim.NewEngine()}
+	r.store = config.NewStore(r.engine)
+	r.shard = durableq.NewShard(durableq.ShardID{}, r.engine)
+	r.shards = [][]*durableq.Shard{{r.shard}}
+	src := rng.New(7)
+	wp := worker.DefaultParams()
+	wp.CPUMIPS = workerMIPS
+	for i := 0; i < workers; i++ {
+		r.pool = append(r.pool, worker.New(worker.ID{Index: i}, r.engine, wp, src.Split(), nil))
+	}
+	r.lb = workerlb.New(src.Split(), r.pool)
+	r.cen = ratelimit.NewCentral(r.engine)
+	r.cong = congestion.NewManager(r.engine, congestion.DefaultAIMDParams(), congestion.DefaultSlowStartParams())
+	r.sched = New(r.engine, src.Split(), 0, DefaultParams(), r.shards, r.lb, r.cen, r.cong, r.store)
+	return r
+}
+
+func rigSpec(name string, crit function.Criticality) *function.Spec {
+	return &function.Spec{
+		Name:        name,
+		Namespace:   "ns",
+		Deadline:    time.Hour,
+		Criticality: crit,
+		Retry:       function.DefaultRetry,
+	}
+}
+
+func (r *rig) enqueue(s *function.Spec, n int) []*function.Call {
+	var out []*function.Call
+	now := r.engine.Now()
+	for i := 0; i < n; i++ {
+		r.idSeq++
+		c := &function.Call{
+			ID:         r.idSeq,
+			Spec:       s,
+			SubmitTime: now,
+			StartAfter: now,
+			Deadline:   now + s.Deadline,
+			CPUWorkM:   10,
+			MemMB:      10,
+			ExecSecs:   0.1,
+		}
+		r.shard.Enqueue(c)
+		out = append(out, c)
+	}
+	return out
+}
+
+func TestEndToEndExecutionAndAck(t *testing.T) {
+	r := newRig(4, 100000)
+	calls := r.enqueue(rigSpec("f", function.CritNormal), 100)
+	r.engine.RunFor(5 * time.Minute)
+	for _, c := range calls {
+		if c.State != function.StateSucceeded {
+			t.Fatalf("call %d state = %v", c.ID, c.State)
+		}
+	}
+	if r.shard.Pending() != 0 || r.shard.Leased() != 0 {
+		t.Fatalf("shard not drained: pending=%d leased=%d", r.shard.Pending(), r.shard.Leased())
+	}
+	if r.sched.Acked.Value() != 100 {
+		t.Fatalf("acked = %v", r.sched.Acked.Value())
+	}
+}
+
+func TestCriticalityPriorityUnderScarcity(t *testing.T) {
+	// One worker with one thread: strict serialization exposes order.
+	r := newRig(1, 100000)
+	p := worker.DefaultParams()
+	p.MaxConcurrency = 1
+	p.CPUMIPS = 100000
+	r.pool[0] = worker.New(worker.ID{}, r.engine, p, rng.New(1), nil)
+	r.lb = workerlb.New(rng.New(2), r.pool)
+	r.sched.Stop()
+	r.sched = New(r.engine, rng.New(3), 0, DefaultParams(), r.shards, r.lb, r.cen, r.cong, r.store)
+
+	low := r.enqueue(rigSpec("low", function.CritLow), 50)
+	high := r.enqueue(rigSpec("high", function.CritHigh), 50)
+	r.engine.RunFor(time.Hour)
+	var lowStart, highStart sim.Time
+	for _, c := range low {
+		lowStart += c.ExecStartAt
+	}
+	for _, c := range high {
+		highStart += c.ExecStartAt
+	}
+	if highStart/50 >= lowStart/50 {
+		t.Fatalf("high-criticality mean start %v not before low %v", highStart/50, lowStart/50)
+	}
+}
+
+func TestDeadlineOrderWithinCriticality(t *testing.T) {
+	spec := rigSpec("f", function.CritNormal)
+	b := NewFuncBuffer(spec)
+	now := sim.Time(0)
+	deadlines := []time.Duration{5 * time.Hour, time.Hour, 3 * time.Hour}
+	for i, d := range deadlines {
+		b.Push(&function.Call{ID: uint64(i + 1), Spec: spec, Deadline: now + d})
+	}
+	got := []time.Duration{b.Pop().Deadline, b.Pop().Deadline, b.Pop().Deadline}
+	want := []time.Duration{time.Hour, 3 * time.Hour, 5 * time.Hour}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: FuncBuffer pop order is exactly sort order by
+// (criticality desc, deadline asc, id asc).
+func TestFuncBufferOrderProperty(t *testing.T) {
+	f := func(items []struct {
+		Crit uint8
+		Dl   uint32
+	}) bool {
+		spec := rigSpec("f", function.CritNormal)
+		b := NewFuncBuffer(spec)
+		var want []*function.Call
+		for i, it := range items {
+			s := rigSpec("f", function.Criticality(it.Crit%3))
+			c := &function.Call{ID: uint64(i + 1), Spec: s, Deadline: sim.Time(it.Dl) * time.Millisecond}
+			b.Push(c)
+			want = append(want, c)
+		}
+		sort.SliceStable(want, func(i, j int) bool { return Less(want[i], want[j]) })
+		for _, w := range want {
+			got := b.Pop()
+			if got != w {
+				return false
+			}
+		}
+		return b.Pop() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuotaThrottling(t *testing.T) {
+	r := newRig(4, 100000)
+	s := rigSpec("limited", function.CritNormal)
+	s.QuotaMIPS = 100                                                      // at 10 M instr/call ≈ 10 RPS
+	s.Resources = function.ResourceModel{CPUMu: 2.302585, CPUSigma: 0.001} // mean ≈ 10
+	r.enqueue(s, 3000)
+	r.engine.RunFor(60 * time.Second)
+	executed := r.sched.Acked.Value()
+	rate := executed / 60
+	if rate > 20 {
+		t.Fatalf("executed rate = %v RPS, want quota-limited to ≈10", rate)
+	}
+	if r.sched.QuotaThrottled.Value() == 0 {
+		t.Fatal("no quota throttling recorded")
+	}
+}
+
+func TestOpportunisticDeferredWhenSZero(t *testing.T) {
+	r := newRig(4, 100000)
+	r.cen.SetScale(0)
+	s := rigSpec("opp", function.CritNormal)
+	s.Quota = function.QuotaOpportunistic
+	s.QuotaMIPS = 1000
+	r.enqueue(s, 100)
+	r.engine.RunFor(10 * time.Minute)
+	if r.sched.Acked.Value() != 0 {
+		t.Fatalf("opportunistic calls ran with S=0: %v", r.sched.Acked.Value())
+	}
+	// Deferred calls wait durably, not in scheduler memory.
+	if r.sched.Buffered() != 0 {
+		t.Fatalf("deferred calls held in buffers: %d", r.sched.Buffered())
+	}
+	if r.shard.Pending() != 100 {
+		t.Fatalf("pending = %d, want all 100 waiting", r.shard.Pending())
+	}
+	// Capacity frees up: S rises, work drains.
+	r.cen.SetScale(1)
+	r.engine.RunFor(10 * time.Minute)
+	if r.sched.Acked.Value() != 100 {
+		t.Fatalf("acked after S=1: %v", r.sched.Acked.Value())
+	}
+}
+
+func TestFutureStartTimeHeld(t *testing.T) {
+	r := newRig(2, 100000)
+	s := rigSpec("later", function.CritNormal)
+	now := r.engine.Now()
+	r.idSeq++
+	c := &function.Call{
+		ID: r.idSeq, Spec: s, SubmitTime: now,
+		StartAfter: now + 2*time.Hour, Deadline: now + 3*time.Hour,
+		CPUWorkM: 1, MemMB: 1, ExecSecs: 0.01,
+	}
+	r.shard.Enqueue(c)
+	r.engine.RunFor(time.Hour)
+	if c.State != function.StateQueued {
+		t.Fatalf("future call state = %v before start time", c.State)
+	}
+	r.engine.RunFor(90 * time.Minute)
+	if c.State != function.StateSucceeded {
+		t.Fatalf("future call state = %v after start time", c.State)
+	}
+}
+
+func TestIsolationDeniedCallsFail(t *testing.T) {
+	r := newRig(2, 100000)
+	s := rigSpec("secret", function.CritNormal)
+	s.Zone = isolation.NewZone(isolation.Public)
+	now := r.engine.Now()
+	r.idSeq++
+	c := &function.Call{
+		ID: r.idSeq, Spec: s, SubmitTime: now, StartAfter: now,
+		Deadline: now + time.Hour,
+		ArgZone:  isolation.NewZone(isolation.Restricted), // high → low: illegal
+		CPUWorkM: 1, MemMB: 1, ExecSecs: 0.01,
+	}
+	r.shard.Enqueue(c)
+	r.engine.RunFor(10 * time.Minute)
+	if r.sched.IsolationDenied.Value() == 0 {
+		t.Fatal("illegal flow not denied")
+	}
+	if c.State == function.StateSucceeded {
+		t.Fatal("illegal flow executed")
+	}
+	if r.sched.IsolationChecker().Denied == 0 {
+		t.Fatal("checker did not record denial")
+	}
+}
+
+func TestSchedulerCrashRedelivery(t *testing.T) {
+	r := newRig(2, 100000)
+	r.shard.LeaseTimeout = time.Minute
+	s := rigSpec("f", function.CritNormal)
+	// Stop the scheduler right after it polls but before completion is
+	// possible: use long-running calls.
+	now := r.engine.Now()
+	for i := 0; i < 10; i++ {
+		r.idSeq++
+		r.shard.Enqueue(&function.Call{
+			ID: r.idSeq, Spec: s, SubmitTime: now, StartAfter: now,
+			Deadline: now + 2*time.Hour, CPUWorkM: 10, MemMB: 1, ExecSecs: 3600,
+		})
+	}
+	r.engine.RunFor(2 * time.Second) // scheduler polls and dispatches
+	r.sched.Stop()                   // crash: in-flight work will never be acked by it
+	// A replacement scheduler (stateless, same shards) takes over after
+	// the leases expire.
+	replacement := New(r.engine, rng.New(99), 0, DefaultParams(), r.shards, r.lb, r.cen, r.cong, r.store)
+	// Make calls short so the replacement can finish them.
+	r.engine.RunFor(3 * time.Minute)
+	if replacement.Polled.Value() == 0 {
+		t.Fatal("replacement scheduler got no redeliveries")
+	}
+}
+
+func TestSLOMissTracked(t *testing.T) {
+	r := newRig(1, 100) // tiny worker: massive backlog
+	s := rigSpec("f", function.CritNormal)
+	s.Deadline = time.Second
+	r.enqueue(s, 500)
+	r.engine.RunFor(time.Hour)
+	if r.sched.SLOMisses.Value() == 0 {
+		t.Fatal("no SLO misses under extreme undercapacity")
+	}
+}
+
+func TestFlowControlBoundsRunQ(t *testing.T) {
+	r := newRig(1, 50) // worker can barely run anything
+	s := rigSpec("f", function.CritNormal)
+	r.enqueue(s, 5000)
+	r.engine.RunFor(5 * time.Minute)
+	if got := r.sched.RunQLen(); got > r.sched.params.RunQLimit {
+		t.Fatalf("RunQ = %d exceeds limit %d", got, r.sched.params.RunQLimit)
+	}
+	if r.sched.Buffered() > r.sched.params.BufferCap*2 {
+		t.Fatalf("buffers grew unboundedly: %d", r.sched.Buffered())
+	}
+}
+
+func TestCrossRegionPullsViaMatrix(t *testing.T) {
+	// Two regions: region 1 idle, region 0's queue loaded; matrix says
+	// region 1 pulls half from region 0.
+	engine := sim.NewEngine()
+	store := config.NewStore(engine)
+	shard0 := durableq.NewShard(durableq.ShardID{Region: 0}, engine)
+	shard1 := durableq.NewShard(durableq.ShardID{Region: 1}, engine)
+	shards := [][]*durableq.Shard{{shard0}, {shard1}}
+	src := rng.New(5)
+	wp := worker.DefaultParams()
+	var pool []*worker.Worker
+	for i := 0; i < 2; i++ {
+		pool = append(pool, worker.New(worker.ID{Region: 1, Index: i}, engine, wp, src.Split(), nil))
+	}
+	lb := workerlb.New(src.Split(), pool)
+	cen := ratelimit.NewCentral(engine)
+	cong := congestion.NewManager(engine, congestion.DefaultAIMDParams(), congestion.DefaultSlowStartParams())
+	sched := New(engine, src.Split(), 1, DefaultParams(), shards, lb, cen, cong, store)
+	store.Set(gtc.MatrixKey, gtc.Matrix{{1, 0}, {0.5, 0.5}})
+	engine.RunFor(time.Minute) // propagate matrix
+
+	s := rigSpec("f", function.CritNormal)
+	now := engine.Now()
+	for i := 0; i < 200; i++ {
+		shard0.Enqueue(&function.Call{
+			ID: uint64(i + 1), Spec: s, SubmitTime: now, StartAfter: now,
+			Deadline: now + time.Hour, CPUWorkM: 1, MemMB: 1, ExecSecs: 0.01,
+		})
+	}
+	engine.RunFor(5 * time.Minute)
+	if sched.CrossRegionPulls.Value() == 0 {
+		t.Fatal("scheduler never pulled cross-region despite matrix")
+	}
+	if sched.Acked.Value() != 200 {
+		t.Fatalf("acked = %v, want 200", sched.Acked.Value())
+	}
+	_ = cluster.RegionID(0)
+}
+
+func TestEvacuateOnTotalWorkerOutage(t *testing.T) {
+	r := newRig(2, 100000)
+	r.shard.LeaseTimeout = 30 * time.Minute
+	s := rigSpec("f", function.CritNormal)
+	calls := r.enqueue(s, 200)
+	r.engine.RunFor(5 * time.Second) // scheduler polls and starts dispatching
+	for _, w := range r.pool {
+		w.Fail()
+	}
+	r.engine.RunFor(time.Minute)
+	if r.sched.Buffered() != 0 || r.sched.RunQLen() != 0 {
+		t.Fatalf("scheduler still holds work after outage: buf=%d runq=%d",
+			r.sched.Buffered(), r.sched.RunQLen())
+	}
+	// Everything unfinished is back in the DurableQ (or dead-lettered
+	// after exhausting attempts) — not lost in scheduler memory.
+	if r.shard.Pending() == 0 {
+		t.Fatal("no calls returned to the durable queue")
+	}
+	// Workers recover: the backlog drains.
+	for _, w := range r.pool {
+		w.Recover()
+	}
+	r.engine.RunFor(30 * time.Minute)
+	var terminal int
+	for _, c := range calls {
+		if c.State == function.StateSucceeded || c.State == function.StateFailed {
+			terminal++
+		}
+	}
+	if terminal != 200 {
+		t.Fatalf("terminal calls = %d of 200 after recovery", terminal)
+	}
+}

@@ -1,0 +1,226 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All XFaaS components in this repository are written as single-threaded
+// actors scheduled on an Engine. Virtual time is a time.Duration measured
+// from the simulation epoch; nothing in the simulated path reads the wall
+// clock, so a run is exactly reproducible from its RNG seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point on the virtual timeline, expressed as the elapsed
+// duration since the simulation epoch (Time(0)).
+type Time = time.Duration
+
+// Timer is a handle to a scheduled event. A Timer may be stopped before it
+// fires; stopping an already-fired or already-stopped timer is a no-op.
+type Timer struct {
+	at      Time
+	seq     uint64
+	fn      func()
+	index   int // heap index, -1 when not queued
+	stopped bool
+}
+
+// Stop cancels the timer. It reports whether the cancellation prevented a
+// pending event from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.stopped || t.index < 0 {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// When returns the virtual time the timer is (or was) scheduled to fire.
+func (t *Timer) When() Time { return t.at }
+
+// Ticker repeatedly schedules a callback at a fixed virtual interval until
+// stopped.
+type Ticker struct {
+	e        *Engine
+	interval time.Duration
+	fn       func()
+	timer    *Timer
+	stopped  bool
+}
+
+// Stop cancels all future ticks.
+func (tk *Ticker) Stop() {
+	if tk.stopped {
+		return
+	}
+	tk.stopped = true
+	tk.timer.Stop()
+}
+
+func (tk *Ticker) tick() {
+	if tk.stopped {
+		return
+	}
+	tk.fn()
+	if tk.stopped { // fn may stop the ticker
+		return
+	}
+	tk.timer = tk.e.Schedule(tk.interval, tk.tick)
+}
+
+// Engine is a discrete-event scheduler. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	// processed counts events that have fired, for diagnostics and for
+	// runaway-loop protection in tests.
+	processed uint64
+}
+
+// NewEngine returns an engine positioned at the simulation epoch.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events fired so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule arranges for fn to run after delay d of virtual time. A negative
+// delay is treated as zero. Events scheduled for the same instant fire in
+// scheduling order.
+func (e *Engine) Schedule(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// At arranges for fn to run at absolute virtual time t. Times in the past
+// are clamped to the present.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At called with nil function")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	tm := &Timer{at: t, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.queue, tm)
+	return tm
+}
+
+// Every runs fn every interval, with the first invocation one interval from
+// now. It panics on a non-positive interval.
+func (e *Engine) Every(interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: Every called with non-positive interval %v", interval))
+	}
+	tk := &Ticker{e: e, interval: interval, fn: fn}
+	tk.timer = e.Schedule(interval, tk.tick)
+	return tk
+}
+
+// Step fires the next scheduled event. It reports whether an event fired;
+// false means the queue is empty (or only stopped timers remain).
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		tm := heap.Pop(&e.queue).(*Timer)
+		if tm.stopped {
+			continue
+		}
+		if tm.at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: event at %v, now %v", tm.at, e.now))
+		}
+		e.now = tm.at
+		e.processed++
+		tm.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or Halt is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps ≤ deadline, then advances the clock
+// to the deadline (even if no event was scheduled exactly there).
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		next, ok := e.peek()
+		if !ok || next > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + d) }
+
+// Halt stops a Run/RunUntil in progress after the current event returns.
+func (e *Engine) Halt() { e.stopped = true }
+
+func (e *Engine) peek() (Time, bool) {
+	for len(e.queue) > 0 {
+		if e.queue[0].stopped {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0].at, true
+	}
+	return 0, false
+}
+
+// eventHeap orders timers by (time, sequence) so same-instant events fire
+// in scheduling order.
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	tm := x.(*Timer)
+	tm.index = len(*h)
+	*h = append(*h, tm)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	tm := old[n-1]
+	old[n-1] = nil
+	tm.index = -1
+	*h = old[:n-1]
+	return tm
+}

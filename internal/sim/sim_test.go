@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(3*time.Second, func() { got = append(got, 3) })
+	e.Schedule(1*time.Second, func() { got = append(got, 1) })
+	e.Schedule(2*time.Second, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("Now = %v, want 3s", e.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(-5*time.Second, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("negative-delay event never fired")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("Now = %v, want 0", e.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.Schedule(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("first Stop should report true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestStopFromEarlierEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.Schedule(2*time.Second, func() { fired = true })
+	e.Schedule(time.Second, func() { tm.Stop() })
+	e.Run()
+	if fired {
+		t.Fatal("timer stopped mid-run still fired")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Every(time.Minute, func() { count++ })
+	e.RunUntil(10 * time.Minute)
+	if count != 10 {
+		t.Fatalf("ticks = %d, want 10", count)
+	}
+	if e.Now() != 10*time.Minute {
+		t.Fatalf("Now = %v, want 10m", e.Now())
+	}
+	// Events beyond the deadline remain pending.
+	if e.Pending() == 0 {
+		t.Fatal("ticker should still be pending")
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	e := NewEngine()
+	e.RunFor(time.Hour)
+	e.RunFor(time.Hour)
+	if e.Now() != 2*time.Hour {
+		t.Fatalf("Now = %v, want 2h", e.Now())
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk = e.Every(time.Second, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ticks = %d, want 3", count)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Every(time.Second, func() {
+		count++
+		if count == 5 {
+			e.Halt()
+		}
+	})
+	e.Run()
+	if count != 5 {
+		t.Fatalf("ticks = %d, want 5 after Halt", count)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recur func()
+	recur = func() {
+		depth++
+		if depth < 100 {
+			e.Schedule(time.Millisecond, recur)
+		}
+	}
+	e.Schedule(0, recur)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if e.Processed() != 100 {
+		t.Fatalf("processed = %d, want 100", e.Processed())
+	}
+}
+
+// Property: events always fire in non-decreasing time order regardless of
+// the scheduling pattern.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var last Time = -1
+		ok := true
+		for _, d := range delays {
+			e.Schedule(time.Duration(d)*time.Millisecond, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtClampsPast(t *testing.T) {
+	e := NewEngine()
+	e.RunFor(time.Hour)
+	fired := Time(0)
+	e.At(time.Minute, func() { fired = e.Now() })
+	e.Run()
+	if fired != time.Hour {
+		t.Fatalf("past event fired at %v, want clamped to 1h", fired)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Duration(i%1000)*time.Microsecond, fn)
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+func TestEveryPanicsOnNonPositiveInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) should panic")
+		}
+	}()
+	NewEngine().Every(0, func() {})
+}
+
+func TestAtPanicsOnNilFn(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(nil) should panic")
+		}
+	}()
+	NewEngine().At(time.Second, nil)
+}
+
+func TestPendingAndProcessedCounts(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {})
+	e.Schedule(2*time.Second, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 || e.Processed() != 2 {
+		t.Fatalf("pending=%d processed=%d", e.Pending(), e.Processed())
+	}
+}
+
+func TestTimerWhen(t *testing.T) {
+	e := NewEngine()
+	tm := e.Schedule(90*time.Second, func() {})
+	if tm.When() != 90*time.Second {
+		t.Fatalf("When = %v", tm.When())
+	}
+}

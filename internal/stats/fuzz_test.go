@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzHistogram checks quantile sanity on arbitrary observation streams:
+// quantiles stay within [min, max], monotone in q, and counts reconcile.
+func FuzzHistogram(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 200, 0})
+	f.Add([]byte{0})
+	f.Add([]byte{255, 255, 255, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := NewHistogram()
+		for i, b := range data {
+			v := float64(b) * float64(i+1)
+			if b%7 == 0 {
+				v = -v // exercise the underflow path
+			}
+			h.Observe(v)
+		}
+		if h.Count() != uint64(len(data)) {
+			t.Fatalf("count = %d, want %d", h.Count(), len(data))
+		}
+		if len(data) == 0 {
+			return
+		}
+		prev := h.Quantile(0)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := h.Quantile(q)
+			if v < prev {
+				t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+			}
+			prev = v
+		}
+		if h.Quantile(0) < h.Min() || h.Quantile(1) > h.Max() {
+			t.Fatalf("quantile out of range [%v, %v]", h.Min(), h.Max())
+		}
+		if f := h.FractionBelow(h.Max() + 1); f != 1 {
+			t.Fatalf("FractionBelow(max+1) = %v", f)
+		}
+	})
+}
+
+// FuzzWindowRate checks the sliding window never reports negative totals
+// and expiry zeroes it out.
+func FuzzWindowRate(f *testing.F) {
+	f.Add([]byte{10, 20, 30})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w := NewWindowRate(time.Second, 10)
+		now := time.Duration(0)
+		for _, b := range data {
+			now += time.Duration(b) * 100 * time.Millisecond
+			w.Add(now, 1)
+			if tot := w.Total(now); tot < 0 {
+				t.Fatalf("negative total %v", tot)
+			}
+		}
+		if tot := w.Total(now + 1000*time.Second); tot != 0 {
+			t.Fatalf("total after long silence = %v", tot)
+		}
+	})
+}

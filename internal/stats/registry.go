@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v float64 }
+
+// Add increases the counter by d (panics on negative d).
+func (c *Counter) Add(d float64) {
+	if d < 0 {
+		panic("stats: negative Counter.Add")
+	}
+	c.v += d
+}
+
+// Inc increases the counter by 1.
+func (c *Counter) Inc() { c.v++ }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v }
+
+// Gauge is an instantaneous value.
+type Gauge struct{ v float64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add adjusts the gauge by d (may be negative).
+func (g *Gauge) Add(d float64) { g.v += d }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// WindowRate measures an event rate over a sliding window of fixed-width
+// slots on the virtual timeline — the structure behind every
+// "exceptions per minute" and "RPS" decision in the congestion code.
+type WindowRate struct {
+	slot   time.Duration
+	nslots int
+	counts []float64
+	base   int64 // slot index of counts[0]
+}
+
+// NewWindowRate returns a rate tracker covering nslots slots of the given
+// width.
+func NewWindowRate(slot time.Duration, nslots int) *WindowRate {
+	if slot <= 0 || nslots <= 0 {
+		panic("stats: invalid WindowRate parameters")
+	}
+	return &WindowRate{slot: slot, nslots: nslots, counts: make([]float64, nslots)}
+}
+
+func (w *WindowRate) advance(now time.Duration) {
+	idx := int64(now / w.slot)
+	if idx < w.base {
+		return
+	}
+	for w.base+int64(w.nslots)-1 < idx {
+		// Shift window forward one slot.
+		copy(w.counts, w.counts[1:])
+		w.counts[w.nslots-1] = 0
+		w.base++
+		if idx-w.base > int64(w.nslots)*2 { // long silence: jump
+			for i := range w.counts {
+				w.counts[i] = 0
+			}
+			w.base = idx - int64(w.nslots) + 1
+		}
+	}
+}
+
+// Add records n events at virtual time now.
+func (w *WindowRate) Add(now time.Duration, n float64) {
+	w.advance(now)
+	w.counts[int64(now/w.slot)-w.base] += n
+}
+
+// Total returns the number of events inside the window ending at now.
+func (w *WindowRate) Total(now time.Duration) float64 {
+	w.advance(now)
+	s := 0.0
+	for _, c := range w.counts {
+		s += c
+	}
+	return s
+}
+
+// PerSecond returns the windowed average event rate at now.
+func (w *WindowRate) PerSecond(now time.Duration) float64 {
+	return w.Total(now) / (float64(w.nslots) * w.slot.Seconds())
+}
+
+// Registry is a named collection of metrics. Components create their
+// metrics through a registry so the experiment harness can enumerate and
+// snapshot them.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	series   map[string]*TimeSeries
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		series:   map[string]*TimeSeries{},
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Series returns (creating if needed) the named time series; step and mode
+// apply only on creation.
+func (r *Registry) Series(name string, step time.Duration, mode SeriesMode) *TimeSeries {
+	ts, ok := r.series[name]
+	if !ok {
+		ts = NewTimeSeries(step, mode)
+		r.series[name] = ts
+	}
+	return ts
+}
+
+// Names returns all metric names, sorted, prefixed with their kind.
+func (r *Registry) Names() []string {
+	var names []string
+	for n := range r.counters {
+		names = append(names, "counter/"+n)
+	}
+	for n := range r.gauges {
+		names = append(names, "gauge/"+n)
+	}
+	for n := range r.hists {
+		names = append(names, "histogram/"+n)
+	}
+	for n := range r.series {
+		names = append(names, "series/"+n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Dump renders a human-readable snapshot, for debugging CLIs.
+func (r *Registry) Dump() string {
+	out := ""
+	for _, n := range r.Names() {
+		switch {
+		case len(n) > 8 && n[:8] == "counter/":
+			out += fmt.Sprintf("%s = %g\n", n, r.counters[n[8:]].Value())
+		case len(n) > 6 && n[:6] == "gauge/":
+			out += fmt.Sprintf("%s = %g\n", n, r.gauges[n[6:]].Value())
+		case len(n) > 10 && n[:10] == "histogram/":
+			out += fmt.Sprintf("%s: %s\n", n, r.hists[n[10:]].Summarize())
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+// Package submitter implements the XFaaS submitter tier (paper §4.2):
+// it batches client submissions into DurableQ writes, offloads oversized
+// arguments to a distributed key-value store, enforces per-client rate
+// policies, and segregates very spiky clients onto a dedicated submitter
+// pool so they cannot degrade normal clients.
+package submitter
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"xfaas/internal/cluster"
+	"xfaas/internal/function"
+	"xfaas/internal/kv"
+	"xfaas/internal/queuelb"
+	"xfaas/internal/rng"
+	"xfaas/internal/sim"
+	"xfaas/internal/stats"
+)
+
+// ErrThrottled is returned when a client exceeds the submitter's rate
+// policy (an unnegotiated spiky client on the normal pool).
+var ErrThrottled = errors.New("submitter: client throttled")
+
+// Pool distinguishes the two submitter sets per region.
+type Pool int
+
+const (
+	// PoolNormal serves well-behaved clients.
+	PoolNormal Pool = iota
+	// PoolSpiky serves clients that negotiated a spiky SLO.
+	PoolSpiky
+)
+
+// Params configure a submitter.
+type Params struct {
+	// BatchSize triggers a flush when this many calls are buffered.
+	BatchSize int
+	// FlushInterval flushes partial batches.
+	FlushInterval time.Duration
+	// ArgInlineMax is the largest argument payload written inline to the
+	// DurableQ; bigger ones go to the KV store.
+	ArgInlineMax int
+	// NormalClientRPS is the per-client sustained rate allowed on the
+	// normal pool before throttling kicks in (spiky pool is exempt).
+	NormalClientRPS float64
+	// NormalClientBurst is the matching burst allowance.
+	NormalClientBurst float64
+}
+
+// DefaultParams return production-plausible values at simulation scale.
+func DefaultParams() Params {
+	return Params{
+		BatchSize:         64,
+		FlushInterval:     50 * time.Millisecond,
+		ArgInlineMax:      64 << 10,
+		NormalClientRPS:   2000,
+		NormalClientBurst: 10000,
+	}
+}
+
+// Submitter is one region's submitter pool member.
+type Submitter struct {
+	engine *sim.Engine
+	region cluster.RegionID
+	pool   Pool
+	params Params
+	lb     *queuelb.LB
+	store  *kv.Store
+	src    *rng.Source
+
+	batch   []*function.Call
+	idSeq   *uint64
+	clients map[string]*clientState
+
+	Submitted     stats.Counter
+	Throttled     stats.Counter
+	ArgsOffloaded stats.Counter
+	Batches       stats.Counter
+}
+
+type clientState struct {
+	bucket *tokenBucket
+}
+
+// tokenBucket is a minimal local bucket (the submitter's own policy; the
+// central limiter governs global quota separately at the scheduler).
+type tokenBucket struct {
+	rate, burst, level float64
+	last               sim.Time
+}
+
+func (b *tokenBucket) allow(now sim.Time) bool {
+	b.level += b.rate * (now - b.last).Seconds()
+	if b.level > b.burst {
+		b.level = b.burst
+	}
+	b.last = now
+	if b.level < 1 {
+		return false
+	}
+	b.level--
+	return true
+}
+
+// New returns a submitter. idSeq is the shared call-ID counter for the
+// platform so IDs are globally unique.
+func New(engine *sim.Engine, region cluster.RegionID, pool Pool, params Params, lb *queuelb.LB, store *kv.Store, src *rng.Source, idSeq *uint64) *Submitter {
+	s := &Submitter{
+		engine:  engine,
+		region:  region,
+		pool:    pool,
+		params:  params,
+		lb:      lb,
+		store:   store,
+		src:     src,
+		idSeq:   idSeq,
+		clients: make(map[string]*clientState),
+	}
+	engine.Every(params.FlushInterval, s.flush)
+	return s
+}
+
+// Submit accepts one function call from client. On success the call is
+// assigned an ID, stamped with submit time and absolute deadline, and
+// buffered for the next batched DurableQ write.
+func (s *Submitter) Submit(client string, c *function.Call) error {
+	now := s.engine.Now()
+	if s.pool == PoolNormal && !s.clientAllowed(client, now) {
+		s.Throttled.Inc()
+		return fmt.Errorf("%w: %s", ErrThrottled, client)
+	}
+	*s.idSeq++
+	c.ID = *s.idSeq
+	c.SubmitTime = now
+	c.SourceRegion = s.region
+	if c.StartAfter < now {
+		c.StartAfter = now
+	}
+	if c.Deadline == 0 {
+		c.Deadline = c.StartAfter + c.Spec.Deadline
+	}
+	if c.ArgBytes > s.params.ArgInlineMax {
+		c.ArgKey = fmt.Sprintf("args/%d", c.ID)
+		s.store.Put(c.ArgKey, make([]byte, c.ArgBytes))
+		s.ArgsOffloaded.Inc()
+	}
+	c.State = function.StateSubmitted
+	s.batch = append(s.batch, c)
+	s.Submitted.Inc()
+	if len(s.batch) >= s.params.BatchSize {
+		s.flush()
+	}
+	return nil
+}
+
+func (s *Submitter) clientAllowed(client string, now sim.Time) bool {
+	cs, ok := s.clients[client]
+	if !ok {
+		cs = &clientState{bucket: &tokenBucket{
+			rate:  s.params.NormalClientRPS,
+			burst: s.params.NormalClientBurst,
+			level: s.params.NormalClientBurst,
+			last:  now,
+		}}
+		s.clients[client] = cs
+	}
+	return cs.bucket.allow(now)
+}
+
+func (s *Submitter) flush() {
+	if len(s.batch) == 0 {
+		return
+	}
+	for _, c := range s.batch {
+		s.lb.Route(c)
+	}
+	s.batch = s.batch[:0]
+	s.Batches.Inc()
+}
+
+// Flush forces out any buffered calls (tests and shutdown).
+func (s *Submitter) Flush() { s.flush() }
+
+// Pool returns which submitter set this instance belongs to.
+func (s *Submitter) Pool() Pool { return s.pool }

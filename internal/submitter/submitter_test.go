@@ -1,0 +1,174 @@
+package submitter
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"xfaas/internal/cluster"
+	"xfaas/internal/config"
+	"xfaas/internal/durableq"
+	"xfaas/internal/function"
+	"xfaas/internal/kv"
+	"xfaas/internal/queuelb"
+	"xfaas/internal/rng"
+	"xfaas/internal/sim"
+)
+
+type fixture struct {
+	engine *sim.Engine
+	shard  *durableq.Shard
+	store  *kv.Store
+	sub    *Submitter
+	idSeq  uint64
+}
+
+func newFixture(pool Pool, params Params) *fixture {
+	f := &fixture{engine: sim.NewEngine(), store: kv.NewStore(4)}
+	f.shard = durableq.NewShard(durableq.ShardID{}, f.engine)
+	topoShards := [][]*durableq.Shard{{f.shard}}
+	cstore := config.NewStore(f.engine)
+	qlb := queuelb.New(0, rng.New(1), topoShards, cstore)
+	f.sub = New(f.engine, cluster.RegionID(0), pool, params, qlb, f.store, rng.New(2), &f.idSeq)
+	return f
+}
+
+func subSpec() *function.Spec {
+	return &function.Spec{Name: "f", Namespace: "ns", Deadline: time.Minute, Retry: function.DefaultRetry}
+}
+
+func TestSubmitStampsAndEnqueues(t *testing.T) {
+	f := newFixture(PoolNormal, DefaultParams())
+	c := &function.Call{Spec: subSpec()}
+	if err := f.sub.Submit("client-a", c); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if c.ID == 0 {
+		t.Fatal("no ID assigned")
+	}
+	if c.Deadline != c.StartAfter+time.Minute {
+		t.Fatalf("deadline = %v", c.Deadline)
+	}
+	// Batched: not yet durable.
+	if f.shard.Pending() != 0 {
+		t.Fatal("call flushed before batch/interval")
+	}
+	f.engine.RunFor(time.Second)
+	if f.shard.Pending() != 1 {
+		t.Fatal("flush interval did not write the batch")
+	}
+}
+
+func TestBatchSizeFlush(t *testing.T) {
+	p := DefaultParams()
+	p.BatchSize = 8
+	f := newFixture(PoolNormal, p)
+	for i := 0; i < 8; i++ {
+		f.sub.Submit("c", &function.Call{Spec: subSpec()})
+	}
+	if f.shard.Pending() != 8 {
+		t.Fatalf("pending = %d, want batch flushed at size 8", f.shard.Pending())
+	}
+	if f.sub.Batches.Value() != 1 {
+		t.Fatalf("batches = %v", f.sub.Batches.Value())
+	}
+}
+
+func TestBigArgsOffloadedToKV(t *testing.T) {
+	f := newFixture(PoolNormal, DefaultParams())
+	c := &function.Call{Spec: subSpec(), ArgBytes: 1 << 20}
+	f.sub.Submit("c", c)
+	if c.ArgKey == "" {
+		t.Fatal("large args not offloaded")
+	}
+	if _, err := f.store.Get(c.ArgKey); err != nil {
+		t.Fatalf("offloaded args missing from KV: %v", err)
+	}
+	small := &function.Call{Spec: subSpec(), ArgBytes: 100}
+	f.sub.Submit("c", small)
+	if small.ArgKey != "" {
+		t.Fatal("small args offloaded unnecessarily")
+	}
+	if f.sub.ArgsOffloaded.Value() != 1 {
+		t.Fatalf("offloads = %v", f.sub.ArgsOffloaded.Value())
+	}
+}
+
+func TestNormalPoolThrottlesSpikyClient(t *testing.T) {
+	p := DefaultParams()
+	p.NormalClientRPS = 10
+	p.NormalClientBurst = 20
+	f := newFixture(PoolNormal, p)
+	var throttled int
+	for i := 0; i < 1000; i++ { // a burst far above the client policy
+		err := f.sub.Submit("spiky-client", &function.Call{Spec: subSpec()})
+		if errors.Is(err, ErrThrottled) {
+			throttled++
+		}
+	}
+	if throttled != 980 {
+		t.Fatalf("throttled = %d, want 980 (burst of 20 allowed)", throttled)
+	}
+	// Other clients are unaffected.
+	if err := f.sub.Submit("calm-client", &function.Call{Spec: subSpec()}); err != nil {
+		t.Fatalf("calm client throttled: %v", err)
+	}
+}
+
+func TestSpikyPoolNeverThrottles(t *testing.T) {
+	p := DefaultParams()
+	p.NormalClientRPS = 1
+	p.NormalClientBurst = 1
+	f := newFixture(PoolSpiky, p)
+	for i := 0; i < 10000; i++ {
+		if err := f.sub.Submit("negotiated-spiky", &function.Call{Spec: subSpec()}); err != nil {
+			t.Fatalf("spiky pool throttled: %v", err)
+		}
+	}
+	if f.sub.Pool() != PoolSpiky {
+		t.Fatal("pool mislabeled")
+	}
+}
+
+func TestFutureStartTimePreserved(t *testing.T) {
+	f := newFixture(PoolNormal, DefaultParams())
+	future := sim.Time(8 * time.Hour)
+	c := &function.Call{Spec: subSpec(), StartAfter: future}
+	f.sub.Submit("c", c)
+	if c.StartAfter != future {
+		t.Fatalf("StartAfter = %v", c.StartAfter)
+	}
+	if c.Deadline != future+time.Minute {
+		t.Fatalf("deadline = %v, want measured from start time", c.Deadline)
+	}
+}
+
+func TestClientRateRecovers(t *testing.T) {
+	p := DefaultParams()
+	p.NormalClientRPS = 10
+	p.NormalClientBurst = 10
+	f := newFixture(PoolNormal, p)
+	for i := 0; i < 10; i++ {
+		f.sub.Submit("c", &function.Call{Spec: subSpec()})
+	}
+	if err := f.sub.Submit("c", &function.Call{Spec: subSpec()}); !errors.Is(err, ErrThrottled) {
+		t.Fatal("burst exhausted but not throttled")
+	}
+	f.engine.RunFor(time.Second) // refill ~10 tokens
+	if err := f.sub.Submit("c", &function.Call{Spec: subSpec()}); err != nil {
+		t.Fatalf("token refill failed: %v", err)
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	f := newFixture(PoolNormal, DefaultParams())
+	seen := map[uint64]bool{}
+	for i := 0; i < 500; i++ {
+		c := &function.Call{Spec: subSpec()}
+		f.sub.Submit("c", c)
+		if seen[c.ID] {
+			t.Fatalf("duplicate ID %d", c.ID)
+		}
+		seen[c.ID] = true
+	}
+}

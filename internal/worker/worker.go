@@ -1,0 +1,416 @@
+// Package worker models an XFaaS worker (paper §4.5): a server that keeps
+// its language runtime hot, executes many functions concurrently in one
+// process, loads pre-pushed function code from local SSD with no cold
+// start, JIT-compiles per the cooperative JIT model, and bounds its memory
+// with an LRU code cache. Workers reject work they cannot fit; the
+// WorkerLB and scheduler flow control handle the rejection.
+package worker
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"xfaas/internal/cluster"
+	"xfaas/internal/downstream"
+	"xfaas/internal/function"
+	"xfaas/internal/jit"
+	"xfaas/internal/rng"
+	"xfaas/internal/sim"
+	"xfaas/internal/stats"
+)
+
+// ID identifies a worker within a region's pool.
+type ID struct {
+	Region cluster.RegionID
+	Index  int
+}
+
+func (id ID) String() string { return fmt.Sprintf("w-%d-%d", id.Region, id.Index) }
+
+// Params describe one worker's hardware and runtime model. The paper's
+// workers have 64 GB of memory (§5.2).
+type Params struct {
+	// MemoryMB is total server memory.
+	MemoryMB float64
+	// RuntimeBaseMB is the always-resident runtime footprint.
+	RuntimeBaseMB float64
+	// CPUMIPS is the server's sustained instruction rate (millions of
+	// instructions per second across all cores).
+	CPUMIPS float64
+	// CoreMIPS is a single thread's instruction rate: a call can never
+	// consume CPU faster than this, so CPU-bound calls stretch in time
+	// instead of demanding impossible rates.
+	CoreMIPS float64
+	// MaxConcurrency caps simultaneously running calls (runtime threads).
+	MaxConcurrency int
+	// JIT parameterizes the cooperative JIT model.
+	JIT jit.Params
+	// DownstreamRetries is how many times a failed (non-back-pressure)
+	// downstream sub-call is retried within one invocation — the retry
+	// amplification of §4.6.3's incident.
+	DownstreamRetries int
+	// FailureSlowdown scales how much of the nominal duration a failed
+	// invocation still occupies the worker (exceptions surface quickly).
+	FailureSlowdown float64
+}
+
+// DefaultParams return a paper-plausible worker: 64 GB, high core count.
+func DefaultParams() Params {
+	return Params{
+		MemoryMB:          64 * 1024,
+		RuntimeBaseMB:     6 * 1024,
+		CPUMIPS:           100_000,
+		CoreMIPS:          4_000,
+		MaxConcurrency:    64,
+		JIT:               jit.DefaultParams(),
+		DownstreamRetries: 2,
+		FailureSlowdown:   0.05,
+	}
+}
+
+type codeEntry struct {
+	mb       float64
+	lastUsed sim.Time
+	active   int
+}
+
+// ErrWorkerFailed is delivered to the completion callback of every call
+// in flight on a worker that dies; the scheduler NACKs such calls so the
+// DurableQ redelivers them elsewhere (at-least-once).
+var ErrWorkerFailed = errors.New("worker: failed")
+
+type runningCall struct {
+	call    *function.Call
+	cpuRate float64
+	memMB   float64
+	timer   *sim.Timer
+	done    func(error)
+}
+
+// Worker is one simulated server.
+type Worker struct {
+	ID     ID
+	engine *sim.Engine
+	params Params
+	src    *rng.Source
+	// Runtime is the worker's JIT state; exported so the code-push
+	// distributor can target it.
+	Runtime *jit.Runtime
+
+	downstreams *downstream.Registry
+
+	failed   bool
+	running  map[uint64]*runningCall
+	cpuInUse float64
+	workMem  float64
+	codeMB   float64
+	code     map[string]*codeEntry
+	seen     map[string]sim.Time
+
+	Executions    stats.Counter
+	Rejections    stats.Counter
+	RejectThreads stats.Counter
+	RejectCPU     stats.Counter
+	RejectMem     stats.Counter
+	Failures      stats.Counter
+	Backpressured stats.Counter
+	CodeEvictions stats.Counter
+	// CPUWork accumulates executed millions of instructions, for
+	// utilization accounting.
+	CPUWork stats.Counter
+}
+
+// New returns an idle worker. downstreams may be nil when the workload
+// never calls out.
+func New(id ID, engine *sim.Engine, params Params, src *rng.Source, ds *downstream.Registry) *Worker {
+	if params.MemoryMB <= params.RuntimeBaseMB {
+		panic("worker: memory smaller than runtime footprint")
+	}
+	return &Worker{
+		ID:          id,
+		engine:      engine,
+		params:      params,
+		src:         src,
+		Runtime:     jit.NewRuntime(params.JIT),
+		downstreams: ds,
+		running:     make(map[uint64]*runningCall),
+		code:        make(map[string]*codeEntry),
+		seen:        make(map[string]sim.Time),
+	}
+}
+
+// Params returns the worker's configuration.
+func (w *Worker) Params() Params { return w.params }
+
+// Load returns the worker's CPU load fraction (0..1+); the WorkerLB's
+// power-of-two choice compares this. Floating-point release arithmetic
+// can leave a hair below zero; clamp it.
+func (w *Worker) Load() float64 {
+	l := w.cpuInUse / w.params.CPUMIPS
+	if l < 0 {
+		return 0
+	}
+	return l
+}
+
+// Running returns the number of in-flight calls.
+func (w *Worker) Running() int { return len(w.running) }
+
+// MemUsedMB returns total resident memory: runtime + code caches +
+// working sets.
+func (w *Worker) MemUsedMB() float64 {
+	return w.params.RuntimeBaseMB + w.codeMB + w.workMem
+}
+
+// CPUUtilization returns instantaneous CPU utilization in [0, 1].
+func (w *Worker) CPUUtilization() float64 {
+	u := w.Load()
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// DistinctFuncsSince counts distinct functions executed at or after since
+// (paper Figure 9 measures this over one-hour windows).
+func (w *Worker) DistinctFuncsSince(since sim.Time) int {
+	n := 0
+	for _, at := range w.seen {
+		if at >= since {
+			n++
+		}
+	}
+	return n
+}
+
+func (w *Worker) codeFootprint(spec *function.Spec) float64 {
+	mb := spec.Resources.CodeMB + spec.Resources.JITCodeMB
+	if mb <= 0 {
+		mb = 8 // a small default footprint
+	}
+	return mb
+}
+
+// CanAccept reports whether the worker could start the call right now
+// without exceeding its thread, CPU, or memory budgets.
+func (w *Worker) CanAccept(c *function.Call) bool {
+	if w.failed {
+		return false
+	}
+	if len(w.running) >= w.params.MaxConcurrency {
+		w.RejectThreads.Inc()
+		return false
+	}
+	_, rate := w.callShape(c)
+	if w.cpuInUse+rate > w.params.CPUMIPS {
+		w.RejectCPU.Inc()
+		return false
+	}
+	needCode := 0.0
+	if _, loaded := w.code[c.Spec.Name]; !loaded {
+		needCode = w.codeFootprint(c.Spec)
+	}
+	needed := w.MemUsedMB() + needCode + c.MemMB
+	if needed > w.params.MemoryMB {
+		// Try to make room by evicting idle code; only a projection here.
+		reclaimable := 0.0
+		for fn, e := range w.code {
+			if e.active == 0 && fn != c.Spec.Name {
+				reclaimable += e.mb
+			}
+		}
+		if needed-reclaimable > w.params.MemoryMB {
+			w.RejectMem.Inc()
+			return false
+		}
+	}
+	return true
+}
+
+// callShape returns the call's effective duration (seconds, before JIT
+// slowdown) and CPU rate on this worker: the drawn execution time,
+// stretched when the CPU work cannot fit a single thread's speed.
+func (w *Worker) callShape(c *function.Call) (secs, rate float64) {
+	secs = c.ExecSecs
+	if secs <= 0 {
+		secs = 0.001
+	}
+	core := w.params.CoreMIPS
+	if core <= 0 || core > w.params.CPUMIPS {
+		core = w.params.CPUMIPS
+	}
+	if cpuSecs := c.CPUWorkM / core; cpuSecs > secs {
+		secs = cpuSecs // CPU-bound: limited by core speed
+	}
+	return secs, c.CPUWorkM / secs
+}
+
+// TryExecute starts the call, invoking done(err) at completion. It
+// reports false (and does not run done) when the worker must reject.
+func (w *Worker) TryExecute(c *function.Call, done func(error)) bool {
+	if !w.CanAccept(c) {
+		w.Rejections.Inc()
+		return false
+	}
+	now := w.engine.Now()
+	w.loadCode(c.Spec, now)
+	w.seen[c.Spec.Name] = now
+	entry := w.code[c.Spec.Name]
+	entry.active++
+	entry.lastUsed = now
+
+	speed := w.Runtime.SpeedFactor(c.Spec.Name, now)
+	baseSecs, rate := w.callShape(c)
+	duration := time.Duration(baseSecs * speed * float64(time.Second))
+	if duration < time.Millisecond {
+		duration = time.Millisecond
+	}
+
+	// Downstream interaction happens during execution; resolve the
+	// outcome now, deterministically per call.
+	err := w.callDownstream(c)
+	if err != nil {
+		short := time.Duration(float64(duration) * w.params.FailureSlowdown)
+		if short < time.Millisecond {
+			short = time.Millisecond
+		}
+		duration = short
+	}
+
+	rc := &runningCall{call: c, cpuRate: rate, memMB: c.MemMB, done: done}
+	w.running[c.ID] = rc
+	w.cpuInUse += rate
+	w.workMem += c.MemMB
+
+	c.State = function.StateRunning
+	c.ExecStartAt = now
+	rc.timer = w.engine.Schedule(duration, func() {
+		w.finish(c, rc, err, duration, done)
+	})
+	return true
+}
+
+// Fail kills the worker: every in-flight call's completion callback
+// receives ErrWorkerFailed (the load balancer observing the connection
+// drop), resident state is lost, and the worker accepts no further work
+// until Recover.
+func (w *Worker) Fail() {
+	if w.failed {
+		return
+	}
+	w.failed = true
+	// Deterministic order for callback side effects.
+	ids := make([]uint64, 0, len(w.running))
+	for id := range w.running {
+		ids = append(ids, id)
+	}
+	sortUint64(ids)
+	for _, id := range ids {
+		rc := w.running[id]
+		rc.timer.Stop()
+		delete(w.running, id)
+		w.Failures.Inc()
+		rc.done(ErrWorkerFailed)
+	}
+	w.cpuInUse = 0
+	w.workMem = 0
+	w.codeMB = 0
+	w.code = make(map[string]*codeEntry)
+	w.Runtime = jit.NewRuntime(w.params.JIT)
+}
+
+// Failed reports whether the worker is down.
+func (w *Worker) Failed() bool { return w.failed }
+
+// Recover brings a failed worker back with a cold runtime (code reloads
+// from SSD on demand; JIT state restarts per the cooperative-JIT model).
+func (w *Worker) Recover() { w.failed = false }
+
+func sortUint64(ids []uint64) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+func (w *Worker) finish(c *function.Call, rc *runningCall, err error, duration time.Duration, done func(error)) {
+	now := w.engine.Now()
+	delete(w.running, c.ID)
+	w.cpuInUse -= rc.cpuRate
+	w.workMem -= rc.memMB
+	if e := w.code[c.Spec.Name]; e != nil {
+		e.active--
+		e.lastUsed = now
+	}
+	c.ExecEndAt = now
+	w.Executions.Inc()
+	if err != nil {
+		w.Failures.Inc()
+	} else {
+		w.CPUWork.Add(rc.cpuRate * duration.Seconds())
+	}
+	done(err)
+}
+
+// callDownstream performs the invocation's downstream sub-call with
+// bounded retries. Back-pressure fails the invocation immediately (no
+// retry — the exception is the signal); plain failures retry, amplifying
+// load on the struggling service.
+func (w *Worker) callDownstream(c *function.Call) error {
+	name := c.Spec.Downstream
+	if name == "" || w.downstreams == nil {
+		return nil
+	}
+	svc, ok := w.downstreams.Get(name)
+	if !ok {
+		return nil
+	}
+	var err error
+	for attempt := 0; attempt <= w.params.DownstreamRetries; attempt++ {
+		err = svc.Invoke()
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, downstream.ErrBackpressure) {
+			w.Backpressured.Inc()
+			return err
+		}
+	}
+	return err
+}
+
+// loadCode ensures the function's code and JIT cache are resident,
+// evicting least-recently-used idle entries under memory pressure. Code
+// always loads from local SSD (pre-pushed), so there is no cold start —
+// only a memory accounting effect.
+func (w *Worker) loadCode(spec *function.Spec, now sim.Time) {
+	if _, ok := w.code[spec.Name]; ok {
+		return
+	}
+	mb := w.codeFootprint(spec)
+	for w.MemUsedMB()+mb > w.params.MemoryMB {
+		victim := ""
+		var oldest sim.Time
+		for fn, e := range w.code {
+			if e.active > 0 {
+				continue
+			}
+			if victim == "" || e.lastUsed < oldest {
+				victim, oldest = fn, e.lastUsed
+			}
+		}
+		if victim == "" {
+			break // nothing evictable; admission already checked headroom
+		}
+		w.codeMB -= w.code[victim].mb
+		delete(w.code, victim)
+		w.CodeEvictions.Inc()
+	}
+	w.code[spec.Name] = &codeEntry{mb: mb, lastUsed: now}
+	w.codeMB += mb
+}
+
+// SwitchVersion implements jit.Target so the code-push distributor can
+// roll new code to this worker.
+func (w *Worker) SwitchVersion(v int, seeded bool, hot []string) {
+	w.Runtime.SwitchVersion(v, w.engine.Now(), seeded, hot)
+}

@@ -1,0 +1,341 @@
+package worker
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"xfaas/internal/downstream"
+	"xfaas/internal/function"
+	"xfaas/internal/rng"
+	"xfaas/internal/sim"
+)
+
+func testSpec(name string) *function.Spec {
+	return &function.Spec{
+		Name:      name,
+		Namespace: "ns",
+		Deadline:  time.Hour,
+		Retry:     function.DefaultRetry,
+		Resources: function.ResourceModel{CodeMB: 10, JITCodeMB: 5},
+	}
+}
+
+var idSeq uint64
+
+func testCall(s *function.Spec, cpuM, memMB, execSecs float64) *function.Call {
+	idSeq++
+	return &function.Call{ID: idSeq, Spec: s, CPUWorkM: cpuM, MemMB: memMB, ExecSecs: execSecs}
+}
+
+func newWorker(e *sim.Engine, p Params) *Worker {
+	return New(ID{Region: 0, Index: 0}, e, p, rng.New(1), nil)
+}
+
+func TestExecuteCompletes(t *testing.T) {
+	e := sim.NewEngine()
+	w := newWorker(e, DefaultParams())
+	c := testCall(testSpec("f"), 100, 50, 1.0)
+	var gotErr error
+	doneCalled := false
+	if !w.TryExecute(c, func(err error) { doneCalled = true; gotErr = err }) {
+		t.Fatal("idle worker rejected call")
+	}
+	if w.Running() != 1 {
+		t.Fatalf("running = %d", w.Running())
+	}
+	e.RunFor(10 * time.Second)
+	if !doneCalled || gotErr != nil {
+		t.Fatalf("done=%v err=%v", doneCalled, gotErr)
+	}
+	if w.Running() != 0 {
+		t.Fatal("call still running after completion")
+	}
+	if w.Executions.Value() != 1 {
+		t.Fatalf("executions = %v", w.Executions.Value())
+	}
+	// JIT slowdown: first call of a cold function runs 3x slower.
+	wallTime := c.ExecEndAt - c.ExecStartAt
+	if wallTime != 3*time.Second {
+		t.Fatalf("first-call duration = %v, want 3s (3x slowdown on 1s call)", wallTime)
+	}
+}
+
+func TestConcurrencyCap(t *testing.T) {
+	e := sim.NewEngine()
+	p := DefaultParams()
+	p.MaxConcurrency = 2
+	w := newWorker(e, p)
+	s := testSpec("f")
+	nop := func(error) {}
+	if !w.TryExecute(testCall(s, 10, 1, 10), nop) || !w.TryExecute(testCall(s, 10, 1, 10), nop) {
+		t.Fatal("under-cap rejected")
+	}
+	if w.TryExecute(testCall(s, 10, 1, 10), nop) {
+		t.Fatal("over-cap accepted")
+	}
+	if w.Rejections.Value() != 1 {
+		t.Fatalf("rejections = %v", w.Rejections.Value())
+	}
+}
+
+func TestCPUAdmission(t *testing.T) {
+	e := sim.NewEngine()
+	p := DefaultParams()
+	p.CPUMIPS = 1000
+	w := newWorker(e, p)
+	s := testSpec("f")
+	nop := func(error) {}
+	// Each call needs 600 MIPS-rate (600M instructions over 1s).
+	if !w.TryExecute(testCall(s, 600, 1, 1), nop) {
+		t.Fatal("first call rejected")
+	}
+	if w.TryExecute(testCall(s, 600, 1, 1), nop) {
+		t.Fatal("CPU-oversubscribing call accepted")
+	}
+	if w.CPUUtilization() < 0.59 || w.CPUUtilization() > 0.61 {
+		t.Fatalf("utilization = %v", w.CPUUtilization())
+	}
+}
+
+func TestMemoryAdmission(t *testing.T) {
+	e := sim.NewEngine()
+	p := DefaultParams()
+	p.MemoryMB = 10_000
+	p.RuntimeBaseMB = 1_000
+	w := newWorker(e, p)
+	s := testSpec("big")
+	nop := func(error) {}
+	if !w.TryExecute(testCall(s, 10, 8_000, 10), nop) {
+		t.Fatal("fitting call rejected")
+	}
+	if w.TryExecute(testCall(s, 10, 8_000, 10), nop) {
+		t.Fatal("memory-oversubscribing call accepted")
+	}
+}
+
+func TestCodeCacheLRUEviction(t *testing.T) {
+	e := sim.NewEngine()
+	p := DefaultParams()
+	p.MemoryMB = 1_200
+	p.RuntimeBaseMB = 1_000
+	w := newWorker(e, p)
+	nop := func(error) {}
+	// Each function's code is 15MB (10+5); ~13 fit in the 200MB budget.
+	for i := 0; i < 30; i++ {
+		s := testSpec(fmt.Sprintf("f%02d", i))
+		c := testCall(s, 1, 1, 0.001)
+		if !w.TryExecute(c, nop) {
+			t.Fatalf("call %d rejected", i)
+		}
+		e.RunFor(time.Second) // finish before the next, so code is idle
+	}
+	if w.CodeEvictions.Value() == 0 {
+		t.Fatal("no LRU evictions under memory pressure")
+	}
+	if w.MemUsedMB() > p.MemoryMB {
+		t.Fatalf("memory overcommitted: %v > %v", w.MemUsedMB(), p.MemoryMB)
+	}
+}
+
+func TestDistinctFuncsSince(t *testing.T) {
+	e := sim.NewEngine()
+	w := newWorker(e, DefaultParams())
+	nop := func(error) {}
+	w.TryExecute(testCall(testSpec("a"), 1, 1, 0.01), nop)
+	e.RunFor(2 * time.Hour)
+	w.TryExecute(testCall(testSpec("b"), 1, 1, 0.01), nop)
+	w.TryExecute(testCall(testSpec("c"), 1, 1, 0.01), nop)
+	e.RunFor(time.Second)
+	if n := w.DistinctFuncsSince(e.Now() - time.Hour); n != 2 {
+		t.Fatalf("distinct in last hour = %d, want 2", n)
+	}
+	if n := w.DistinctFuncsSince(0); n != 3 {
+		t.Fatalf("distinct ever = %d, want 3", n)
+	}
+}
+
+func TestJITSecondCallFasterAfterOptimization(t *testing.T) {
+	e := sim.NewEngine()
+	p := DefaultParams()
+	w := newWorker(e, p)
+	s := testSpec("f")
+	nop := func(error) {}
+	w.TryExecute(testCall(s, 10, 1, 1), nop)
+	// Wait past the self-profiling budget.
+	e.RunFor(p.JIT.ProfileTime + p.JIT.CompileDelay + time.Minute)
+	c := testCall(s, 10, 1, 1)
+	w.TryExecute(c, nop)
+	e.RunFor(time.Minute)
+	if got := c.ExecEndAt - c.ExecStartAt; got != time.Second {
+		t.Fatalf("optimized duration = %v, want 1s", got)
+	}
+}
+
+func TestDownstreamBackpressureFailsCall(t *testing.T) {
+	e := sim.NewEngine()
+	reg := downstream.NewRegistry()
+	svc := downstream.NewService(e, rng.New(9), "tao", 1)
+	reg.Add(svc)
+	w := New(ID{}, e, DefaultParams(), rng.New(2), reg)
+	s := testSpec("f")
+	s.Downstream = "tao"
+	// Saturate the service so Overload >> 1.
+	for sec := 0; sec < 10; sec++ {
+		for i := 0; i < 100; i++ {
+			svc.Invoke()
+		}
+		e.RunFor(time.Second)
+	}
+	var failures, successes int
+	for i := 0; i < 50; i++ {
+		c := testCall(s, 10, 1, 1)
+		w.TryExecute(c, func(err error) {
+			if errors.Is(err, downstream.ErrBackpressure) {
+				failures++
+			} else if err == nil {
+				successes++
+			}
+		})
+		e.RunFor(time.Second)
+	}
+	e.RunFor(time.Minute)
+	if failures == 0 {
+		t.Fatal("no back-pressure failures under overload")
+	}
+	if w.Backpressured.Value() == 0 {
+		t.Fatal("worker did not record back-pressure")
+	}
+}
+
+func TestDownstreamRetryAmplification(t *testing.T) {
+	e := sim.NewEngine()
+	reg := downstream.NewRegistry()
+	svc := downstream.NewService(e, rng.New(5), "kvstore", 1e9)
+	svc.SetBugRate(1.0) // every request fails
+	reg.Add(svc)
+	p := DefaultParams()
+	p.DownstreamRetries = 2
+	w := New(ID{}, e, p, rng.New(3), reg)
+	s := testSpec("f")
+	s.Downstream = "kvstore"
+	c := testCall(s, 10, 1, 1)
+	var gotErr error
+	w.TryExecute(c, func(err error) { gotErr = err })
+	e.RunFor(time.Minute)
+	if !errors.Is(gotErr, downstream.ErrFailure) {
+		t.Fatalf("err = %v", gotErr)
+	}
+	// 1 original + 2 retries hit the service: amplification.
+	total := svc.Failures.Value()
+	if total != 3 {
+		t.Fatalf("downstream saw %v requests, want 3 (retry amplification)", total)
+	}
+	if w.Failures.Value() != 1 {
+		t.Fatalf("failures = %v", w.Failures.Value())
+	}
+}
+
+func TestFailedCallReleasesQuickly(t *testing.T) {
+	e := sim.NewEngine()
+	reg := downstream.NewRegistry()
+	svc := downstream.NewService(e, rng.New(5), "kvstore", 1e9)
+	svc.SetBugRate(1.0)
+	reg.Add(svc)
+	w := New(ID{}, e, DefaultParams(), rng.New(3), reg)
+	s := testSpec("f")
+	s.Downstream = "kvstore"
+	c := testCall(s, 10, 1, 100) // nominally 100s
+	w.TryExecute(c, func(error) {})
+	e.RunFor(time.Minute)
+	if w.Running() != 0 {
+		t.Fatal("failed call still occupying worker after a minute")
+	}
+}
+
+func TestSwitchVersionTarget(t *testing.T) {
+	e := sim.NewEngine()
+	w := newWorker(e, DefaultParams())
+	w.SwitchVersion(3, true, []string{"hot"})
+	if w.Runtime.Version() != 3 {
+		t.Fatalf("version = %d", w.Runtime.Version())
+	}
+}
+
+func TestLoadMetric(t *testing.T) {
+	e := sim.NewEngine()
+	p := DefaultParams()
+	p.CPUMIPS = 1000
+	w := newWorker(e, p)
+	if w.Load() != 0 {
+		t.Fatalf("idle load = %v", w.Load())
+	}
+	w.TryExecute(testCall(testSpec("f"), 500, 1, 1), func(error) {})
+	if w.Load() != 0.5 {
+		t.Fatalf("load = %v, want 0.5", w.Load())
+	}
+}
+
+func TestWorkerFailKillsInflight(t *testing.T) {
+	e := sim.NewEngine()
+	w := newWorker(e, DefaultParams())
+	s := testSpec("f")
+	var errs []error
+	for i := 0; i < 5; i++ {
+		w.TryExecute(testCall(s, 10, 1, 100), func(err error) { errs = append(errs, err) })
+	}
+	e.RunFor(time.Second)
+	w.Fail()
+	if len(errs) != 5 {
+		t.Fatalf("callbacks = %d, want 5 on failure", len(errs))
+	}
+	for _, err := range errs {
+		if !errors.Is(err, ErrWorkerFailed) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if w.Running() != 0 || w.Load() != 0 {
+		t.Fatalf("failed worker still accounting: running=%d load=%v", w.Running(), w.Load())
+	}
+	if w.TryExecute(testCall(s, 10, 1, 1), func(error) {}) {
+		t.Fatal("failed worker accepted work")
+	}
+	// The stopped timers must not fire later.
+	before := w.Executions.Value()
+	e.RunFor(time.Hour)
+	if w.Executions.Value() != before {
+		t.Fatal("dead call completed after worker failure")
+	}
+}
+
+func TestWorkerRecoverColdRuntime(t *testing.T) {
+	e := sim.NewEngine()
+	p := DefaultParams()
+	w := newWorker(e, p)
+	s := testSpec("f")
+	// Warm the JIT.
+	w.TryExecute(testCall(s, 10, 1, 1), func(error) {})
+	e.RunFor(p.JIT.ProfileTime + p.JIT.CompileDelay + time.Minute)
+	if !w.Runtime.Optimized("f", e.Now()) {
+		t.Fatal("function should be optimized before failure")
+	}
+	w.Fail()
+	w.Recover()
+	if w.Runtime.Optimized("f", e.Now()) {
+		t.Fatal("JIT state survived a machine failure")
+	}
+	if !w.TryExecute(testCall(s, 10, 1, 1), func(error) {}) {
+		t.Fatal("recovered worker rejected work")
+	}
+}
+
+func TestWorkerFailIdempotent(t *testing.T) {
+	e := sim.NewEngine()
+	w := newWorker(e, DefaultParams())
+	w.Fail()
+	w.Fail() // no panic, no double effects
+	if !w.Failed() {
+		t.Fatal("worker should be failed")
+	}
+}

@@ -1,0 +1,147 @@
+// Package workerlb implements the WorkerLB (paper §4.5.2): it routes a
+// function call by randomly choosing two workers from the function's
+// worker locality group and dispatching to the less loaded one — the
+// power of two random choices, restricted for locality. With no locality
+// assignment installed, the whole pool is one group (the ablation
+// baseline of §5.2's A/B experiment).
+package workerlb
+
+import (
+	"xfaas/internal/function"
+	"xfaas/internal/locality"
+	"xfaas/internal/rng"
+	"xfaas/internal/stats"
+	"xfaas/internal/worker"
+)
+
+// LB balances one region's worker pool.
+type LB struct {
+	src     *rng.Source
+	workers []*worker.Worker
+	assign  *locality.Assignment
+	groups  [][]*worker.Worker
+
+	Dispatched stats.Counter
+	Rejected   stats.Counter
+}
+
+// New returns a load balancer over the pool with no locality assignment
+// (single group).
+func New(src *rng.Source, pool []*worker.Worker) *LB {
+	if len(pool) == 0 {
+		panic("workerlb: empty pool")
+	}
+	lb := &LB{src: src, workers: pool}
+	lb.groups = [][]*worker.Worker{pool}
+	return lb
+}
+
+// SetAssignment installs (or, with nil, removes) a locality assignment,
+// re-slicing the pool into contiguous worker groups per the assignment's
+// worker counts.
+func (lb *LB) SetAssignment(a *locality.Assignment) {
+	lb.assign = a
+	if a == nil {
+		lb.groups = [][]*worker.Worker{lb.workers}
+		return
+	}
+	counts := a.WorkerCounts
+	groups := make([][]*worker.Worker, len(counts))
+	idx := 0
+	for g, n := range counts {
+		if idx+n > len(lb.workers) {
+			n = len(lb.workers) - idx
+		}
+		groups[g] = lb.workers[idx : idx+n]
+		idx += n
+	}
+	// Any remainder (rounding) goes to the last group.
+	if idx < len(lb.workers) {
+		last := len(groups) - 1
+		groups[last] = lb.workers[idx-len(groups[last]) : len(lb.workers)]
+	}
+	lb.groups = groups
+}
+
+// Assignment returns the installed assignment (nil if none).
+func (lb *LB) Assignment() *locality.Assignment { return lb.assign }
+
+// Workers returns the full pool.
+func (lb *LB) Workers() []*worker.Worker { return lb.workers }
+
+// Alive returns the number of workers currently up.
+func (lb *LB) Alive() int {
+	n := 0
+	for _, w := range lb.workers {
+		if !w.Failed() {
+			n++
+		}
+	}
+	return n
+}
+
+// GroupPool returns the worker slice serving the given function.
+func (lb *LB) GroupPool(spec *function.Spec) []*worker.Worker {
+	if lb.assign == nil {
+		return lb.groups[0]
+	}
+	g := lb.assign.GroupOf(spec.Name)
+	if g >= len(lb.groups) || len(lb.groups[g]) == 0 {
+		return lb.workers
+	}
+	return lb.groups[g]
+}
+
+// Dispatch routes the call to a worker in its locality group using the
+// power of two choices, invoking done(err) when execution completes. It
+// reports false if no chosen worker could accept (the caller keeps the
+// call queued — flow control).
+func (lb *LB) Dispatch(c *function.Call, done func(error)) bool {
+	pool := lb.GroupPool(c.Spec)
+	if len(pool) == 0 {
+		lb.Rejected.Inc()
+		return false
+	}
+	a := pool[lb.src.Intn(len(pool))]
+	b := pool[lb.src.Intn(len(pool))]
+	first, second := a, b
+	if b.Load() < a.Load() {
+		first, second = b, a
+	}
+	if first.TryExecute(c, done) {
+		lb.Dispatched.Inc()
+		return true
+	}
+	if second != first && second.TryExecute(c, done) {
+		lb.Dispatched.Inc()
+		return true
+	}
+	lb.Rejected.Inc()
+	return false
+}
+
+// MeanUtilization returns the pool's average CPU utilization.
+func (lb *LB) MeanUtilization() float64 {
+	if len(lb.workers) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, w := range lb.workers {
+		s += w.CPUUtilization()
+	}
+	return s / float64(len(lb.workers))
+}
+
+// GroupLoads returns the total CPU load per locality group (summed over
+// its workers) for rebalancing. Totals — not per-worker means — measure
+// each group's demand, so rebalancing converges instead of rewarding
+// groups for being small.
+func (lb *LB) GroupLoads() []float64 {
+	out := make([]float64, len(lb.groups))
+	for g, pool := range lb.groups {
+		for _, w := range pool {
+			out[g] += w.Load()
+		}
+	}
+	return out
+}

@@ -1,0 +1,417 @@
+// Package workload synthesizes XFaaS-like workloads fitted to the paper's
+// published distributions: the trigger-category breakdown of Table 1, the
+// named example workloads of Table 2, the per-trigger resource percentiles
+// of Table 3, the diurnal + midnight-spike load of Figure 2, the single
+// spiky function of Figure 4, the adoption growth of Figure 3, and the
+// team-skew of §6. Absolute scale is configurable (the paper's trillions
+// of calls per day are scaled down); the statistical shape is what the
+// experiments compare.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"xfaas/internal/function"
+	"xfaas/internal/isolation"
+	"xfaas/internal/rng"
+	"xfaas/internal/sim"
+)
+
+// triggerModel carries the fitted per-trigger distribution parameters.
+// CPU is millions of instructions per call, memory is MB, time is
+// seconds. SigmaBetween spreads function-level medians; SigmaWithin is
+// per-call variation around a function's median. The total spread
+// (sqrt(between²+within²)) matches the Table 3 fit.
+type triggerModel struct {
+	trigger                            function.TriggerType
+	funcShare                          float64 // Table 1: fraction of functions
+	callShare                          float64 // Table 1: fraction of invocations
+	cpuMedian, cpuSigmaB, cpuSigmaW    float64
+	memMedian, memSigmaB, memSigmaW    float64
+	timeMedian, timeSigmaB, timeSigmaW float64
+	opportunisticFrac                  float64
+}
+
+// models fit Table 1 + Table 3 (see DESIGN.md for the fitting notes; the
+// queue-triggered CPU sigma is slightly tightened from the raw P90 fit so
+// the class compute shares land on Table 1's 86/14/<1 split).
+var models = []triggerModel{
+	{
+		trigger:   function.TriggerQueue,
+		funcShare: 0.89, callShare: 0.15,
+		cpuMedian: 221.8, cpuSigmaB: 1.9, cpuSigmaW: 1.4,
+		memMedian: 24, memSigmaB: 1.9, memSigmaW: 1.2,
+		timeMedian: 8, timeSigmaB: 1.8, timeSigmaW: 1.4,
+		opportunisticFrac: 0.45,
+	},
+	{
+		trigger:   function.TriggerEvent,
+		funcShare: 0.08, callShare: 0.849,
+		cpuMedian: 11.36, cpuSigmaB: 1.7, cpuSigmaW: 1.3,
+		memMedian: 8, memSigmaB: 1.7, memSigmaW: 1.0,
+		timeMedian: 1.6, timeSigmaB: 0.9, timeSigmaW: 0.8,
+		opportunisticFrac: 0.25,
+	},
+	{
+		trigger:   function.TriggerTimer,
+		funcShare: 0.03, callShare: 0.001,
+		cpuMedian: 576, cpuSigmaB: 1.7, cpuSigmaW: 1.4,
+		memMedian: 48, memSigmaB: 1.8, memSigmaW: 1.2,
+		timeMedian: 1.0, timeSigmaB: 2.2, timeSigmaW: 1.6,
+		opportunisticFrac: 0.55,
+	},
+}
+
+// PopulationConfig controls synthetic population generation.
+type PopulationConfig struct {
+	// Functions is the population size (the paper observed 18,377 over a
+	// month; the default simulation scale is a few hundred).
+	Functions int
+	// TotalRPS is the whole platform's mean received call rate.
+	TotalRPS float64
+	// Teams is the number of owning teams (drives the §6 skew analysis).
+	Teams int
+	// TeamSkew is the Zipf exponent of team capacity shares.
+	TeamSkew float64
+	// SpikyFunctions get an on/off burst pattern like Figure 4.
+	SpikyFunctions int
+	// SpikeBurstRPS and SpikeBurstLen shape those bursts.
+	SpikeBurstRPS float64
+	SpikeBurstLen time.Duration
+	// FutureStartFrac is the fraction of calls submitted with a future
+	// execution start time (spreading load predictably, §4.6).
+	FutureStartFrac float64
+	// DiurnalAmp is the relative amplitude of the shared diurnal cycle.
+	DiurnalAmp float64
+	// MidnightSpikeFrac of opportunistic queue/event functions ride the
+	// midnight big-data-pipeline spike with MidnightSpikeMul during the
+	// window (§2.2: the midnight peak is triggered by Hive-like pipelines
+	// — delay-tolerant work).
+	MidnightSpikeFrac float64
+	MidnightSpikeMul  float64
+	// DownstreamFrac of queue-triggered functions call a downstream
+	// service named in Downstreams (round-robin).
+	DownstreamFrac float64
+	Downstreams    []string
+}
+
+// DefaultPopulationConfig is the standard simulation-scale population.
+func DefaultPopulationConfig() PopulationConfig {
+	return PopulationConfig{
+		Functions:         240,
+		TotalRPS:          1200,
+		Teams:             40,
+		TeamSkew:          1.9,
+		SpikyFunctions:    2,
+		SpikeBurstRPS:     900,
+		SpikeBurstLen:     15 * time.Minute,
+		FutureStartFrac:   0.04,
+		DiurnalAmp:        0.33,
+		MidnightSpikeFrac: 0.5,
+		MidnightSpikeMul:  6,
+		DownstreamFrac:    0.0,
+		Downstreams:       nil,
+	}
+}
+
+// Burst describes an on/off spiky submission pattern (Figure 4).
+type Burst struct {
+	// Every is the burst period; Offset shifts the first burst.
+	Every  time.Duration
+	Offset time.Duration
+	// Len is the burst duration and RPS its rate; outside bursts the
+	// function is silent.
+	Len time.Duration
+	RPS float64
+}
+
+// FuncModel pairs a registered function spec with its arrival dynamics
+// and per-call resource draws.
+type FuncModel struct {
+	Spec *function.Spec
+	// MeanRPS is the function's base arrival rate.
+	MeanRPS float64
+	// DiurnalAmp/DiurnalPhase modulate the shared day cycle.
+	DiurnalAmp   float64
+	DiurnalPhase float64
+	// MidnightSpikeMul > 1 multiplies the rate inside the midnight
+	// window.
+	MidnightSpikeMul float64
+	// Burst, when non-nil, replaces the rate model entirely.
+	Burst *Burst
+	// Client is the submitting client's identity (team name).
+	Client string
+	// FutureStartFrac of this function's calls carry a future start time.
+	FutureStartFrac float64
+
+	draw *rng.Source
+}
+
+// NewModel returns a constant-rate arrival model for spec, drawing
+// per-call resources with src. Experiments building bespoke workloads use
+// this instead of NewPopulation.
+func NewModel(spec *function.Spec, meanRPS float64, client string, src *rng.Source) *FuncModel {
+	return &FuncModel{Spec: spec, MeanRPS: meanRPS, Client: client, draw: src}
+}
+
+// Day is the diurnal period.
+const Day = 24 * time.Hour
+
+// midnightWindow is the big-data-pipeline spike window around 00:00.
+const midnightWindow = 30 * time.Minute
+
+// RateAt returns the function's Poisson arrival rate at virtual time t.
+func (m *FuncModel) RateAt(t sim.Time) float64 {
+	if m.Burst != nil {
+		phase := (t + m.Burst.Offset) % m.Burst.Every
+		if phase < m.Burst.Len {
+			return m.Burst.RPS
+		}
+		return 0
+	}
+	tod := float64(t%Day) / float64(Day)
+	rate := m.MeanRPS * (1 + m.DiurnalAmp*math.Sin(2*math.Pi*(tod-m.DiurnalPhase)))
+	if m.MidnightSpikeMul > 1 {
+		intoDay := t % Day
+		if intoDay < midnightWindow || Day-intoDay < midnightWindow {
+			rate *= m.MidnightSpikeMul
+		}
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	return rate
+}
+
+// NewCall draws one invocation of the model's function with its per-call
+// resources; submit-time fields are filled by the submitter.
+func (m *FuncModel) NewCall(now sim.Time) *function.Call {
+	r := m.Spec.Resources
+	c := &function.Call{
+		Spec:     m.Spec,
+		CPUWorkM: m.draw.LogNormal(r.CPUMu, r.CPUSigma),
+		MemMB:    m.draw.LogNormal(r.MemMu, r.MemSigma),
+		ExecSecs: m.draw.LogNormal(r.TimeMu, r.TimeSigma),
+		ArgBytes: int(m.draw.LogNormal(6.2, 1.5)), // ~0.5KB median args
+	}
+	if m.FutureStartFrac > 0 && m.draw.Bool(m.FutureStartFrac) {
+		c.StartAfter = now + time.Duration(m.draw.Range(0.5, 8)*float64(time.Hour))
+	}
+	return c
+}
+
+// Population is the generated function set plus its bookkeeping.
+type Population struct {
+	Models   []*FuncModel
+	Registry *function.Registry
+	// TeamOf maps function name to team.
+	TeamOf map[string]string
+}
+
+// NewPopulation synthesizes a function population per cfg.
+func NewPopulation(cfg PopulationConfig, src *rng.Source) *Population {
+	if cfg.Functions <= 0 || cfg.TotalRPS <= 0 {
+		panic("workload: invalid population config")
+	}
+	if cfg.Teams <= 0 {
+		cfg.Teams = 1
+	}
+	pop := &Population{Registry: function.NewRegistry(), TeamOf: make(map[string]string)}
+	teamZipf := rng.NewZipf(src.Split(), cfg.Teams, cfg.TeamSkew)
+	dsIdx := 0
+
+	for mi, tm := range models {
+		nFuncs := int(float64(cfg.Functions)*tm.funcShare + 0.5)
+		if nFuncs < 1 {
+			nFuncs = 1
+		}
+		classRPS := cfg.TotalRPS * tm.callShare
+		// Zipf weights spread the class rate across its functions.
+		weights := make([]float64, nFuncs)
+		wTotal := 0.0
+		for i := range weights {
+			weights[i] = 1 / math.Pow(float64(i+1), 1.1)
+			wTotal += weights[i]
+		}
+		perm := src.Perm(nFuncs) // decouple rate rank from creation order
+		for i := 0; i < nFuncs; i++ {
+			name := fmt.Sprintf("%s-fn-%03d", tm.trigger, i)
+			team := fmt.Sprintf("team-%02d", teamZipf.Next())
+			cpuMu := math.Log(tm.cpuMedian) + tm.cpuSigmaB*src.Normal()
+			memMu := math.Log(tm.memMedian) + tm.memSigmaB*src.Normal()
+			timeMu := math.Log(tm.timeMedian) + tm.timeSigmaB*src.Normal()
+			meanRPS := classRPS * weights[perm[i]] / wTotal
+			meanCPU := math.Exp(cpuMu + tm.cpuSigmaW*tm.cpuSigmaW/2)
+			quota := function.QuotaReserved
+			deadline := time.Duration(src.Range(15, 900)) * time.Second
+			// Reserved quota is a loose guard (4x mean usage);
+			// opportunistic quota pins r0 at the mean rate so the
+			// Utilization Controller's S meaningfully modulates it.
+			// Quota type is stratified across rate ranks so the
+			// opportunistic share of compute tracks opportunisticFrac
+			// regardless of which functions win the Zipf lottery.
+			quotaMIPS := 4 * meanRPS * meanCPU
+			if float64(perm[i]%20) < tm.opportunisticFrac*20 {
+				quota = function.QuotaOpportunistic
+				deadline = 24 * time.Hour
+				quotaMIPS = meanRPS * meanCPU
+			}
+			crit := function.CritNormal
+			switch u := src.Float64(); {
+			case u < 0.10:
+				crit = function.CritHigh
+			case u > 0.80:
+				crit = function.CritLow
+			}
+			spec := &function.Spec{
+				Name:        name,
+				Namespace:   "main",
+				Runtime:     "php",
+				Team:        team,
+				Trigger:     tm.trigger,
+				Criticality: crit,
+				Quota:       quota,
+				QuotaMIPS:   quotaMIPS,
+				Deadline:    deadline,
+				Retry:       function.DefaultRetry,
+				Zone:        isolation.NewZone(isolation.Internal),
+				Resources: function.ResourceModel{
+					CPUMu: cpuMu, CPUSigma: tm.cpuSigmaW,
+					MemMu: memMu, MemSigma: tm.memSigmaW,
+					TimeMu: timeMu, TimeSigma: tm.timeSigmaW,
+					CodeMB:    src.Range(10, 60),
+					JITCodeMB: src.Range(4, 24),
+				},
+			}
+			if tm.trigger == function.TriggerQueue && cfg.DownstreamFrac > 0 &&
+				len(cfg.Downstreams) > 0 && src.Bool(cfg.DownstreamFrac) {
+				spec.Downstream = cfg.Downstreams[dsIdx%len(cfg.Downstreams)]
+				dsIdx++
+			}
+			pop.Registry.MustRegister(spec)
+			pop.TeamOf[name] = team
+
+			m := &FuncModel{
+				Spec:            spec,
+				MeanRPS:         meanRPS,
+				DiurnalAmp:      cfg.DiurnalAmp,
+				DiurnalPhase:    src.Range(-0.05, 0.05), // mostly shared phase
+				FutureStartFrac: cfg.FutureStartFrac,
+				draw:            src.Split(),
+			}
+			if tm.trigger != function.TriggerTimer && quota == function.QuotaOpportunistic &&
+				src.Bool(cfg.MidnightSpikeFrac) {
+				m.MidnightSpikeMul = cfg.MidnightSpikeMul
+			}
+			if tm.trigger == function.TriggerTimer {
+				// Timers fire on schedules, not diurnally.
+				m.DiurnalAmp = 0
+			}
+			pop.Models = append(pop.Models, m)
+		}
+		_ = mi
+	}
+	// Spiky clients (Figure 4): dedicated burst-only functions whose
+	// quota forces the 15-minute burst to spread over hours of execution.
+	for i := 0; i < cfg.SpikyFunctions; i++ {
+		name := fmt.Sprintf("spiky-fn-%02d", i)
+		burstAvgRPS := cfg.SpikeBurstRPS * cfg.SpikeBurstLen.Seconds() / Day.Seconds()
+		spikyQuota := 2 * burstAvgRPS * 40 * math.Exp(0.32) // ≈2x daily average, in MIPS
+		spec := &function.Spec{
+			Name:        name,
+			Namespace:   "main",
+			Runtime:     "php",
+			Team:        "team-spiky",
+			Trigger:     function.TriggerQueue,
+			Criticality: function.CritNormal,
+			Quota:       function.QuotaOpportunistic,
+			QuotaMIPS:   spikyQuota,
+			Deadline:    24 * time.Hour,
+			Retry:       function.DefaultRetry,
+			Zone:        isolation.NewZone(isolation.Internal),
+			Resources: function.ResourceModel{
+				CPUMu: math.Log(40), CPUSigma: 0.8,
+				MemMu: math.Log(12), MemSigma: 0.8,
+				TimeMu: math.Log(0.5), TimeSigma: 0.7,
+				CodeMB: 12, JITCodeMB: 4,
+			},
+		}
+		pop.Registry.MustRegister(spec)
+		pop.TeamOf[name] = "team-spiky"
+		pop.Models = append(pop.Models, &FuncModel{
+			Spec:   spec,
+			Client: "team-spiky",
+			Burst: &Burst{
+				Every:  Day,
+				Offset: time.Duration(i) * 3 * time.Hour,
+				Len:    cfg.SpikeBurstLen,
+				RPS:    cfg.SpikeBurstRPS,
+			},
+			draw: src.Split(),
+		})
+	}
+	for _, m := range pop.Models {
+		if m.Client == "" {
+			m.Client = pop.TeamOf[m.Spec.Name]
+		}
+	}
+	return pop
+}
+
+// ExpectedMIPS returns the population's analytic mean CPU demand in
+// million instructions per second: sum of rate times E[cpu/call], with
+// bursts averaged over their period. Platform provisioning derives worker
+// counts from this, so target utilizations hold regardless of which
+// functions win the heavy-tailed cost draws.
+func (p *Population) ExpectedMIPS() float64 {
+	s := 0.0
+	for _, m := range p.Models {
+		r := m.Spec.Resources
+		meanCPU := math.Exp(r.CPUMu + r.CPUSigma*r.CPUSigma/2)
+		rate := m.MeanRPS
+		if m.Burst != nil {
+			rate = m.Burst.RPS * m.Burst.Len.Seconds() / m.Burst.Every.Seconds()
+		}
+		s += rate * meanCPU
+	}
+	return s
+}
+
+// ExpectedConcurrentMemMB estimates the population's steady-state total
+// working-set demand by Little's law: sum of rate * E[duration] *
+// E[mem/call], where duration accounts for CPU-bound stretching at the
+// given per-core rate. Worker-pool provisioning uses it so fleets are not
+// memory-bound.
+func (p *Population) ExpectedConcurrentMemMB(coreMIPS float64) float64 {
+	s := 0.0
+	for _, m := range p.Models {
+		r := m.Spec.Resources
+		rate := m.MeanRPS
+		if m.Burst != nil {
+			rate = m.Burst.RPS * m.Burst.Len.Seconds() / m.Burst.Every.Seconds()
+		}
+		dur := math.Exp(r.TimeMu + r.TimeSigma*r.TimeSigma/2)
+		if coreMIPS > 0 {
+			dur += math.Exp(r.CPUMu+r.CPUSigma*r.CPUSigma/2) / coreMIPS
+		}
+		mem := math.Exp(r.MemMu + r.MemSigma*r.MemSigma/2)
+		s += rate * dur * mem
+	}
+	return s
+}
+
+// TotalMeanRPS sums the population's base rates (bursts averaged over
+// their period).
+func (p *Population) TotalMeanRPS() float64 {
+	s := 0.0
+	for _, m := range p.Models {
+		if m.Burst != nil {
+			s += m.Burst.RPS * m.Burst.Len.Seconds() / m.Burst.Every.Seconds()
+		} else {
+			s += m.MeanRPS
+		}
+	}
+	return s
+}

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Assemble EXPERIMENTS.md from the preamble and a full-scale markdown run.
+# Usage: tools/assemble_experiments.sh  (run from the repository root)
+set -e
+test -s EXPERIMENTS_preamble.md
+test -s EXPERIMENTS_body.md
+cat EXPERIMENTS_preamble.md EXPERIMENTS_body.md > EXPERIMENTS.md
+echo "EXPERIMENTS.md assembled: $(grep -c '^### ' EXPERIMENTS.md) experiments," \
+     "$(grep -c '✅' EXPERIMENTS.md) checks passed, $(grep -c '❌' EXPERIMENTS.md) failed"
