@@ -25,15 +25,48 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments and exit")
-		run    = flag.String("run", "", "experiment id to run, or \"all\"")
-		full   = flag.Bool("full", false, "paper-scale runs (full simulated day) instead of quick")
-		seed   = flag.Uint64("seed", 1, "simulation seed")
-		charts = flag.Bool("charts", true, "render ASCII charts of result series")
-		out    = flag.String("out", "", "directory to write per-series CSV files")
-		md     = flag.Bool("markdown", false, "emit Markdown sections (EXPERIMENTS.md format) instead of terminal output")
+		list      = flag.Bool("list", false, "list available experiments and exit")
+		run       = flag.String("run", "", "experiment id to run, or \"all\"")
+		chaosFlag = flag.String("chaos", "", "chaos scenario to run (gray, partition, correlated, dq); output is fully deterministic")
+		full      = flag.Bool("full", false, "paper-scale runs (full simulated day) instead of quick")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		charts    = flag.Bool("charts", true, "render ASCII charts of result series")
+		out       = flag.String("out", "", "directory to write per-series CSV files")
+		md        = flag.Bool("markdown", false, "emit Markdown sections (EXPERIMENTS.md format) instead of terminal output")
 	)
 	flag.Parse()
+
+	if *chaosFlag != "" {
+		// Chaos runs print only simulation-derived output (no wall-clock
+		// timing) so two runs of the same scenario and seed are
+		// byte-identical — the determinism contract of the chaos engine.
+		id := *chaosFlag
+		if !strings.HasPrefix(id, "chaos_") {
+			id = "chaos_" + id
+		}
+		e, ok := experiment.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown chaos scenario %q; available:\n", *chaosFlag)
+			for _, ex := range experiment.All() {
+				if strings.HasPrefix(ex.ID, "chaos_") {
+					fmt.Fprintf(os.Stderr, "  %s\n", ex.ID)
+				}
+			}
+			os.Exit(2)
+		}
+		scale := experiment.QuickScale()
+		if *full {
+			scale = experiment.FullScale()
+		}
+		scale.Seed = *seed
+		res := e.Run(scale)
+		fmt.Print(res.Render(*charts))
+		if !res.ChecksOK() {
+			fmt.Fprintln(os.Stderr, "chaos scenario had failing shape checks")
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *run == "" {
 		fmt.Println("Available experiments (paper artifact → id):")

@@ -1,0 +1,223 @@
+// Package chaos is the platform's deterministic fault-injection engine.
+// It drives every failure mode the paper's robustness story depends on —
+// worker crashes and restarts, gray failures (a worker silently running
+// at a fraction of its speed), region partitions, DurableQ shard
+// unavailability windows, downstream brownouts, and correlated failures
+// taking out a whole rack at once — as events on the simulation engine,
+// drawn from a seeded RNG stream. The same seed always yields the same
+// fault schedule, so a chaos run is as reproducible as a healthy one.
+//
+// Injection is deliberately one-way: the injector flips component state
+// (Worker.FailSilent, Shard.SetDown, …) and never tells the control plane
+// what it did. Schedulers, the WorkerLB and the GTC must discover faults
+// through the heartbeat health protocol and react — detection lag and
+// recovery shape are the quantities under test.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"xfaas/internal/cluster"
+	"xfaas/internal/core"
+	"xfaas/internal/downstream"
+	"xfaas/internal/rng"
+	"xfaas/internal/sim"
+)
+
+// Event is one injected fault or repair, logged for experiment reports
+// and determinism checks.
+type Event struct {
+	At     sim.Time
+	Kind   string
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%9.1fs %-16s %s", e.At.Seconds(), e.Kind, e.Detail)
+}
+
+// Injector applies faults to a platform. All methods act at the current
+// virtual time; compose them with Scenario or the engine's own timers for
+// scheduled injection. Not safe for concurrent use (the simulation is
+// single-threaded).
+type Injector struct {
+	p      *core.Platform
+	src    *rng.Source
+	events []Event
+}
+
+// NewInjector returns an injector over the platform drawing from src.
+// Pass a split of the platform seed (or any fixed seed) — never a
+// time-seeded source — to keep fault schedules reproducible.
+func NewInjector(p *core.Platform, src *rng.Source) *Injector {
+	return &Injector{p: p, src: src}
+}
+
+// Events returns the log of injected faults in time order.
+func (inj *Injector) Events() []Event { return inj.events }
+
+func (inj *Injector) record(kind, format string, args ...any) {
+	inj.events = append(inj.events, Event{
+		At:     inj.p.Engine.Now(),
+		Kind:   kind,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// CrashWorker kills one worker. Silent crashes (power loss, kernel hang)
+// drop in-flight calls without notifying anyone — only heartbeat
+// detection recovers their leases. Loud crashes (process exit) deliver
+// connection resets to in-flight callers.
+func (inj *Injector) CrashWorker(region cluster.RegionID, idx int, silent bool) {
+	w := inj.p.Region(region).Workers[idx]
+	if silent {
+		w.FailSilent()
+	} else {
+		w.Fail()
+	}
+	inj.record("crash", "worker %v silent=%v", w.ID, silent)
+}
+
+// RestartWorker brings a crashed worker back empty (fresh process: no JIT
+// cache, no running calls).
+func (inj *Injector) RestartWorker(region cluster.RegionID, idx int) {
+	w := inj.p.Region(region).Workers[idx]
+	w.Recover()
+	inj.record("restart", "worker %v", w.ID)
+}
+
+// GrayWorker degrades one worker to run at 1/slowdown of its healthy
+// speed without failing it — the classic gray failure (thermal
+// throttling, a sick disk, a noisy neighbor). slowdown must be >= 1;
+// e.g. 10 models a worker at 10% speed.
+func (inj *Injector) GrayWorker(region cluster.RegionID, idx int, slowdown float64) {
+	w := inj.p.Region(region).Workers[idx]
+	w.SetSlowdown(slowdown)
+	inj.record("gray", "worker %v slowdown=%.1fx", w.ID, slowdown)
+}
+
+// ClearGray restores a gray worker to full speed.
+func (inj *Injector) ClearGray(region cluster.RegionID, idx int) {
+	w := inj.p.Region(region).Workers[idx]
+	w.SetSlowdown(1)
+	inj.record("gray-clear", "worker %v", w.ID)
+}
+
+// CrashRandomWorkers crashes n distinct not-yet-failed workers of the
+// region, chosen uniformly, and returns their indices in ascending order.
+func (inj *Injector) CrashRandomWorkers(region cluster.RegionID, n int, silent bool) []int {
+	pool := inj.p.Region(region).Workers
+	var alive []int
+	for i, w := range pool {
+		if !w.Failed() {
+			alive = append(alive, i)
+		}
+	}
+	if n > len(alive) {
+		n = len(alive)
+	}
+	inj.src.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
+	picked := append([]int(nil), alive[:n]...)
+	sort.Ints(picked)
+	for _, i := range picked {
+		inj.CrashWorker(region, i, silent)
+	}
+	return picked
+}
+
+// CorrelatedCrash takes out a contiguous block of frac of the region's
+// workers at one instant — a rack or power domain failing as a unit. The
+// block's start is drawn from src; indices are returned in ascending
+// order. Correlated failures are the hard case for detection: the
+// heartbeat prober must mark the whole block dead within the same
+// detection window, not trickle through it.
+func (inj *Injector) CorrelatedCrash(region cluster.RegionID, frac float64, silent bool) []int {
+	pool := inj.p.Region(region).Workers
+	n := len(pool)
+	k := int(frac*float64(n) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	start := inj.src.Intn(n)
+	picked := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		picked = append(picked, (start+i)%n)
+	}
+	sort.Ints(picked)
+	inj.record("rack-crash", "region %d block [%d..+%d) silent=%v", region, start, k, silent)
+	for _, i := range picked {
+		inj.CrashWorker(region, i, silent)
+	}
+	return picked
+}
+
+// PartitionRegion severs the region from the cross-region fabric: the
+// GTC stops seeing it and schedulers on both sides stop pulling across
+// the cut. Intra-region traffic continues.
+func (inj *Injector) PartitionRegion(region cluster.RegionID) {
+	inj.p.SetRegionPartitioned(region, true)
+	inj.record("partition", "region %d cut off", region)
+}
+
+// HealPartition reconnects a partitioned region.
+func (inj *Injector) HealPartition(region cluster.RegionID) {
+	inj.p.SetRegionPartitioned(region, false)
+	inj.record("partition-heal", "region %d reconnected", region)
+}
+
+// DownShard starts an unavailability window on one DurableQ shard:
+// enqueue, poll, ack, nack and renew all fail until UpShard. Durable
+// state survives; leases that expire during the window redeliver after
+// it (at-least-once).
+func (inj *Injector) DownShard(region cluster.RegionID, idx int) {
+	sh := inj.p.Region(region).Shards[idx]
+	sh.SetDown(true)
+	inj.record("shard-down", "%v", sh.ID)
+}
+
+// UpShard ends a shard's unavailability window.
+func (inj *Injector) UpShard(region cluster.RegionID, idx int) {
+	sh := inj.p.Region(region).Shards[idx]
+	sh.SetDown(false)
+	inj.record("shard-up", "%v", sh.ID)
+}
+
+// ShardOutage downs the shard now and schedules its return after d.
+func (inj *Injector) ShardOutage(region cluster.RegionID, idx int, d time.Duration) {
+	inj.DownShard(region, idx)
+	inj.p.Engine.Schedule(d, func() { inj.UpShard(region, idx) })
+}
+
+// Brownout cuts a downstream service to frac of its healthy capacity and
+// returns a repair function restoring the original capacity. It panics on
+// an unknown service (a misspelled scenario should fail loudly).
+func (inj *Injector) Brownout(name string, frac float64) (restore func()) {
+	svc, ok := inj.p.Downstreams.Get(name)
+	if !ok {
+		panic("chaos: unknown downstream " + name)
+	}
+	orig := svc.Capacity()
+	svc.SetCapacity(orig * frac)
+	inj.record("brownout", "%s capacity %.0f -> %.0f", name, orig, orig*frac)
+	return func() {
+		svc.SetCapacity(orig)
+		inj.record("brownout-heal", "%s capacity restored to %.0f", name, orig)
+	}
+}
+
+// BrownoutFor browns out the service now and schedules the repair after d.
+func (inj *Injector) BrownoutFor(name string, frac float64, d time.Duration) {
+	restore := inj.Brownout(name, frac)
+	inj.p.Engine.Schedule(d, restore)
+}
+
+// Downstream returns the named service for assertions (nil if absent).
+func (inj *Injector) Downstream(name string) *downstream.Service {
+	svc, _ := inj.p.Downstreams.Get(name)
+	return svc
+}

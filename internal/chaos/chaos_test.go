@@ -1,0 +1,218 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"xfaas/internal/cluster"
+	"xfaas/internal/core"
+	"xfaas/internal/rng"
+	"xfaas/internal/workload"
+)
+
+// testPlatform builds a small stationary-load platform with a generator
+// running, suitable for fault injection.
+func testPlatform(seed uint64) *core.Platform {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Cluster.Regions = 3
+	cfg.Cluster.TotalWorkers = 12
+	cfg.Downstreams = []core.DownstreamSpec{{Name: "db", CapacityRPS: 1000}}
+	pcfg := workload.DefaultPopulationConfig()
+	pcfg.Functions = 16
+	pcfg.TotalRPS = 4
+	pcfg.SpikyFunctions = 0
+	pcfg.MidnightSpikeFrac = 0
+	pcfg.DiurnalAmp = 0
+	pop := workload.NewPopulation(pcfg, rng.New(seed+1000))
+	p := core.New(cfg, pop.Registry)
+	gen := workload.NewGenerator(p.Engine, pop, p.Topo.CapacityShare(), p.SubmitFunc(), rng.New(seed+2000))
+	gen.Start()
+	return p
+}
+
+// chaosRun drives one platform through a fixed mix of scripted and
+// stochastic faults and returns the injector afterwards.
+func chaosRun(seed uint64) (*core.Platform, *Injector) {
+	p := testPlatform(seed)
+	inj := NewInjector(p, rng.New(seed+9000))
+	sc := NewScenario("mixed").
+		At(2*time.Minute, func(i *Injector) { i.CorrelatedCrash(0, 0.5, true) }).
+		At(5*time.Minute, func(i *Injector) { i.PartitionRegion(1) }).
+		At(8*time.Minute, func(i *Injector) { i.HealPartition(1) }).
+		At(10*time.Minute, func(i *Injector) { i.ShardOutage(2, 0, 3*time.Minute) }).
+		At(12*time.Minute, func(i *Injector) { i.BrownoutFor("db", 0.2, 2*time.Minute) })
+	inj.Play(sc)
+	stopCrash := inj.CrashRestartProcess(2, 4*time.Minute, 2*time.Minute, true)
+	stopGray := inj.GrayProcess(1, 5*time.Minute, 3*time.Minute, 2, 10)
+	p.Engine.RunFor(25 * time.Minute)
+	stopCrash()
+	stopGray()
+	p.Engine.RunFor(5 * time.Minute)
+	return p, inj
+}
+
+// TestInjectorDeterminism is the chaos engine's core contract: two
+// platforms with the same seed, driven through the same scripted and
+// stochastic fault mix, produce identical fault schedules and identical
+// platform outcomes.
+func TestInjectorDeterminism(t *testing.T) {
+	p1, inj1 := chaosRun(7)
+	p2, inj2 := chaosRun(7)
+
+	ev1, ev2 := inj1.Events(), inj2.Events()
+	if len(ev1) == 0 {
+		t.Fatal("no fault events injected")
+	}
+	if len(ev1) != len(ev2) {
+		t.Fatalf("event counts differ: %d vs %d", len(ev1), len(ev2))
+	}
+	for i := range ev1 {
+		if ev1[i].String() != ev2[i].String() {
+			t.Fatalf("event %d differs:\n  %s\n  %s", i, ev1[i], ev2[i])
+		}
+	}
+	if a1, a2 := p1.Acked(), p2.Acked(); a1 != a2 {
+		t.Fatalf("acked counts diverge under identical chaos: %v vs %v", a1, a2)
+	}
+	if p1.Engine.Now() != p2.Engine.Now() {
+		t.Fatalf("virtual clocks diverge: %v vs %v", p1.Engine.Now(), p2.Engine.Now())
+	}
+}
+
+// TestInjectorSeedChangesSchedule guards against the RNG being ignored:
+// a different injector seed must yield a different stochastic schedule.
+func TestInjectorSeedChangesSchedule(t *testing.T) {
+	_, inj1 := chaosRun(7)
+	_, inj2 := chaosRun(8)
+	ev1, ev2 := inj1.Events(), inj2.Events()
+	if len(ev1) == len(ev2) {
+		same := true
+		for i := range ev1 {
+			if ev1[i].String() != ev2[i].String() {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical fault schedules")
+		}
+	}
+}
+
+func TestScenarioPlaysStepsInOffsetOrder(t *testing.T) {
+	p := testPlatform(3)
+	inj := NewInjector(p, rng.New(1))
+	var fired []time.Duration
+	sc := NewScenario("order").
+		At(3*time.Second, func(*Injector) { fired = append(fired, 3*time.Second) }).
+		At(time.Second, func(*Injector) { fired = append(fired, time.Second) }).
+		At(2*time.Second, func(*Injector) { fired = append(fired, 2*time.Second) })
+	inj.Play(sc)
+	p.Engine.RunFor(5 * time.Second)
+	if len(fired) != 3 || fired[0] != time.Second || fired[1] != 2*time.Second || fired[2] != 3*time.Second {
+		t.Fatalf("steps fired out of order: %v", fired)
+	}
+}
+
+func TestCorrelatedCrashContiguousBlock(t *testing.T) {
+	p := testPlatform(5)
+	inj := NewInjector(p, rng.New(11))
+	reg := p.Region(cluster.RegionID(0))
+	n := len(reg.Workers)
+	picked := inj.CorrelatedCrash(0, 0.5, true)
+	if want := (n + 1) / 2; len(picked) != want && len(picked) != n/2 {
+		t.Fatalf("block size = %d for %d workers", len(picked), n)
+	}
+	for _, i := range picked {
+		if !reg.Workers[i].Failed() {
+			t.Fatalf("picked worker %d not failed", i)
+		}
+	}
+	// The block is contiguous modulo n: as a sorted index set, the
+	// complement must also be one contiguous run.
+	inBlock := make([]bool, n)
+	for _, i := range picked {
+		inBlock[i] = true
+	}
+	transitions := 0
+	for i := 0; i < n; i++ {
+		if inBlock[i] != inBlock[(i+1)%n] {
+			transitions++
+		}
+	}
+	if transitions != 2 && len(picked) != n {
+		t.Fatalf("block not contiguous mod %d: picked=%v", n, picked)
+	}
+}
+
+func TestBrownoutCutsAndRestoresCapacity(t *testing.T) {
+	p := testPlatform(2)
+	inj := NewInjector(p, rng.New(1))
+	svc := inj.Downstream("db")
+	if svc == nil {
+		t.Fatal("downstream db not registered")
+	}
+	orig := svc.Capacity()
+	restore := inj.Brownout("db", 0.25)
+	if got := svc.Capacity(); got != orig*0.25 {
+		t.Fatalf("browned-out capacity = %v, want %v", got, orig*0.25)
+	}
+	restore()
+	if got := svc.Capacity(); got != orig {
+		t.Fatalf("restored capacity = %v, want %v", got, orig)
+	}
+
+	// Scheduled variant: restore happens at +d on the virtual clock.
+	inj.BrownoutFor("db", 0.5, 10*time.Second)
+	p.Engine.RunFor(9 * time.Second)
+	if got := svc.Capacity(); got != orig*0.5 {
+		t.Fatalf("capacity during scheduled brownout = %v", got)
+	}
+	p.Engine.RunFor(2 * time.Second)
+	if got := svc.Capacity(); got != orig {
+		t.Fatalf("capacity after scheduled restore = %v", got)
+	}
+}
+
+func TestShardOutageWindow(t *testing.T) {
+	p := testPlatform(2)
+	inj := NewInjector(p, rng.New(1))
+	sh := p.Region(cluster.RegionID(1)).Shards[0]
+	inj.ShardOutage(1, 0, 30*time.Second)
+	if !sh.IsDown() {
+		t.Fatal("shard not down at outage start")
+	}
+	p.Engine.RunFor(29 * time.Second)
+	if !sh.IsDown() {
+		t.Fatal("shard came back early")
+	}
+	p.Engine.RunFor(2 * time.Second)
+	if sh.IsDown() {
+		t.Fatal("shard still down after outage window")
+	}
+}
+
+func TestCrashRandomWorkersPicksDistinctAlive(t *testing.T) {
+	p := testPlatform(4)
+	inj := NewInjector(p, rng.New(9))
+	reg := p.Region(cluster.RegionID(2))
+	n := len(reg.Workers)
+	first := inj.CrashRandomWorkers(2, 2, true)
+	if len(first) != 2 || first[0] == first[1] {
+		t.Fatalf("picked = %v, want 2 distinct", first)
+	}
+	// A second wave only draws from survivors; asking for more than
+	// remain crashes exactly the survivors.
+	second := inj.CrashRandomWorkers(2, n, true)
+	if len(second) != n-2 {
+		t.Fatalf("second wave = %d workers, want %d survivors", len(second), n-2)
+	}
+	seen := map[int]bool{}
+	for _, i := range append(first, second...) {
+		if seen[i] {
+			t.Fatalf("worker %d crashed twice across waves", i)
+		}
+		seen[i] = true
+	}
+}

@@ -1,0 +1,108 @@
+package chaos
+
+import (
+	"sort"
+	"time"
+
+	"xfaas/internal/cluster"
+)
+
+// Scenario is a scripted fault schedule: a named list of steps at fixed
+// offsets from the moment it is played. Steps fire in offset order;
+// equal offsets fire in insertion order (the engine's FIFO tie-break).
+// Scripted steps compose freely with the stochastic processes below —
+// both draw any randomness from the injector's seeded stream.
+type Scenario struct {
+	Name  string
+	steps []step
+}
+
+type step struct {
+	at time.Duration
+	fn func(*Injector)
+}
+
+// NewScenario returns an empty scenario.
+func NewScenario(name string) *Scenario { return &Scenario{Name: name} }
+
+// At appends a step firing d after the scenario starts and returns the
+// scenario for chaining.
+func (s *Scenario) At(d time.Duration, fn func(*Injector)) *Scenario {
+	s.steps = append(s.steps, step{at: d, fn: fn})
+	return s
+}
+
+// Play schedules every step on the engine relative to now. Steps are
+// scheduled in offset order so the event sequence is stable regardless of
+// the order At was called in.
+func (inj *Injector) Play(s *Scenario) {
+	ordered := append([]step(nil), s.steps...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].at < ordered[j].at })
+	for _, st := range ordered {
+		fn := st.fn
+		inj.p.Engine.Schedule(st.at, func() { fn(inj) })
+	}
+}
+
+// CrashRestartProcess starts a stochastic churn process over one region:
+// worker crashes arrive with exponential inter-arrival time meanBetween,
+// each victim drawn uniformly from the currently alive workers, and each
+// crashed worker restarts after an exponential downtime with mean
+// meanDown. It models the paper's background reality that at hyperscale
+// some workers are always dying. Returns a stop function; workers already
+// down when stopped still restart.
+func (inj *Injector) CrashRestartProcess(region cluster.RegionID, meanBetween, meanDown time.Duration, silent bool) (stop func()) {
+	stopped := false
+	var arm func()
+	arm = func() {
+		wait := time.Duration(inj.src.Exp(float64(meanBetween)))
+		inj.p.Engine.Schedule(wait, func() {
+			if stopped {
+				return
+			}
+			if picked := inj.CrashRandomWorkers(region, 1, silent); len(picked) == 1 {
+				idx := picked[0]
+				down := time.Duration(inj.src.Exp(float64(meanDown)))
+				inj.p.Engine.Schedule(down, func() { inj.RestartWorker(region, idx) })
+			}
+			arm()
+		})
+	}
+	arm()
+	return func() { stopped = true }
+}
+
+// GrayProcess starts a stochastic gray-failure process over one region:
+// gray episodes arrive with exponential inter-arrival meanBetween, each
+// degrading a uniformly drawn healthy worker by a slowdown uniform in
+// [minSlow, maxSlow] for an exponential duration with mean meanEpisode.
+// Returns a stop function; in-progress episodes still clear.
+func (inj *Injector) GrayProcess(region cluster.RegionID, meanBetween, meanEpisode time.Duration, minSlow, maxSlow float64) (stop func()) {
+	stopped := false
+	var arm func()
+	arm = func() {
+		wait := time.Duration(inj.src.Exp(float64(meanBetween)))
+		inj.p.Engine.Schedule(wait, func() {
+			if stopped {
+				return
+			}
+			pool := inj.p.Region(region).Workers
+			var healthy []int
+			for i, w := range pool {
+				if !w.Failed() && w.Slowdown() == 1 {
+					healthy = append(healthy, i)
+				}
+			}
+			if len(healthy) > 0 {
+				idx := healthy[inj.src.Intn(len(healthy))]
+				slow := inj.src.Range(minSlow, maxSlow)
+				inj.GrayWorker(region, idx, slow)
+				dur := time.Duration(inj.src.Exp(float64(meanEpisode)))
+				inj.p.Engine.Schedule(dur, func() { inj.ClearGray(region, idx) })
+			}
+			arm()
+		})
+	}
+	arm()
+	return func() { stopped = true }
+}

@@ -1,0 +1,63 @@
+package config
+
+import "time"
+
+// Chaos is the platform's fault-model configuration section: how failures
+// are *detected* (heartbeat health checks) and how the platform *degrades*
+// when capacity is lost (criticality-based load shedding, per-region
+// circuit breakers). Fault *injection* itself lives in internal/chaos; this
+// section only parameterizes the platform's response, so it ships enabled
+// in production-shaped configurations — paper §4.1's contract is that the
+// control plane survives component death without out-of-band help.
+type Chaos struct {
+	// HeartbeatInterval is the worker health-probe cadence.
+	HeartbeatInterval time.Duration
+	// MissedThreshold is the number of consecutive missed heartbeats after
+	// which a worker is declared dead. The worst-case detection lag is
+	// HeartbeatInterval * MissedThreshold.
+	MissedThreshold int
+	// GraySlowdownThreshold is the probe-response slowdown factor (1 =
+	// nominal speed) at or above which a probe counts as "slow".
+	GraySlowdownThreshold float64
+	// GrayThreshold is the number of consecutive slow probes after which a
+	// worker is declared gray (alive but degraded) and routed around.
+	GrayThreshold int
+
+	// DegradeInterval is the degradation controller's evaluation cadence.
+	DegradeInterval time.Duration
+	// ShedHealthyFrac is the fleet-wide detected-healthy worker fraction
+	// below which opportunistic traffic is shed (scaled down towards zero)
+	// so lost capacity delays deferrable work, not critical work.
+	ShedHealthyFrac float64
+	// BreakerMinHealthyFrac is the per-region detected-healthy fraction
+	// below which the region's circuit breaker opens: its schedulers stop
+	// pulling and evacuate held leases so other regions execute the work.
+	BreakerMinHealthyFrac float64
+	// BreakerCooldown is how long an open breaker waits before half-opening
+	// to re-test the region's health.
+	BreakerCooldown time.Duration
+}
+
+// DefaultChaos returns a production-shaped fault model: 5-second
+// heartbeats with death declared after 3 misses (15 s worst-case detection
+// lag), gray declared at 4x slowdown sustained over 3 probes, opportunistic
+// shedding below 85% healthy capacity, and a region breaker that opens
+// below 25% healthy with a 2-minute cooldown.
+func DefaultChaos() Chaos {
+	return Chaos{
+		HeartbeatInterval:     5 * time.Second,
+		MissedThreshold:       3,
+		GraySlowdownThreshold: 4,
+		GrayThreshold:         3,
+		DegradeInterval:       15 * time.Second,
+		ShedHealthyFrac:       0.85,
+		BreakerMinHealthyFrac: 0.25,
+		BreakerCooldown:       2 * time.Minute,
+	}
+}
+
+// DetectionLag returns the worst-case time between a worker dying and its
+// detected-dead transition.
+func (c Chaos) DetectionLag() time.Duration {
+	return c.HeartbeatInterval * time.Duration(c.MissedThreshold)
+}

@@ -92,6 +92,11 @@ type Config struct {
 	// JIT-compiled — the steady state of a long-running fleet. Disable
 	// for cold-ramp experiments (Figure 12).
 	PrewarmJIT bool
+	// Chaos is the fault model: heartbeat failure detection and graceful
+	// degradation (load shedding, region circuit breakers). A zero
+	// HeartbeatInterval disables detection (unit-test rigs), in which
+	// case the LB's detected view degenerates to direct observation.
+	Chaos config.Chaos
 }
 
 // DefaultConfig returns a paper-shaped platform at simulation scale: 12
@@ -128,6 +133,7 @@ func DefaultConfig() Config {
 		EnableRIM:           true,
 		MetricsInterval:     30 * time.Second,
 		PrewarmJIT:          true,
+		Chaos:               config.DefaultChaos(),
 	}
 }
 
@@ -191,6 +197,15 @@ type Platform struct {
 	src     *rng.Source
 	idSeq   uint64
 	spiky   map[string]bool
+
+	// partitioned marks regions currently severed from the cross-region
+	// fabric (chaos injection): the GTC cannot see them and schedulers
+	// cannot pull across the cut.
+	partitioned []bool
+	// breakers holds each region's circuit-breaker state.
+	breakers []breaker
+	// BreakerOpens counts open transitions across all region breakers.
+	BreakerOpens stats.Counter
 
 	codeVersion int
 	// localityWarm flips once locality groups have been partitioned from
@@ -288,6 +303,14 @@ func New(cfg Config, registry *function.Registry) *Platform {
 			reg.Workers = append(reg.Workers, wk)
 		}
 		reg.LB = workerlb.New(src.Split(), reg.Workers)
+		if cfg.Chaos.HeartbeatInterval > 0 {
+			reg.LB.StartHealthChecks(engine, workerlb.HealthParams{
+				Interval:              cfg.Chaos.HeartbeatInterval,
+				MissedThreshold:       cfg.Chaos.MissedThreshold,
+				GraySlowdownThreshold: cfg.Chaos.GraySlowdownThreshold,
+				GrayThreshold:         cfg.Chaos.GrayThreshold,
+			})
+		}
 		reg.QueueLB = queuelb.New(r.ID, src.Split(), allShards, p.Store)
 		reg.Normal = submitter.New(engine, r.ID, submitter.PoolNormal, cfg.Submitter, reg.QueueLB, p.KV, src.Split(), &p.idSeq)
 		reg.Spiky = submitter.New(engine, r.ID, submitter.PoolSpiky, cfg.Submitter, reg.QueueLB, p.KV, src.Split(), &p.idSeq)
@@ -295,9 +318,12 @@ func New(cfg Config, registry *function.Registry) *Platform {
 		if nSched < 1 {
 			nSched = 1
 		}
+		from := r.ID
 		for k := 0; k < nSched; k++ {
 			sc := scheduler.New(engine, src.Split(), r.ID, cfg.Scheduler, allShards, reg.LB, p.Central, p.Cong, p.Store)
 			sc.OnExecuted = p.onExecuted
+			sc.Reachable = func(dst cluster.RegionID) bool { return p.Reachable(from, dst) }
+			sc.AllowPull = func() bool { return !p.breakers[from].isOpen() }
 			reg.Scheds = append(reg.Scheds, sc)
 		}
 		reg.Sched = reg.Scheds[0]
@@ -321,6 +347,11 @@ func New(cfg Config, registry *function.Registry) *Platform {
 		engine.Every(cfg.CodePushInterval, p.pushCode)
 	}
 	engine.Every(cfg.MetricsInterval, p.sampleMetrics)
+	p.partitioned = make([]bool, p.Topo.NumRegions())
+	p.breakers = make([]breaker, p.Topo.NumRegions())
+	if cfg.Chaos.DegradeInterval > 0 {
+		engine.Every(cfg.Chaos.DegradeInterval, p.degradeTick)
+	}
 	return p
 }
 
@@ -398,24 +429,24 @@ func (p *Platform) onExecuted(c *function.Call) {
 
 // snapshot feeds the GTC: demand is each region's ready backlog converted
 // to MIPS via the observed average call cost; supply is the region's
-// worker MIPS.
+// worker MIPS per the heartbeat-detected health view (never Worker.Failed
+// directly — the conductor learns about failures the same way the
+// schedulers do). Partitioned regions are invisible: zero demand and zero
+// supply, so no traffic is routed to or from them until the cut heals.
 func (p *Platform) snapshot() gtc.Snapshot {
 	now := p.Engine.Now()
 	n := p.Topo.NumRegions()
 	snap := gtc.Snapshot{Demand: make([]float64, n), Supply: make([]float64, n)}
 	for i, reg := range p.regions {
+		if p.partitioned[i] {
+			continue
+		}
 		ready := 0
 		for _, sh := range reg.Shards {
 			ready += sh.PendingReady(now)
 		}
-		alive := 0
-		for _, w := range reg.Workers {
-			if !w.Failed() {
-				alive++
-			}
-		}
 		snap.Demand[i] = float64(ready) * p.avgCostM
-		snap.Supply[i] = float64(alive) * p.cfg.Worker.CPUMIPS
+		snap.Supply[i] = float64(reg.LB.DetectedHealthy()) * p.cfg.Worker.CPUMIPS
 	}
 	return snap
 }

@@ -43,6 +43,10 @@ type Shard struct {
 	funcNames []string // sorted; parallel index for deterministic polling
 	cursor    int      // round-robin position for fairness across functions
 	leases    map[uint64]*lease
+	// down marks an unavailability window (storage maintenance, network
+	// isolation): the shard's durable state survives, but no request —
+	// enqueue, poll, ack, nack, renew — succeeds until it returns.
+	down bool
 
 	// Metrics.
 	Enqueued    stats.Counter
@@ -65,9 +69,23 @@ func NewShard(id ShardID, engine *sim.Engine) *Shard {
 	}
 }
 
-// Enqueue persists a call. The call becomes eligible for delivery once
-// virtual time reaches its StartAfter.
-func (s *Shard) Enqueue(c *function.Call) {
+// SetDown marks the shard unavailable (true) or available again (false).
+// Durable state — queued calls and leases — survives the window; lease
+// timers keep running, so a lease can expire during the outage and the
+// call redelivers once the shard returns (at-least-once, possibly
+// duplicating work whose Ack was lost to the outage).
+func (s *Shard) SetDown(down bool) { s.down = down }
+
+// IsDown reports whether the shard is in an unavailability window.
+func (s *Shard) IsDown() bool { return s.down }
+
+// Enqueue persists a call, reporting acceptance (false while the shard is
+// unavailable — the caller must pick another shard). The call becomes
+// eligible for delivery once virtual time reaches its StartAfter.
+func (s *Shard) Enqueue(c *function.Call) bool {
+	if s.down {
+		return false
+	}
 	c.State = function.StateQueued
 	c.QueuedAt = s.engine.Now()
 	q, ok := s.queues[c.Spec.Name]
@@ -80,6 +98,7 @@ func (s *Shard) Enqueue(c *function.Call) {
 	heap.Push(q, queued{call: c, readyAt: c.StartAfter})
 	s.Enqueued.Inc()
 	s.pending++
+	return true
 }
 
 // Pending returns the number of calls stored and not currently leased.
@@ -109,7 +128,7 @@ func (s *Shard) PendingReady(now sim.Time) int {
 // are offered (used for function-subset pulls); rejected calls stay
 // queued.
 func (s *Shard) Poll(max int, filter func(*function.Call) bool) []*function.Call {
-	if max <= 0 || len(s.funcNames) == 0 {
+	if s.down || max <= 0 || len(s.funcNames) == 0 {
 		return nil
 	}
 	now := s.engine.Now()
@@ -160,7 +179,7 @@ func (s *Shard) expireLease(id uint64) {
 // whether the lease was still held.
 func (s *Shard) Renew(id uint64) bool {
 	l, ok := s.leases[id]
-	if !ok {
+	if s.down || !ok {
 		return false
 	}
 	l.timer.Stop()
@@ -172,7 +191,7 @@ func (s *Shard) Renew(id uint64) bool {
 // reports whether the lease was still held.
 func (s *Shard) Ack(id uint64) bool {
 	l, ok := s.leases[id]
-	if !ok {
+	if s.down || !ok {
 		return false
 	}
 	l.timer.Stop()
@@ -186,7 +205,7 @@ func (s *Shard) Ack(id uint64) bool {
 // function's retry backoff, or dead-lettered once attempts are exhausted.
 func (s *Shard) Nack(id uint64) bool {
 	l, ok := s.leases[id]
-	if !ok {
+	if s.down || !ok {
 		return false
 	}
 	l.timer.Stop()

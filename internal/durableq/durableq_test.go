@@ -334,3 +334,141 @@ func TestRenewAfterAck(t *testing.T) {
 		t.Fatal("renew after ack succeeded")
 	}
 }
+
+// TestDeadLetterExactlyOnceViaNack drives a call to attempt exhaustion
+// through explicit NACKs and verifies the dead-letter transition happens
+// exactly once and is final: StateFailed, one DeadLetters increment, and
+// no redelivery no matter how long or often the shard is polled after.
+func TestDeadLetterExactlyOnceViaNack(t *testing.T) {
+	e := sim.NewEngine()
+	sh := newShard(e)
+	c := call(spec("f", 3), 0)
+	sh.Enqueue(c)
+	for attempt := 1; attempt <= 3; attempt++ {
+		e.RunFor(time.Minute) // past the retry backoff
+		got := sh.Poll(10, nil)
+		if len(got) != 1 || got[0].Attempt != attempt {
+			t.Fatalf("attempt %d: got %d calls", attempt, len(got))
+		}
+		sh.Nack(got[0].ID)
+	}
+	if c.State != function.StateFailed {
+		t.Fatalf("state = %v, want StateFailed", c.State)
+	}
+	if sh.DeadLetters.Value() != 1 {
+		t.Fatalf("dead letters = %v, want exactly 1", sh.DeadLetters.Value())
+	}
+	if sh.Redelivered.Value() != 2 {
+		t.Fatalf("redelivered = %v, want MaxAttempts-1 = 2", sh.Redelivered.Value())
+	}
+	if sh.Pending() != 0 || sh.Leased() != 0 {
+		t.Fatalf("dead-lettered call still held: pending=%d leased=%d", sh.Pending(), sh.Leased())
+	}
+	for i := 0; i < 10; i++ {
+		e.RunFor(time.Hour)
+		if got := sh.Poll(10, nil); len(got) != 0 {
+			t.Fatal("dead-lettered call redelivered")
+		}
+	}
+	if sh.DeadLetters.Value() != 1 {
+		t.Fatalf("dead letters grew to %v", sh.DeadLetters.Value())
+	}
+}
+
+// TestDeadLetterExactlyOnceViaLeaseExpiry exhausts attempts through
+// lease timeouts only (a scheduler that keeps dying), covering the
+// expiry path into retryOrDrop.
+func TestDeadLetterExactlyOnceViaLeaseExpiry(t *testing.T) {
+	e := sim.NewEngine()
+	sh := newShard(e)
+	sh.LeaseTimeout = time.Minute
+	c := call(spec("f", 2), 0)
+	sh.Enqueue(c)
+	for attempt := 1; attempt <= 2; attempt++ {
+		got := sh.Poll(10, nil)
+		if len(got) != 1 || got[0].Attempt != attempt {
+			t.Fatalf("attempt %d: got %d calls", attempt, len(got))
+		}
+		e.RunFor(2 * time.Minute) // no ack, no nack: the lease expires
+	}
+	if c.State != function.StateFailed {
+		t.Fatalf("state = %v, want StateFailed", c.State)
+	}
+	if sh.DeadLetters.Value() != 1 || sh.Expired.Value() != 2 {
+		t.Fatalf("dead letters = %v expired = %v", sh.DeadLetters.Value(), sh.Expired.Value())
+	}
+	e.RunFor(24 * time.Hour)
+	if got := sh.Poll(10, nil); len(got) != 0 {
+		t.Fatal("expired-out call redelivered")
+	}
+	if sh.DeadLetters.Value() != 1 {
+		t.Fatalf("dead letters grew to %v", sh.DeadLetters.Value())
+	}
+}
+
+func TestShardDownGatesAllOperations(t *testing.T) {
+	e := sim.NewEngine()
+	sh := newShard(e)
+	c1 := call(spec("f", 3), 0)
+	if !sh.Enqueue(c1) {
+		t.Fatal("enqueue rejected on healthy shard")
+	}
+	got := sh.Poll(10, nil)
+	if len(got) != 1 {
+		t.Fatal("poll on healthy shard")
+	}
+
+	sh.SetDown(true)
+	if !sh.IsDown() {
+		t.Fatal("IsDown after SetDown(true)")
+	}
+	if sh.Enqueue(call(spec("f", 3), 0)) {
+		t.Fatal("down shard accepted an enqueue")
+	}
+	if sh.Enqueued.Value() != 1 {
+		t.Fatalf("enqueued counter = %v after rejected write", sh.Enqueued.Value())
+	}
+	if polled := sh.Poll(10, nil); polled != nil {
+		t.Fatalf("down shard served a poll: %v", polled)
+	}
+	if sh.Ack(c1.ID) || sh.Nack(c1.ID) || sh.Renew(c1.ID) {
+		t.Fatal("down shard honored a lease operation")
+	}
+	if sh.Leased() != 1 {
+		t.Fatalf("lease state mutated while down: leased=%d", sh.Leased())
+	}
+
+	sh.SetDown(false)
+	if !sh.Ack(c1.ID) {
+		t.Fatal("ack failed after the shard returned")
+	}
+	if sh.Acked.Value() != 1 {
+		t.Fatalf("acked = %v", sh.Acked.Value())
+	}
+}
+
+// TestLeaseExpiryDuringOutageRedelivers: lease timers keep running
+// through an unavailability window, so a call whose Ack was lost to the
+// outage redelivers once the shard returns — the at-least-once contract,
+// duplicates included.
+func TestLeaseExpiryDuringOutageRedelivers(t *testing.T) {
+	e := sim.NewEngine()
+	sh := newShard(e)
+	sh.LeaseTimeout = time.Minute
+	c := call(spec("f", 5), 0)
+	sh.Enqueue(c)
+	got := sh.Poll(10, nil)
+	if len(got) != 1 {
+		t.Fatal("setup poll")
+	}
+	sh.SetDown(true)
+	e.RunFor(5 * time.Minute) // lease expires mid-outage
+	if sh.Expired.Value() != 1 {
+		t.Fatalf("expired = %v during outage", sh.Expired.Value())
+	}
+	sh.SetDown(false)
+	redelivered := sh.Poll(10, nil)
+	if len(redelivered) != 1 || redelivered[0].ID != c.ID || redelivered[0].Attempt != 2 {
+		t.Fatalf("redelivery after outage: %v", redelivered)
+	}
+}

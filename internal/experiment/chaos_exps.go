@@ -1,0 +1,323 @@
+package experiment
+
+import (
+	"time"
+
+	"xfaas/internal/chaos"
+	"xfaas/internal/core"
+	"xfaas/internal/rng"
+)
+
+// The chaos experiments drive the fault-injection engine end to end:
+// inject a failure mode the control plane is never told about, watch the
+// heartbeat protocol detect it within its configured lag, and measure the
+// recovery shape — the ack-rate dip during the fault and the time back to
+// ≥90% of the pre-fault ack rate after repair.
+
+func init() {
+	register(&Experiment{
+		ID:    "chaos_gray",
+		Title: "Chaos: gray workers detected and routed around",
+		Description: "A third of the largest region's workers silently degrade to 12% speed. The " +
+			"health prober marks them Gray within its detection lag, the WorkerLB routes around " +
+			"them, and throughput recovers fully once the episode clears.",
+		Run: runChaosGray,
+	})
+	register(&Experiment{
+		ID:    "chaos_partition",
+		Title: "Chaos: region partition severs the cross-region fabric",
+		Description: "The largest region is cut off from the GTC and from cross-region pulls. " +
+			"Intra-region traffic continues on both sides of the cut; cross-region dispatch " +
+			"freezes and resumes after the partition heals.",
+		Run: runChaosPartition,
+	})
+	register(&Experiment{
+		ID:    "chaos_correlated",
+		Title: "Chaos: correlated rack failure, detection and degradation",
+		Description: "80% of the largest region's workers die silently as one block. Heartbeats " +
+			"detect the block within the configured lag, schedulers evacuate the dead workers' " +
+			"leases, the region's circuit breaker opens, and fleet-wide load shedding protects " +
+			"critical traffic until the rack returns.",
+		Run: runChaosCorrelated,
+	})
+	register(&Experiment{
+		ID:    "chaos_dq",
+		Title: "Chaos: DurableQ shard unavailability window",
+		Description: "Every DurableQ shard in one region goes unavailable. QueueLBs route new " +
+			"submissions around the outage (no submission is lost), execution continues on the " +
+			"surviving shards, and the down shards' backlog drains once they return.",
+		Run: runChaosDQ,
+	})
+}
+
+// chaosRig builds a stationary-load rig (no diurnal cycle, no spikes) so
+// ack-rate comparisons across phases isolate the injected fault.
+func chaosRig(s Scale, targetUtil float64) (*rig, *chaos.Injector) {
+	rc := defaultRig(s, targetUtil)
+	rc.Pop.SpikyFunctions = 0
+	rc.Pop.MidnightSpikeFrac = 0
+	rc.Pop.DiurnalAmp = 0
+	rg := rc.build()
+	inj := chaos.NewInjector(rg.P, rng.New(rc.Platform.Seed+9000))
+	return rg, inj
+}
+
+// largestRegion returns the region with the most workers (the
+// highest-blast-radius victim).
+func largestRegion(p *core.Platform) *core.Region {
+	victim := p.Regions()[0]
+	for _, reg := range p.Regions() {
+		if len(reg.Workers) > len(victim.Workers) {
+			victim = reg
+		}
+	}
+	return victim
+}
+
+// ackPhase runs the platform for d and returns the ack rate over it.
+func ackPhase(p *core.Platform, d time.Duration) float64 {
+	before := p.Acked()
+	p.Engine.RunFor(d)
+	return (p.Acked() - before) / d.Seconds()
+}
+
+// timeToRecover steps the simulation until the rolling ack rate reaches
+// target, up to max. It returns the elapsed recovery time, the final
+// rate, and whether the target was reached.
+func timeToRecover(p *core.Platform, target float64, step, max time.Duration) (time.Duration, float64, bool) {
+	elapsed := time.Duration(0)
+	rate := 0.0
+	for elapsed < max {
+		rate = ackPhase(p, step)
+		elapsed += step
+		if rate >= target {
+			return elapsed, rate, true
+		}
+	}
+	return elapsed, rate, false
+}
+
+// reportRecovery appends the shared dip/recovery rows and the ≥90% check.
+func reportRecovery(r *Result, healthy, faulted float64, ttr time.Duration, finalRate float64, recovered bool) {
+	r.row("ack rate healthy → faulted (RPS)", "dips, critical work continues", "%.1f → %.1f", healthy, faulted)
+	r.row("time to ≥90% of pre-fault ack rate", "recovers after repair", "%v (%.1f RPS)", ttr, finalRate)
+	r.check("ack rate recovers to ≥90% of pre-fault", recovered,
+		"%.1f vs target %.1f RPS after %v", finalRate, 0.9*healthy, ttr)
+}
+
+// logEvents appends the injector's fault log (deterministic, virtual-time
+// stamped) as notes.
+func logEvents(r *Result, inj *chaos.Injector, max int) {
+	ev := inj.Events()
+	for i, e := range ev {
+		if i >= max {
+			r.note("… %d more fault events", len(ev)-max)
+			return
+		}
+		r.note("fault: %s", e)
+	}
+}
+
+func chaosWindows(s Scale) (warm, measure, fault, ttrMax time.Duration) {
+	if s.Quick {
+		return 20 * time.Minute, 10 * time.Minute, 20 * time.Minute, 40 * time.Minute
+	}
+	return 30 * time.Minute, 15 * time.Minute, 40 * time.Minute, time.Hour
+}
+
+func runChaosGray(s Scale) *Result {
+	r := &Result{ID: "chaos_gray", Title: "Gray failure: slow workers detected and routed around"}
+	rg, inj := chaosRig(s, 0.60)
+	p := rg.P
+	warm, measure, fault, ttrMax := chaosWindows(s)
+
+	p.Engine.RunFor(warm)
+	healthy := ackPhase(p, measure)
+
+	victim := largestRegion(p)
+	k := len(victim.Workers) / 3
+	if k < 1 {
+		k = 1
+	}
+	const slowdown = 8.0
+	for i := 0; i < k; i++ {
+		inj.GrayWorker(victim.ID, i, slowdown)
+	}
+	// Gray detection needs GrayThreshold consecutive slow probes; allow
+	// two extra probe intervals of scheduling slack.
+	chaosCfg := core.DefaultConfig().Chaos
+	detectWindow := time.Duration(chaosCfg.GrayThreshold+2) * chaosCfg.HeartbeatInterval
+	p.Engine.RunFor(detectWindow)
+	detected := int(victim.LB.DetectedGray.Value())
+	r.row("gray workers injected vs detected", "all detected within lag", "%d injected, %d detected in %v",
+		k, detected, detectWindow)
+	r.check("gray workers detected within detection lag", detected >= k, "%d/%d after %v", detected, k, detectWindow)
+
+	faulted := ackPhase(p, fault)
+	r.check("LB routes around gray workers (small dip)", faulted > 0.5*healthy,
+		"%.1f vs %.1f RPS with %d workers at 1/%.0f speed", faulted, healthy, k, slowdown)
+
+	for i := 0; i < k; i++ {
+		inj.ClearGray(victim.ID, i)
+	}
+	ttr, finalRate, recovered := timeToRecover(p, 0.9*healthy, 2*time.Minute, ttrMax)
+	reportRecovery(r, healthy, faulted, ttr, finalRate, recovered)
+	r.series("executed calls/min", time.Minute, p.Executed.Values())
+	logEvents(r, inj, 8)
+	return r
+}
+
+func runChaosPartition(s Scale) *Result {
+	r := &Result{ID: "chaos_partition", Title: "Region partition and heal"}
+	rg, inj := chaosRig(s, 0.60)
+	p := rg.P
+	warm, measure, fault, ttrMax := chaosWindows(s)
+
+	p.Engine.RunFor(warm)
+	healthy := ackPhase(p, measure)
+
+	victim := largestRegion(p)
+	crossBefore := schedCrossPulls(victim)
+	inj.PartitionRegion(victim.ID)
+	faulted := ackPhase(p, fault)
+	crossDuring := schedCrossPulls(victim) - crossBefore
+
+	r.row("cross-region pulls by the cut region during partition", "frozen at 0", "%.0f", crossDuring)
+	r.check("partition severs cross-region pulls", crossDuring == 0, "%.0f pulls across the cut", crossDuring)
+	r.check("both sides keep executing local work", faulted > 0.5*healthy,
+		"%.1f vs %.1f RPS during the partition", faulted, healthy)
+
+	ackedAtHeal := victim.Sched.Acked.Value()
+	inj.HealPartition(victim.ID)
+	ttr, finalRate, recovered := timeToRecover(p, 0.9*healthy, 2*time.Minute, ttrMax)
+	reportRecovery(r, healthy, faulted, ttr, finalRate, recovered)
+	r.check("cut region resumes after heal", victim.Sched.Acked.Value() > ackedAtHeal,
+		"%.0f acks after heal", victim.Sched.Acked.Value()-ackedAtHeal)
+	r.series("executed calls/min", time.Minute, p.Executed.Values())
+	logEvents(r, inj, 8)
+	return r
+}
+
+func schedCrossPulls(reg *core.Region) float64 {
+	s := 0.0
+	for _, sc := range reg.Scheds {
+		s += sc.CrossRegionPulls.Value()
+	}
+	return s
+}
+
+func runChaosCorrelated(s Scale) *Result {
+	r := &Result{ID: "chaos_correlated", Title: "Correlated rack failure: detection, evacuation, degradation"}
+	rg, inj := chaosRig(s, 0.60)
+	p := rg.P
+	cfg := core.DefaultConfig().Chaos
+	warm, measure, fault, ttrMax := chaosWindows(s)
+
+	p.Engine.RunFor(warm)
+	healthy := ackPhase(p, measure)
+
+	victim := largestRegion(p)
+	crashed := inj.CorrelatedCrash(victim.ID, 0.8, true) // silent: only heartbeats can notice
+	k := len(crashed)
+
+	// Detection lag plus one probe interval of slack, plus one degradation
+	// tick so shedding and the breaker have reacted.
+	detectWindow := cfg.DetectionLag() + cfg.HeartbeatInterval + cfg.DegradeInterval
+	p.Engine.RunFor(detectWindow)
+
+	detectedDown := victim.LB.DetectedDown()
+	evacuated := schedEvacuated(victim)
+	fleetFrac := p.DetectedHealthyFrac()
+	r.row("workers crashed vs detected dead", "whole block within detection lag", "%d crashed, %d detected in %v",
+		k, detectedDown, detectWindow)
+	r.row("leases evacuated after detection", "NACKed for redelivery elsewhere", "%.0f", evacuated)
+	r.row("region breaker / fleet healthy frac", "breaker opens, shedding engages", "%s / %.2f",
+		p.BreakerState(victim.ID), fleetFrac)
+
+	r.check("dead block detected within detection lag", detectedDown >= k,
+		"%d/%d within %v", detectedDown, k, detectWindow)
+	r.check("schedulers evacuate leases on detected-dead workers", evacuated > 0,
+		"%.0f evacuated", evacuated)
+	regionFrac := float64(victim.LB.DetectedHealthy()) / float64(len(victim.Workers))
+	r.check("region circuit breaker opens below min healthy frac",
+		regionFrac >= cfg.BreakerMinHealthyFrac || p.BreakerState(victim.ID) == "open",
+		"region frac %.2f, breaker %s", regionFrac, p.BreakerState(victim.ID))
+	r.check("load shedding engages when fleet degrades past threshold",
+		fleetFrac >= cfg.ShedHealthyFrac || p.Central.Shed() < 1,
+		"fleet frac %.2f, shed %.2f", fleetFrac, p.Central.Shed())
+
+	faulted := ackPhase(p, fault)
+	for _, i := range crashed {
+		inj.RestartWorker(victim.ID, i)
+	}
+	ttr, finalRate, recovered := timeToRecover(p, 0.9*healthy, 2*time.Minute, ttrMax)
+	reportRecovery(r, healthy, faulted, ttr, finalRate, recovered)
+	r.check("shedding clears after recovery", p.Central.Shed() == 1, "shed %.2f", p.Central.Shed())
+	r.series("executed calls/min", time.Minute, p.Executed.Values())
+	logEvents(r, inj, 6)
+	return r
+}
+
+func schedEvacuated(reg *core.Region) float64 {
+	s := 0.0
+	for _, sc := range reg.Scheds {
+		s += sc.Evacuated.Value()
+	}
+	return s
+}
+
+func runChaosDQ(s Scale) *Result {
+	r := &Result{ID: "chaos_dq", Title: "DurableQ shard unavailability window"}
+	rg, inj := chaosRig(s, 0.60)
+	p := rg.P
+	warm, measure, fault, ttrMax := chaosWindows(s)
+
+	p.Engine.RunFor(warm)
+	healthy := ackPhase(p, measure)
+
+	victim := largestRegion(p)
+	for i := range victim.Shards {
+		inj.DownShard(victim.ID, i)
+	}
+	ackedOnVictimAtCut := shardAcked(victim)
+	faulted := ackPhase(p, fault)
+	unroutable, routeFailed := routingLosses(p)
+
+	r.row("shards down", "one region's whole pool", "%d", len(victim.Shards))
+	r.row("submissions lost to routing", "0 — QueueLB routes around", "%.0f unroutable, %.0f failed",
+		unroutable, routeFailed)
+	r.check("no submission lost while shards are down", unroutable == 0 && routeFailed == 0,
+		"unroutable=%.0f routeFailed=%.0f", unroutable, routeFailed)
+	r.check("execution continues on surviving shards", faulted > 0.5*healthy,
+		"%.1f vs %.1f RPS during the outage", faulted, healthy)
+
+	for i := range victim.Shards {
+		inj.UpShard(victim.ID, i)
+	}
+	ttr, finalRate, recovered := timeToRecover(p, 0.9*healthy, 2*time.Minute, ttrMax)
+	reportRecovery(r, healthy, faulted, ttr, finalRate, recovered)
+	ackedOnVictimAfter := shardAcked(victim)
+	r.check("returned shards drain their backlog", ackedOnVictimAfter > ackedOnVictimAtCut,
+		"%.0f acks on the victim pool after recovery", ackedOnVictimAfter-ackedOnVictimAtCut)
+	r.row("calls generated vs terminal", "at-least-once", "%.0f generated, %.0f acked, %d still queued",
+		rg.Gen.Generated.Value(), p.Acked(), p.PendingCalls())
+	r.series("executed calls/min", time.Minute, p.Executed.Values())
+	logEvents(r, inj, 8)
+	return r
+}
+
+func shardAcked(reg *core.Region) float64 {
+	s := 0.0
+	for _, sh := range reg.Shards {
+		s += sh.Acked.Value()
+	}
+	return s
+}
+
+func routingLosses(p *core.Platform) (unroutable, routeFailed float64) {
+	for _, reg := range p.Regions() {
+		unroutable += reg.QueueLB.Unroutable.Value()
+		routeFailed += reg.Normal.RouteFailed.Value() + reg.Spiky.RouteFailed.Value()
+	}
+	return unroutable, routeFailed
+}

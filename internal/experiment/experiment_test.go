@@ -37,6 +37,7 @@ func TestRegistryComplete(t *testing.T) {
 		"localitymem", "teamskew", "criticality",
 		"extension-oppfrac", "baseline-coldstart", "outage", "rim",
 		"ablation-timeshift", "ablation-gtc", "ablation-aimd",
+		"chaos_gray", "chaos_partition", "chaos_correlated", "chaos_dq",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {

@@ -86,6 +86,9 @@ type LB struct {
 
 	Routed      stats.Counter
 	CrossRegion stats.Counter
+	// Unroutable counts submissions dropped because no shard anywhere was
+	// available (total durable-queue outage).
+	Unroutable stats.Counter
 }
 
 // New returns a QueueLB for region, routing over the per-region shard
@@ -129,20 +132,55 @@ func (lb *LB) pickRegion() cluster.RegionID {
 	return lb.region
 }
 
-// Route persists the call into a DurableQ shard chosen per policy and
-// returns the shard.
+// Route persists the call into a DurableQ shard chosen per policy,
+// routing around shards in an unavailability window, and returns the
+// shard. It returns nil only when every shard everywhere is down (the
+// submitter reports the submission failure to the client).
 func (lb *LB) Route(c *function.Call) *durableq.Shard {
 	dst := lb.pickRegion()
-	pool := lb.shards[dst]
-	if len(pool) == 0 {
-		dst = lb.region
-		pool = lb.shards[dst]
+	if shard := lb.pickShard(dst); shard != nil {
+		lb.finishRoute(c, shard, dst)
+		return shard
 	}
-	shard := pool[lb.src.Intn(len(pool))]
+	// The policy's destination has no usable shard: fail over to the
+	// local region, then to every region in index order.
+	if shard := lb.pickShard(lb.region); shard != nil {
+		lb.finishRoute(c, shard, lb.region)
+		return shard
+	}
+	for j := range lb.shards {
+		if shard := lb.pickShard(cluster.RegionID(j)); shard != nil {
+			lb.finishRoute(c, shard, cluster.RegionID(j))
+			return shard
+		}
+	}
+	lb.Unroutable.Inc()
+	return nil
+}
+
+// pickShard chooses uniformly among the region's available shards (nil if
+// the region has none up).
+func (lb *LB) pickShard(region cluster.RegionID) *durableq.Shard {
+	if int(region) >= len(lb.shards) {
+		return nil
+	}
+	pool := lb.shards[region]
+	up := make([]*durableq.Shard, 0, len(pool))
+	for _, sh := range pool {
+		if !sh.IsDown() {
+			up = append(up, sh)
+		}
+	}
+	if len(up) == 0 {
+		return nil
+	}
+	return up[lb.src.Intn(len(up))]
+}
+
+func (lb *LB) finishRoute(c *function.Call, shard *durableq.Shard, dst cluster.RegionID) {
 	shard.Enqueue(c)
 	lb.Routed.Inc()
 	if dst != lb.region {
 		lb.CrossRegion.Inc()
 	}
-	return shard
 }

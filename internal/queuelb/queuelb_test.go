@@ -140,3 +140,80 @@ func TestPolicyStochasticProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRouteFailsOverFromDownShards(t *testing.T) {
+	e := sim.NewEngine()
+	topo := topo3()
+	shards := shardsFor(e, topo)
+	store := config.NewStore(e)
+	store.Set(PolicyKey, LocalFirstPolicy(topo, 1)) // all-local policy
+	lb := New(0, rng.New(4), shards, store)
+	for _, sh := range shards[0] {
+		sh.SetDown(true)
+	}
+	var id uint64
+	for i := 0; i < 50; i++ {
+		id++
+		sh := lb.Route(&function.Call{ID: id, Spec: qlbSpec()})
+		if sh == nil {
+			t.Fatal("route failed with healthy shards in other regions")
+		}
+		if sh.ID.Region == 0 {
+			t.Fatal("routed to a down shard's region")
+		}
+	}
+	if lb.Unroutable.Value() != 0 {
+		t.Fatalf("unroutable = %v", lb.Unroutable.Value())
+	}
+	if lb.CrossRegion.Value() != 50 {
+		t.Fatalf("cross-region = %v, want all 50 failed over", lb.CrossRegion.Value())
+	}
+}
+
+func TestRoutePartialShardOutageStaysLocal(t *testing.T) {
+	e := sim.NewEngine()
+	topo := topo3()
+	shards := shardsFor(e, topo)
+	store := config.NewStore(e)
+	store.Set(PolicyKey, LocalFirstPolicy(topo, 1))
+	lb := New(1, rng.New(5), shards, store)
+	// 5 of region 1's 6 shards go down; the survivor absorbs everything.
+	for _, sh := range shards[1][:5] {
+		sh.SetDown(true)
+	}
+	var id uint64
+	for i := 0; i < 40; i++ {
+		id++
+		if sh := lb.Route(&function.Call{ID: id, Spec: qlbSpec()}); sh != shards[1][5] {
+			t.Fatalf("route %d landed on %v, want the surviving local shard", i, sh.ID)
+		}
+	}
+	if lb.CrossRegion.Value() != 0 {
+		t.Fatalf("cross-region = %v with a local shard still up", lb.CrossRegion.Value())
+	}
+}
+
+func TestRouteUnroutableWhenEverythingDown(t *testing.T) {
+	e := sim.NewEngine()
+	topo := topo3()
+	shards := shardsFor(e, topo)
+	store := config.NewStore(e)
+	store.Set(PolicyKey, LocalFirstPolicy(topo, 0.5))
+	lb := New(0, rng.New(6), shards, store)
+	for _, pool := range shards {
+		for _, sh := range pool {
+			sh.SetDown(true)
+		}
+	}
+	if sh := lb.Route(&function.Call{ID: 1, Spec: qlbSpec()}); sh != nil {
+		t.Fatalf("route succeeded during a total outage: %v", sh.ID)
+	}
+	if lb.Unroutable.Value() != 1 || lb.Routed.Value() != 0 {
+		t.Fatalf("unroutable=%v routed=%v", lb.Unroutable.Value(), lb.Routed.Value())
+	}
+	// Recovery: one shard anywhere is enough again.
+	shards[2][0].SetDown(false)
+	if sh := lb.Route(&function.Call{ID: 2, Spec: qlbSpec()}); sh != shards[2][0] {
+		t.Fatal("route did not find the recovered shard")
+	}
+}

@@ -24,6 +24,14 @@ type Central struct {
 	// Scale is the opportunistic scaling factor S set by the Utilization
 	// Controller; 1 means quota-as-configured, 0 stops opportunistic work.
 	scale float64
+	// shed is the degradation controller's load-shedding factor in [0, 1]
+	// applied on top of scale: when detected capacity is lost, shedding
+	// opportunistic work protects critical traffic (paper §4.1 + §4.4's
+	// criticality ordering under a capacity crunch).
+	shed float64
+	// minCrit is the lowest criticality still admitted; calls below it
+	// wait durably in their DurableQ until the degradation clears.
+	minCrit function.Criticality
 
 	funcs map[string]*funcState
 	// Window over which global RPS is measured.
@@ -50,10 +58,12 @@ type funcState struct {
 // NewCentral returns a limiter measuring RPS over a 10-second window.
 func NewCentral(engine *sim.Engine) *Central {
 	return &Central{
-		engine: engine,
-		scale:  1,
-		funcs:  make(map[string]*funcState),
-		window: 10 * time.Second,
+		engine:  engine,
+		scale:   1,
+		shed:    1,
+		minCrit: function.CritLow,
+		funcs:   make(map[string]*funcState),
+		window:  10 * time.Second,
 	}
 }
 
@@ -65,8 +75,32 @@ func (c *Central) SetScale(s float64) {
 	c.scale = s
 }
 
-// Scale returns the current opportunistic scaling factor.
-func (c *Central) Scale() float64 { return c.scale }
+// Scale returns the effective opportunistic scaling factor: the
+// Utilization Controller's S multiplied by the degradation controller's
+// shed factor.
+func (c *Central) Scale() float64 { return c.scale * c.shed }
+
+// SetShed stores the degradation load-shedding factor (clamped to [0, 1];
+// 1 means no shedding).
+func (c *Central) SetShed(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	c.shed = f
+}
+
+// Shed returns the current shedding factor.
+func (c *Central) Shed() float64 { return c.shed }
+
+// SetMinCriticality sets the lowest criticality still admitted during
+// degradation; CritLow restores normal admission.
+func (c *Central) SetMinCriticality(m function.Criticality) { c.minCrit = m }
+
+// MinCriticality returns the degradation admission floor.
+func (c *Central) MinCriticality() function.Criticality { return c.minCrit }
 
 func (c *Central) state(spec *function.Spec) *funcState {
 	fs, ok := c.funcs[spec.Name]
@@ -107,7 +141,7 @@ func (c *Central) RPSLimit(spec *function.Spec) float64 {
 	fs := c.state(spec)
 	r := spec.QuotaMIPS / fs.avgCost
 	if spec.Quota == function.QuotaOpportunistic {
-		r *= c.scale
+		r *= c.Scale()
 	}
 	return r
 }

@@ -257,3 +257,48 @@ func TestScaleChangeRebuildsBucket(t *testing.T) {
 		t.Fatal("scale cut did not tighten admission")
 	}
 }
+
+func TestShedScalesOpportunisticLimit(t *testing.T) {
+	e := sim.NewEngine()
+	c := NewCentral(e)
+	s := reservedSpec("opp", 100)
+	s.Quota = function.QuotaOpportunistic
+	base := c.RPSLimit(s)
+	c.SetShed(0.5)
+	if got := c.RPSLimit(s); math.Abs(got-base/2) > 1e-9 {
+		t.Fatalf("limit = %v with shed 0.5, want %v", got, base/2)
+	}
+	if c.Scale() != 0.5 {
+		t.Fatalf("Scale() = %v, want scale×shed = 0.5", c.Scale())
+	}
+	// Reserved quotas are never shed — only opportunistic admission is.
+	r := reservedSpec("res", 100)
+	if got := c.RPSLimit(r); math.Abs(got-100) > 1 {
+		t.Fatalf("reserved limit = %v under shedding, want ≈100", got)
+	}
+}
+
+func TestShedClampsAndRestores(t *testing.T) {
+	e := sim.NewEngine()
+	c := NewCentral(e)
+	c.SetShed(-3)
+	if c.Shed() != 0 {
+		t.Fatalf("shed = %v, want clamp to 0", c.Shed())
+	}
+	c.SetShed(7)
+	if c.Shed() != 1 {
+		t.Fatalf("shed = %v, want clamp to 1", c.Shed())
+	}
+}
+
+func TestMinCriticalityFloor(t *testing.T) {
+	e := sim.NewEngine()
+	c := NewCentral(e)
+	if c.MinCriticality() != function.CritLow {
+		t.Fatalf("default floor = %v", c.MinCriticality())
+	}
+	c.SetMinCriticality(function.CritNormal)
+	if c.MinCriticality() != function.CritNormal {
+		t.Fatalf("floor = %v after set", c.MinCriticality())
+	}
+}

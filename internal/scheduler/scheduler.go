@@ -24,6 +24,7 @@ import (
 	"xfaas/internal/rng"
 	"xfaas/internal/sim"
 	"xfaas/internal/stats"
+	"xfaas/internal/worker"
 	"xfaas/internal/workerlb"
 
 	"errors"
@@ -94,6 +95,20 @@ type Scheduler struct {
 	runLen  int // live (non-nil, unread) entries
 	origin  map[uint64]*durableq.Shard
 
+	// In-flight call tracking: which worker holds each dispatched call,
+	// so a detected worker death evacuates exactly its leases.
+	inflight         map[uint64]*worker.Worker
+	inflightByWorker map[*worker.Worker]map[uint64]*function.Call
+
+	// AllowPull, when set, gates polling (the region circuit breaker);
+	// while it reports false the scheduler evacuates held work instead of
+	// pulling more.
+	AllowPull func() bool
+	// Reachable, when set, reports whether a source region's DurableQs
+	// are reachable from this scheduler (network partitions); nil means
+	// everything is reachable.
+	Reachable func(cluster.RegionID) bool
+
 	ticker  *sim.Ticker
 	renewer *sim.Ticker
 
@@ -138,16 +153,73 @@ func New(engine *sim.Engine, src *rng.Source, region cluster.RegionID, params Pa
 		matrix:            config.NewCache(store, gtc.MatrixKey),
 		buffers:           make(map[string]*FuncBuffer),
 		origin:            make(map[uint64]*durableq.Shard),
+		inflight:          make(map[uint64]*worker.Worker),
+		inflightByWorker:  make(map[*worker.Worker]map[uint64]*function.Call),
 		SchedulingDelay:   stats.NewHistogram(),
 		OpportunistDelay:  stats.NewHistogram(),
 		ExecutedSeries:    stats.NewTimeSeries(time.Minute, stats.ModeSum),
 		ExecutedCPUSeries: stats.NewTimeSeries(time.Minute, stats.ModeSum),
 	}
+	lb.OnWorkerDown(s.onWorkerDown)
 	s.ticker = engine.Every(params.PollInterval, s.tick)
 	if params.LeaseRenewInterval > 0 {
 		s.renewer = engine.Every(params.LeaseRenewInterval, s.renewLeases)
 	}
 	return s
+}
+
+// onWorkerDown reacts to a heartbeat-detected worker death: every call
+// this scheduler still has in flight on that worker is NACKed so its
+// DurableQ lease is released for redelivery elsewhere. Loud failures
+// (connection drops) already completed with ErrWorkerFailed and left the
+// tracking maps; this path covers silent deaths, where only detection
+// ever learns the calls are gone.
+func (s *Scheduler) onWorkerDown(w *worker.Worker) {
+	calls := s.inflightByWorker[w]
+	if len(calls) == 0 {
+		return
+	}
+	ids := make([]uint64, 0, len(calls))
+	for id := range calls {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		c := calls[id]
+		delete(s.inflight, id)
+		s.cong.OnComplete(c.Spec)
+		s.nack(c)
+		s.Evacuated.Inc()
+	}
+	delete(s.inflightByWorker, w)
+}
+
+func (s *Scheduler) track(c *function.Call, w *worker.Worker) {
+	s.inflight[c.ID] = w
+	m := s.inflightByWorker[w]
+	if m == nil {
+		m = make(map[uint64]*function.Call)
+		s.inflightByWorker[w] = m
+	}
+	m[c.ID] = c
+}
+
+// untrack removes the call from in-flight tracking, reporting whether it
+// was still tracked (false means failure detection already evacuated it
+// and any late completion callback must be ignored).
+func (s *Scheduler) untrack(c *function.Call) bool {
+	w, ok := s.inflight[c.ID]
+	if !ok {
+		return false
+	}
+	delete(s.inflight, c.ID)
+	if m := s.inflightByWorker[w]; m != nil {
+		delete(m, c.ID)
+		if len(m) == 0 {
+			delete(s.inflightByWorker, w)
+		}
+	}
+	return true
 }
 
 // renewLeases extends the lease of every call this scheduler still holds,
@@ -189,10 +261,17 @@ func (s *Scheduler) Buffered() int {
 func (s *Scheduler) RunQLen() int { return s.runLen }
 
 func (s *Scheduler) tick() {
-	if s.lb.Alive() == 0 {
-		// Total local worker outage: hand everything back to the
-		// DurableQs so other regions' schedulers can execute it, and
-		// stop pulling until workers return.
+	if s.AllowPull != nil && !s.AllowPull() {
+		// Region circuit breaker open: hand held work back to the
+		// DurableQs so other regions execute it, and stop pulling until
+		// the breaker closes.
+		s.evacuate()
+		return
+	}
+	if s.lb.DetectedHealthy() == 0 {
+		// Total detected worker outage (heartbeat view, never
+		// Worker.Failed directly): evacuate and stop pulling until
+		// detection sees workers return.
 		s.evacuate()
 		return
 	}
@@ -245,9 +324,16 @@ func (s *Scheduler) poll() {
 	row := s.matrixRow()
 	budget := s.params.PollBatch
 	scale := s.cen.Scale()
+	minCrit := s.cen.MinCriticality()
 	filter := func(c *function.Call) bool {
 		if c.Spec.Quota == function.QuotaOpportunistic && scale <= 0.01 {
 			return false // deferred: wait durably in the queue
+		}
+		if c.Spec.Criticality < minCrit {
+			// Degradation policy: during a severe capacity loss,
+			// low-criticality work waits durably so remaining capacity
+			// serves critical traffic first.
+			return false
 		}
 		// Buffer at most ~a minute of dispatchable work per function so
 		// quota-throttled calls wait in the DurableQ (not in scheduler
@@ -289,11 +375,27 @@ func (s *Scheduler) poll() {
 		pullFrom(int(s.region), budget)
 		return
 	}
+	// Drop unreachable source regions (partitions) and renormalize so
+	// their share of the poll budget goes to reachable ones instead of
+	// evaporating.
+	reach := func(j int) bool {
+		return s.Reachable == nil || s.Reachable(cluster.RegionID(j))
+	}
+	total := 0.0
 	for j, frac := range row {
-		if frac <= 0 {
+		if frac > 0 && reach(j) {
+			total += frac
+		}
+	}
+	if total <= 0 {
+		pullFrom(int(s.region), budget)
+		return
+	}
+	for j, frac := range row {
+		if frac <= 0 || !reach(j) {
 			continue
 		}
-		pullFrom(j, int(float64(budget)*frac+0.5))
+		pullFrom(j, int(float64(budget)*frac/total+0.5))
 	}
 }
 
@@ -405,13 +507,15 @@ func (s *Scheduler) dispatch() {
 			continue
 		}
 		c.DispatchAt = s.engine.Now()
-		if !s.lb.Dispatch(c, func(err error) { s.complete(c, err) }) {
+		w, ok := s.lb.DispatchTo(c, func(err error) { s.complete(c, err) })
+		if !ok {
 			rejects++
 			if rejects >= maxConsecutiveRejects {
 				break
 			}
 			continue
 		}
+		s.track(c, w)
 		rejects = 0
 		s.runQ[i] = nil
 		s.runLen--
@@ -453,6 +557,12 @@ func (s *Scheduler) recordDispatchDelay(c *function.Call) {
 }
 
 func (s *Scheduler) complete(c *function.Call, err error) {
+	if !s.untrack(c) {
+		// Failure detection already evacuated this call (the lease was
+		// NACKed and the concurrency slot released); a late completion
+		// callback must not double-complete it.
+		return
+	}
 	now := s.engine.Now()
 	s.cong.OnComplete(c.Spec)
 	if errors.Is(err, downstream.ErrBackpressure) {

@@ -386,3 +386,98 @@ func TestEvacuateOnTotalWorkerOutage(t *testing.T) {
 		t.Fatalf("terminal calls = %d of 200 after recovery", terminal)
 	}
 }
+
+// longCall enqueues n calls that run for execSecs each, so they stay in
+// flight long enough for a mid-execution fault to strand them.
+func (r *rig) enqueueLong(s *function.Spec, n int, execSecs float64) []*function.Call {
+	var out []*function.Call
+	now := r.engine.Now()
+	for i := 0; i < n; i++ {
+		r.idSeq++
+		c := &function.Call{
+			ID:         r.idSeq,
+			Spec:       s,
+			SubmitTime: now,
+			StartAfter: now,
+			Deadline:   now + s.Deadline,
+			CPUWorkM:   10,
+			MemMB:      10,
+			ExecSecs:   execSecs,
+		}
+		r.shard.Enqueue(c)
+		out = append(out, c)
+	}
+	return out
+}
+
+func TestSilentDeathDetectedViaHeartbeatsEvacuatesLeases(t *testing.T) {
+	r := newRig(1, 100000)
+	// Lease timeout far beyond the test horizon: the ONLY way these calls
+	// can be redelivered is the heartbeat → onWorkerDown → NACK path.
+	r.shard.LeaseTimeout = 30 * time.Minute
+	r.lb.StartHealthChecks(r.engine, workerlb.HealthParams{
+		Interval:              time.Second,
+		MissedThreshold:       3,
+		GraySlowdownThreshold: 4,
+		GrayThreshold:         3,
+	})
+	s := rigSpec("f", function.CritNormal)
+	calls := r.enqueueLong(s, 8, 60)
+	r.engine.RunFor(3 * time.Second)
+	if r.pool[0].Running() != 8 || r.shard.Leased() != 8 {
+		t.Fatalf("setup: running=%d leased=%d, want 8/8",
+			r.pool[0].Running(), r.shard.Leased())
+	}
+
+	// Silent death: no completion callbacks fire, so the scheduler's only
+	// source of truth is the heartbeat prober.
+	r.pool[0].FailSilent()
+	r.engine.RunFor(2500 * time.Millisecond) // probes at t=4s,5s miss — below threshold
+	if got := r.sched.Evacuated.Value(); got != 0 {
+		t.Fatalf("evacuated %v leases before detection threshold", got)
+	}
+	if r.shard.Leased() != 8 {
+		t.Fatalf("leases released early: leased=%d", r.shard.Leased())
+	}
+	r.engine.RunFor(time.Second) // third miss at t=6s: detected dead
+	if got := r.sched.Evacuated.Value(); got != 8 {
+		t.Fatalf("evacuated = %v after detection, want 8", got)
+	}
+	if r.shard.Leased() != 0 {
+		t.Fatalf("leases not released on evacuation: leased=%d", r.shard.Leased())
+	}
+
+	// Repair: one good probe flips the detected state back and the
+	// redelivered attempts drain.
+	r.pool[0].Recover()
+	r.engine.RunFor(5 * time.Minute)
+	for _, c := range calls {
+		if c.State != function.StateSucceeded {
+			t.Fatalf("call %d state = %v after recovery", c.ID, c.State)
+		}
+		if c.Attempt < 2 {
+			t.Fatalf("call %d attempt = %d, want redelivery (≥2)", c.ID, c.Attempt)
+		}
+	}
+}
+
+func TestAllowPullGateStopsPolling(t *testing.T) {
+	r := newRig(2, 100000)
+	allow := false
+	r.sched.AllowPull = func() bool { return allow }
+	s := rigSpec("f", function.CritNormal)
+	r.enqueue(s, 50)
+	r.engine.RunFor(time.Minute)
+	if got := r.sched.Polled.Value(); got != 0 {
+		t.Fatalf("scheduler polled %v calls with the breaker open", got)
+	}
+	if r.shard.Pending() != 50 {
+		t.Fatalf("pending = %d, want all 50 still queued", r.shard.Pending())
+	}
+	// Breaker closes: pulling resumes and the backlog drains.
+	allow = true
+	r.engine.RunFor(5 * time.Minute)
+	if got := r.sched.Acked.Value(); got != 50 {
+		t.Fatalf("acked = %v after breaker closed, want 50", got)
+	}
+}

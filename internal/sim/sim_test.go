@@ -241,3 +241,150 @@ func TestTimerWhen(t *testing.T) {
 		t.Fatalf("When = %v", tm.When())
 	}
 }
+
+// testRand is a tiny deterministic PRNG (SplitMix64) so the property
+// tests below are reproducible without importing the rng package into
+// the engine's own tests.
+type testRand uint64
+
+func (r *testRand) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *testRand) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func TestTimerStopInsideOwnCallback(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	var tm *Timer
+	tm = e.Schedule(time.Second, func() {
+		fired++
+		if tm.Stop() {
+			t.Error("Stop inside own callback claimed to cancel a pending fire")
+		}
+	})
+	e.RunFor(time.Minute)
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+}
+
+// TestPropertyTimersNeverFireStale schedules many timers at random
+// delays, stops a random subset at random times (including stops at the
+// exact fire instant), and verifies the stop contract: a timer fires at
+// most once, never after a Stop that reported cancellation, and every
+// un-stopped timer fires exactly once at its scheduled time.
+func TestPropertyTimersNeverFireStale(t *testing.T) {
+	for seed := 1; seed <= 5; seed++ {
+		r := testRand(seed)
+		e := NewEngine()
+		const n = 300
+		type tracked struct {
+			timer     *Timer
+			fired     int
+			firedAt   Time
+			cancelled bool // Stop() returned true before the fire time
+		}
+		timers := make([]*tracked, n)
+		for i := 0; i < n; i++ {
+			tr := &tracked{}
+			delay := time.Duration(r.intn(1000)) * time.Millisecond
+			tr.timer = e.Schedule(delay, func() { tr.fired++; tr.firedAt = e.Now() })
+			timers[i] = tr
+		}
+		// Half the timers get a stop attempt at a random time, racing the
+		// fire instant through the same event queue.
+		for i := 0; i < n; i += 2 {
+			tr := timers[i]
+			stopAt := time.Duration(r.intn(1000)) * time.Millisecond
+			e.Schedule(stopAt, func() {
+				if tr.timer.Stop() {
+					tr.cancelled = true
+				}
+			})
+		}
+		e.Run()
+		for i, tr := range timers {
+			if tr.fired > 1 {
+				t.Fatalf("seed %d timer %d fired %d times", seed, i, tr.fired)
+			}
+			if tr.cancelled && tr.fired != 0 {
+				t.Fatalf("seed %d timer %d fired after a successful Stop", seed, i)
+			}
+			if !tr.cancelled && tr.fired != 1 {
+				t.Fatalf("seed %d timer %d never fired and was never cancelled", seed, i)
+			}
+			if tr.fired == 1 && tr.firedAt != tr.timer.When() {
+				t.Fatalf("seed %d timer %d fired at %v, scheduled %v", seed, i, tr.firedAt, tr.timer.When())
+			}
+		}
+	}
+}
+
+// TestPropertyTickerStopIsFinal runs tickers at random intervals, stops
+// each at a random time, and verifies no tick ever lands after the stop
+// — including the same-instant race where the stop event and a tick are
+// scheduled for the same virtual timestamp.
+func TestPropertyTickerStopIsFinal(t *testing.T) {
+	for seed := 1; seed <= 5; seed++ {
+		r := testRand(seed * 97)
+		e := NewEngine()
+		const n = 50
+		type tracked struct {
+			ticks       int
+			ticksAtStop int
+			stopped     bool
+		}
+		tickers := make([]*tracked, n)
+		for i := 0; i < n; i++ {
+			tr := &tracked{}
+			tickers[i] = tr
+			interval := time.Duration(1+r.intn(50)) * time.Millisecond
+			tk := e.Every(interval, func() { tr.ticks++ })
+			// Stop at a random multiple of the interval half the time, so
+			// stop events frequently collide with tick instants.
+			var stopAt time.Duration
+			if i%2 == 0 {
+				stopAt = time.Duration(1+r.intn(20)) * interval
+			} else {
+				stopAt = time.Duration(r.intn(1000)) * time.Millisecond
+			}
+			e.At(stopAt, func() {
+				tk.Stop()
+				tr.stopped = true
+				tr.ticksAtStop = tr.ticks
+			})
+		}
+		e.RunFor(2 * time.Second)
+		for i, tr := range tickers {
+			if !tr.stopped {
+				t.Fatalf("seed %d ticker %d never stopped", seed, i)
+			}
+			if tr.ticks != tr.ticksAtStop {
+				t.Fatalf("seed %d ticker %d ticked %d times after Stop", seed, i, tr.ticks-tr.ticksAtStop)
+			}
+		}
+	}
+}
+
+// TestTickerStopSameInstantAsTick pins the deterministic tie-break: a
+// stop event scheduled for the exact instant of the next tick, but
+// enqueued earlier, wins — the tick must not fire.
+func TestTickerStopSameInstantAsTick(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	var tk *Ticker
+	// The stop event is scheduled first, so at t=30ms it fires before the
+	// colliding third tick (same-instant FIFO).
+	stopAt := 30 * time.Millisecond
+	e.At(stopAt, func() { tk.Stop() })
+	tk = e.Every(10*time.Millisecond, func() { ticks++ })
+	e.RunFor(time.Second)
+	if ticks != 2 {
+		t.Fatalf("ticks = %d, want 2 (stop wins the same-instant race)", ticks)
+	}
+}

@@ -78,6 +78,9 @@ type Submitter struct {
 	Throttled     stats.Counter
 	ArgsOffloaded stats.Counter
 	Batches       stats.Counter
+	// RouteFailed counts calls the QueueLB could not persist anywhere
+	// (total durable-queue outage); the client sees a failed submission.
+	RouteFailed stats.Counter
 }
 
 type clientState struct {
@@ -174,7 +177,9 @@ func (s *Submitter) flush() {
 		return
 	}
 	for _, c := range s.batch {
-		s.lb.Route(c)
+		if s.lb.Route(c) == nil {
+			s.RouteFailed.Inc()
+		}
 	}
 	s.batch = s.batch[:0]
 	s.Batches.Inc()

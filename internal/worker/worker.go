@@ -101,7 +101,11 @@ type Worker struct {
 
 	downstreams *downstream.Registry
 
-	failed   bool
+	failed bool
+	// slowdown stretches every execution (and health-probe response) by
+	// this factor; 1 is nominal. A gray worker runs at 5–20% speed, i.e.
+	// slowdown 5–20, without dying — the hardest failure mode to detect.
+	slowdown float64
 	running  map[uint64]*runningCall
 	cpuInUse float64
 	workMem  float64
@@ -135,6 +139,7 @@ func New(id ID, engine *sim.Engine, params Params, src *rng.Source, ds *downstre
 		src:         src,
 		Runtime:     jit.NewRuntime(params.JIT),
 		downstreams: ds,
+		slowdown:    1,
 		running:     make(map[uint64]*runningCall),
 		code:        make(map[string]*codeEntry),
 		seen:        make(map[string]sim.Time),
@@ -263,7 +268,7 @@ func (w *Worker) TryExecute(c *function.Call, done func(error)) bool {
 
 	speed := w.Runtime.SpeedFactor(c.Spec.Name, now)
 	baseSecs, rate := w.callShape(c)
-	duration := time.Duration(baseSecs * speed * float64(time.Second))
+	duration := time.Duration(baseSecs * speed * w.slowdown * float64(time.Second))
 	if duration < time.Millisecond {
 		duration = time.Millisecond
 	}
@@ -296,37 +301,79 @@ func (w *Worker) TryExecute(c *function.Call, done func(error)) bool {
 // receives ErrWorkerFailed (the load balancer observing the connection
 // drop), resident state is lost, and the worker accepts no further work
 // until Recover.
-func (w *Worker) Fail() {
+func (w *Worker) Fail() { w.fail(true) }
+
+// FailSilent kills the worker without delivering any completion
+// callbacks: in-flight calls simply never finish, as when a machine
+// wedges or loses power with no connection reset reaching the caller.
+// Only heartbeat-based detection can discover a silent failure.
+func (w *Worker) FailSilent() { w.fail(false) }
+
+func (w *Worker) fail(notify bool) {
 	if w.failed {
 		return
 	}
 	w.failed = true
-	// Deterministic order for callback side effects.
-	ids := make([]uint64, 0, len(w.running))
-	for id := range w.running {
-		ids = append(ids, id)
-	}
-	sortUint64(ids)
-	for _, id := range ids {
-		rc := w.running[id]
-		rc.timer.Stop()
-		delete(w.running, id)
-		w.Failures.Inc()
-		rc.done(ErrWorkerFailed)
-	}
+	w.slowdown = 1
+	// Tear resident state down before invoking completion callbacks: a
+	// callback may re-enter Recover/TryExecute, and the accounting of any
+	// call it starts must not be wiped by a teardown running after it.
+	victims := w.running
+	w.running = make(map[uint64]*runningCall)
 	w.cpuInUse = 0
 	w.workMem = 0
 	w.codeMB = 0
 	w.code = make(map[string]*codeEntry)
 	w.Runtime = jit.NewRuntime(w.params.JIT)
+	// Deterministic order for callback side effects.
+	ids := make([]uint64, 0, len(victims))
+	for id := range victims {
+		ids = append(ids, id)
+	}
+	sortUint64(ids)
+	for _, id := range ids {
+		rc := victims[id]
+		rc.timer.Stop()
+		w.Failures.Inc()
+		if notify {
+			rc.done(ErrWorkerFailed)
+		}
+	}
 }
 
 // Failed reports whether the worker is down.
 func (w *Worker) Failed() bool { return w.failed }
 
 // Recover brings a failed worker back with a cold runtime (code reloads
-// from SSD on demand; JIT state restarts per the cooperative-JIT model).
-func (w *Worker) Recover() { w.failed = false }
+// from SSD on demand; JIT state restarts per the cooperative-JIT model)
+// and nominal speed.
+func (w *Worker) Recover() {
+	w.failed = false
+	w.slowdown = 1
+}
+
+// SetSlowdown degrades (factor > 1) or restores (factor = 1) the worker's
+// execution speed: a gray failure where the machine still answers but
+// runs everything factor times slower. Factors below 1 clamp to 1.
+func (w *Worker) SetSlowdown(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	w.slowdown = factor
+}
+
+// Slowdown returns the current gray-degradation factor (1 = nominal).
+func (w *Worker) Slowdown() float64 { return w.slowdown }
+
+// Probe answers a health check. ok is false when the worker is down
+// (loudly or silently); otherwise the returned slowdown factor is the
+// prober's proxy for response latency, exposing gray degradation.
+func (w *Worker) Probe() (ok bool, slowdown float64) {
+	if w.failed {
+		return false, 0
+	}
+	return true, w.slowdown
+}
 
 func sortUint64(ids []uint64) {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })

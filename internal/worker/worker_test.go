@@ -339,3 +339,137 @@ func TestWorkerFailIdempotent(t *testing.T) {
 		t.Fatal("worker should be failed")
 	}
 }
+
+func TestWorkerDoubleFailDeliversExactlyOnce(t *testing.T) {
+	e := sim.NewEngine()
+	w := newWorker(e, DefaultParams())
+	s := testSpec("f")
+	counts := make(map[uint64]int)
+	for i := 0; i < 5; i++ {
+		c := testCall(s, 10, 1, 100)
+		w.TryExecute(c, func(err error) {
+			if !errors.Is(err, ErrWorkerFailed) {
+				t.Errorf("call %d: err = %v", c.ID, err)
+			}
+			counts[c.ID]++
+		})
+	}
+	e.RunFor(time.Second)
+	w.Fail()
+	w.Fail() // second Fail must not re-deliver
+	if len(counts) != 5 {
+		t.Fatalf("callbacks reached %d calls, want 5", len(counts))
+	}
+	for id, n := range counts {
+		if n != 1 {
+			t.Fatalf("call %d completed %d times, want exactly once", id, n)
+		}
+	}
+	e.RunFor(time.Hour) // stopped execution timers must not re-fire
+	for id, n := range counts {
+		if n != 1 {
+			t.Fatalf("call %d completed %d times after idle hour", id, n)
+		}
+	}
+}
+
+func TestFailSilentDropsInflightWithoutCallbacks(t *testing.T) {
+	e := sim.NewEngine()
+	w := newWorker(e, DefaultParams())
+	s := testSpec("f")
+	callbacks := 0
+	for i := 0; i < 4; i++ {
+		w.TryExecute(testCall(s, 10, 1, 100), func(error) { callbacks++ })
+	}
+	e.RunFor(time.Second)
+	w.FailSilent()
+	if callbacks != 0 {
+		t.Fatalf("silent failure delivered %d callbacks", callbacks)
+	}
+	if w.Running() != 0 || w.Load() != 0 {
+		t.Fatalf("accounting survives silent failure: running=%d load=%v", w.Running(), w.Load())
+	}
+	if ok, _ := w.Probe(); ok {
+		t.Fatal("silently failed worker answered a probe")
+	}
+	if w.TryExecute(testCall(s, 10, 1, 1), func(error) {}) {
+		t.Fatal("silently failed worker accepted work")
+	}
+	e.RunFor(time.Hour)
+	if callbacks != 0 {
+		t.Fatalf("dropped calls completed later: %d callbacks", callbacks)
+	}
+}
+
+func TestFailReentrantCallbackSurvivesTeardown(t *testing.T) {
+	e := sim.NewEngine()
+	w := newWorker(e, DefaultParams())
+	s := testSpec("f")
+	// The first victim's completion callback recovers the worker and
+	// starts a new call — teardown must already be finished so the new
+	// call's accounting is not wiped.
+	restarted := false
+	w.TryExecute(testCall(s, 10, 1, 100), func(error) {
+		w.Recover()
+		restarted = w.TryExecute(testCall(s, 10, 1, 0.1), func(error) {})
+	})
+	later := 0
+	w.TryExecute(testCall(s, 10, 1, 100), func(error) { later++ })
+	e.RunFor(time.Second)
+	w.Fail()
+	if !restarted {
+		t.Fatal("re-entrant TryExecute rejected after Recover")
+	}
+	if later != 1 {
+		t.Fatalf("second victim delivered %d times", later)
+	}
+	if w.Failed() || w.Running() != 1 {
+		t.Fatalf("post-fail state: failed=%v running=%d, want recovered with 1 running", w.Failed(), w.Running())
+	}
+	done := w.Executions.Value()
+	e.RunFor(time.Minute)
+	if w.Executions.Value() != done+1 {
+		t.Fatal("re-entrant call never completed")
+	}
+}
+
+func TestSlowdownStretchesExecution(t *testing.T) {
+	run := func(slowdown float64) sim.Time {
+		e := sim.NewEngine()
+		w := newWorker(e, DefaultParams())
+		w.SetSlowdown(slowdown)
+		var at sim.Time
+		w.TryExecute(testCall(testSpec("f"), 10, 1, 1), func(error) { at = e.Now() })
+		e.RunFor(time.Hour)
+		return at
+	}
+	base := run(1)
+	gray := run(4)
+	if base <= 0 || gray != 4*base {
+		t.Fatalf("durations %v and %v, want exactly 4x", base, gray)
+	}
+}
+
+func TestSlowdownClampAndProbe(t *testing.T) {
+	e := sim.NewEngine()
+	w := newWorker(e, DefaultParams())
+	if ok, slow := w.Probe(); !ok || slow != 1 {
+		t.Fatalf("healthy probe = (%v, %v)", ok, slow)
+	}
+	w.SetSlowdown(0.25) // speedups clamp to nominal
+	if w.Slowdown() != 1 {
+		t.Fatalf("slowdown = %v after clamp", w.Slowdown())
+	}
+	w.SetSlowdown(8)
+	if ok, slow := w.Probe(); !ok || slow != 8 {
+		t.Fatalf("gray probe = (%v, %v)", ok, slow)
+	}
+	w.Fail()
+	if ok, _ := w.Probe(); ok {
+		t.Fatal("failed worker answered probe")
+	}
+	w.Recover() // recovery resets the gray degradation too
+	if ok, slow := w.Probe(); !ok || slow != 1 {
+		t.Fatalf("recovered probe = (%v, %v)", ok, slow)
+	}
+}

@@ -1,0 +1,181 @@
+package workerlb
+
+import (
+	"time"
+
+	"xfaas/internal/sim"
+	"xfaas/internal/worker"
+)
+
+// HealthState is the LB's detected view of one worker. Detection always
+// lags reality: a worker is Dead or Gray only after enough probes said so.
+type HealthState int
+
+const (
+	// Healthy workers receive traffic normally.
+	Healthy HealthState = iota
+	// Gray workers answer probes but run degraded; the LB routes around
+	// them.
+	Gray
+	// Dead workers missed enough consecutive heartbeats; the LB stops
+	// dispatching to them and notifies OnWorkerDown subscribers so
+	// schedulers can evacuate leases.
+	Dead
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Gray:
+		return "gray"
+	case Dead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// HealthParams configure the heartbeat prober.
+type HealthParams struct {
+	// Interval is the probe cadence.
+	Interval time.Duration
+	// MissedThreshold is the consecutive missed probes before Dead.
+	MissedThreshold int
+	// GraySlowdownThreshold is the probe slowdown factor (1 = nominal)
+	// at or above which a probe counts as slow.
+	GraySlowdownThreshold float64
+	// GrayThreshold is the consecutive slow probes before Gray.
+	GrayThreshold int
+}
+
+type workerHealth struct {
+	state      HealthState
+	missed     int
+	slowStreak int
+}
+
+// StartHealthChecks begins probing every worker each interval. Before the
+// first probe all workers are presumed healthy; each transition to Dead
+// invokes the OnWorkerDown subscribers with the worker, in pool order.
+func (lb *LB) StartHealthChecks(engine *sim.Engine, hp HealthParams) {
+	if hp.Interval <= 0 {
+		panic("workerlb: non-positive health-check interval")
+	}
+	if hp.MissedThreshold < 1 {
+		hp.MissedThreshold = 1
+	}
+	if hp.GrayThreshold < 1 {
+		hp.GrayThreshold = 1
+	}
+	if hp.GraySlowdownThreshold <= 1 {
+		hp.GraySlowdownThreshold = 1.0000001
+	}
+	lb.hp = hp
+	lb.health = make([]workerHealth, len(lb.workers))
+	lb.index = make(map[*worker.Worker]int, len(lb.workers))
+	for i, w := range lb.workers {
+		lb.index[w] = i
+	}
+	lb.prober = engine.Every(hp.Interval, lb.probeAll)
+}
+
+// StopHealthChecks halts the prober (teardown in tests).
+func (lb *LB) StopHealthChecks() {
+	if lb.prober != nil {
+		lb.prober.Stop()
+		lb.prober = nil
+	}
+}
+
+// OnWorkerDown registers fn to run when a worker transitions to detected
+// Dead. Schedulers subscribe to evacuate the leases of calls they have in
+// flight on that worker.
+func (lb *LB) OnWorkerDown(fn func(*worker.Worker)) {
+	lb.onDown = append(lb.onDown, fn)
+}
+
+func (lb *LB) probeAll() {
+	for i, w := range lb.workers {
+		h := &lb.health[i]
+		ok, slowdown := w.Probe()
+		if !ok {
+			h.missed++
+			h.slowStreak = 0
+			if h.missed >= lb.hp.MissedThreshold && h.state != Dead {
+				h.state = Dead
+				lb.DetectedDead.Inc()
+				for _, fn := range lb.onDown {
+					fn(w)
+				}
+			}
+			continue
+		}
+		h.missed = 0
+		if h.state == Dead {
+			h.state = Healthy
+			lb.DetectedRecovered.Inc()
+		}
+		if slowdown >= lb.hp.GraySlowdownThreshold {
+			h.slowStreak++
+			if h.slowStreak >= lb.hp.GrayThreshold && h.state == Healthy {
+				h.state = Gray
+				lb.DetectedGray.Inc()
+			}
+		} else {
+			h.slowStreak = 0
+			if h.state == Gray {
+				h.state = Healthy
+				lb.DetectedRecovered.Inc()
+			}
+		}
+	}
+}
+
+// StateOf returns the detected health of a pool worker. Without health
+// checks configured, detection degenerates to direct observation: a
+// failed worker reads as Dead immediately (zero detection lag).
+func (lb *LB) StateOf(w *worker.Worker) HealthState {
+	if lb.health == nil {
+		if w.Failed() {
+			return Dead
+		}
+		return Healthy
+	}
+	i, ok := lb.index[w]
+	if !ok {
+		return Healthy
+	}
+	return lb.health[i].state
+}
+
+// DetectedHealthy counts workers currently believed healthy (not Dead,
+// not Gray). Schedulers gate polling on this — never on Worker.Failed —
+// so every failure reaction flows through the detection protocol and its
+// configured lag.
+func (lb *LB) DetectedHealthy() int {
+	if lb.health == nil {
+		return lb.Alive()
+	}
+	n := 0
+	for i := range lb.health {
+		if lb.health[i].state == Healthy {
+			n++
+		}
+	}
+	return n
+}
+
+// DetectedDown counts workers currently marked Dead.
+func (lb *LB) DetectedDown() int {
+	if lb.health == nil {
+		return len(lb.workers) - lb.Alive()
+	}
+	n := 0
+	for i := range lb.health {
+		if lb.health[i].state == Dead {
+			n++
+		}
+	}
+	return n
+}

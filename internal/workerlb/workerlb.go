@@ -10,6 +10,7 @@ import (
 	"xfaas/internal/function"
 	"xfaas/internal/locality"
 	"xfaas/internal/rng"
+	"xfaas/internal/sim"
 	"xfaas/internal/stats"
 	"xfaas/internal/worker"
 )
@@ -21,8 +22,20 @@ type LB struct {
 	assign  *locality.Assignment
 	groups  [][]*worker.Worker
 
+	// Heartbeat health detection (nil health until StartHealthChecks).
+	hp     HealthParams
+	health []workerHealth
+	index  map[*worker.Worker]int
+	prober *sim.Ticker
+	onDown []func(*worker.Worker)
+
 	Dispatched stats.Counter
 	Rejected   stats.Counter
+	// DetectedDead / DetectedGray / DetectedRecovered count health-state
+	// transitions observed by the prober.
+	DetectedDead      stats.Counter
+	DetectedGray      stats.Counter
+	DetectedRecovered stats.Counter
 }
 
 // New returns a load balancer over the pool with no locality assignment
@@ -97,27 +110,50 @@ func (lb *LB) GroupPool(spec *function.Spec) []*worker.Worker {
 // reports false if no chosen worker could accept (the caller keeps the
 // call queued — flow control).
 func (lb *LB) Dispatch(c *function.Call, done func(error)) bool {
+	_, ok := lb.DispatchTo(c, done)
+	return ok
+}
+
+// DispatchTo is Dispatch exposing the chosen worker, so callers can track
+// which machine holds each in-flight call (lease evacuation on detected
+// worker death needs the association).
+func (lb *LB) DispatchTo(c *function.Call, done func(error)) (*worker.Worker, bool) {
 	pool := lb.GroupPool(c.Spec)
 	if len(pool) == 0 {
 		lb.Rejected.Inc()
-		return false
+		return nil, false
 	}
-	a := pool[lb.src.Intn(len(pool))]
-	b := pool[lb.src.Intn(len(pool))]
+	a := lb.choose(pool)
+	b := lb.choose(pool)
 	first, second := a, b
 	if b.Load() < a.Load() {
 		first, second = b, a
 	}
 	if first.TryExecute(c, done) {
 		lb.Dispatched.Inc()
-		return true
+		return first, true
 	}
 	if second != first && second.TryExecute(c, done) {
 		lb.Dispatched.Inc()
-		return true
+		return second, true
 	}
 	lb.Rejected.Inc()
-	return false
+	return nil, false
+}
+
+// choose draws one power-of-two candidate, redrawing a bounded number of
+// times while the draw is marked Dead or Gray so detected-bad workers
+// stop receiving traffic. If no healthy-marked worker turns up, the last
+// draw stands and the dispatch fails in-band via admission control.
+func (lb *LB) choose(pool []*worker.Worker) *worker.Worker {
+	w := pool[lb.src.Intn(len(pool))]
+	if lb.health == nil {
+		return w
+	}
+	for tries := 0; tries < 3 && lb.StateOf(w) != Healthy; tries++ {
+		w = pool[lb.src.Intn(len(pool))]
+	}
+	return w
 }
 
 // MeanUtilization returns the pool's average CPU utilization.
