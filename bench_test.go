@@ -136,6 +136,10 @@ func BenchmarkSubmitPath(b *testing.B) {
 	reg.MustRegister(spec)
 	p := xfaas.New(cfg, reg)
 	src := xfaas.NewRand(1)
+	var clients [8]string
+	for i := range clients {
+		clients[i] = fmt.Sprintf("client-%d", i)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -145,7 +149,7 @@ func BenchmarkSubmitPath(b *testing.B) {
 			MemMB:    src.LogNormal(math.Log(8), 0.3),
 			ExecSecs: src.LogNormal(math.Log(0.05), 0.3),
 		}
-		if err := p.Submit(0, fmt.Sprintf("client-%d", i%8), c); err != nil {
+		if err := p.Submit(0, clients[i%8], c); err != nil {
 			b.Fatal(err)
 		}
 		if i%256 == 255 {

@@ -1,0 +1,269 @@
+// Command xfaas-bench runs the platform's performance benchmarks and
+// emits one trajectory point as JSON: simulated-calls-per-wall-second for
+// the end-to-end platform benches plus ns/op and allocs/op for every
+// benchmark. CI runs it at quick scale on every push (see
+// .github/workflows/ci.yml) and fails the build when the headline
+// numbers regress against the checked-in bench_baseline.json; the dated
+// BENCH_<date>.json artifacts form the performance trajectory described
+// in DESIGN.md's "Performance methodology".
+//
+// Usage:
+//
+//	xfaas-bench                       # full scale, writes BENCH_<date>.json
+//	xfaas-bench -quick                # CI scale (fewer iterations)
+//	xfaas-bench -quick -baseline bench_baseline.json   # regression gate
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"xfaas"
+	"xfaas/internal/sim"
+)
+
+// Result is one benchmark's measurements. SimCallsPerSec is zero for
+// micro-benchmarks that do not drive the whole platform.
+type Result struct {
+	Iterations     int     `json:"iterations"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	SimCallsPerSec float64 `json:"simcalls_per_sec,omitempty"`
+}
+
+// Report is the BENCH_<date>.json document.
+type Report struct {
+	Schema     string            `json:"schema"`
+	Date       string            `json:"date"`
+	Quick      bool              `json:"quick"`
+	GoVersion  string            `json:"go"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		quick     = flag.Bool("quick", false, "CI scale: fewer iterations per benchmark")
+		out       = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		baseline  = flag.String("baseline", "", "baseline JSON to compare against; regressions beyond -tolerance fail")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional regression vs baseline")
+	)
+	flag.Parse()
+
+	rep := Report{
+		Schema:     "xfaas-bench/v1",
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Quick:      *quick,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: map[string]Result{},
+	}
+
+	run := func(name string, r Result) {
+		rep.Benchmarks[name] = r
+		line := fmt.Sprintf("%-18s %8d iters  %14.1f ns/op  %8d B/op  %6d allocs/op",
+			name, r.Iterations, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		if r.SimCallsPerSec > 0 {
+			line += fmt.Sprintf("  %10.0f simcalls/s", r.SimCallsPerSec)
+		}
+		fmt.Println(line)
+	}
+
+	run("PlatformSmall", benchPlatform(3, 12, 10))
+	if !*quick {
+		run("PlatformLarge", benchPlatform(12, 48, 40))
+	}
+	submitN := 200000
+	if *quick {
+		submitN = 50000
+	}
+	run("SubmitPath", benchSubmitPath(submitN))
+	run("EngineScheduleRun", benchEngine())
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + rep.Date + ".json"
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("marshal: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal("write %s: %v", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+
+	if *baseline != "" {
+		if err := checkRegression(rep, *baseline, *tolerance); err != nil {
+			fatal("REGRESSION: %v", err)
+		}
+		fmt.Printf("no regression vs %s (tolerance %.0f%%)\n", *baseline, *tolerance*100)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xfaas-bench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// checkRegression gates the two headline numbers: end-to-end simulation
+// throughput (PlatformSmall simcalls/s — lower is a regression) and
+// submit-path allocation count (SubmitPath allocs/op — higher is a
+// regression). Both use a fractional tolerance so runner-to-runner
+// hardware variance does not flap the gate.
+func checkRegression(rep Report, baselinePath string, tol float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse baseline: %w", err)
+	}
+
+	cur, ok := rep.Benchmarks["PlatformSmall"]
+	bas, bok := base.Benchmarks["PlatformSmall"]
+	if ok && bok && bas.SimCallsPerSec > 0 {
+		floor := bas.SimCallsPerSec * (1 - tol)
+		if cur.SimCallsPerSec < floor {
+			return fmt.Errorf("PlatformSmall simcalls/s %.0f < %.0f (baseline %.0f - %.0f%%)",
+				cur.SimCallsPerSec, floor, bas.SimCallsPerSec, tol*100)
+		}
+	}
+	cur, ok = rep.Benchmarks["SubmitPath"]
+	bas, bok = base.Benchmarks["SubmitPath"]
+	if ok && bok && bas.AllocsPerOp > 0 {
+		ceil := float64(bas.AllocsPerOp) * (1 + tol)
+		if float64(cur.AllocsPerOp) > ceil {
+			return fmt.Errorf("SubmitPath allocs/op %d > %.1f (baseline %d + %.0f%%)",
+				cur.AllocsPerOp, ceil, bas.AllocsPerOp, tol*100)
+		}
+	}
+	return nil
+}
+
+// benchPlatform measures end-to-end control-plane throughput: a fresh
+// platform per iteration runs 30 simulated minutes of generated load;
+// the reported rate is simulated calls completed per wall-clock second.
+// Mirrors BenchmarkPlatformSmall/Large in bench_test.go.
+func benchPlatform(regions, workers int, rps float64) Result {
+	pcfg := xfaas.DefaultPopulationConfig()
+	pcfg.Functions = 60
+	pcfg.TotalRPS = rps
+	pcfg.SpikyFunctions = 0
+	pcfg.MidnightSpikeFrac = 0
+	totalCalls := 0.0
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		totalCalls = 0
+		for i := 0; i < b.N; i++ {
+			cfg := xfaas.DefaultConfig()
+			cfg.Seed = uint64(i + 1)
+			cfg.Cluster.Regions = regions
+			cfg.Cluster.TotalWorkers = workers
+			cfg.CodePushInterval = 0
+			pop := xfaas.NewPopulation(pcfg, xfaas.NewRand(cfg.Seed+100))
+			p := xfaas.New(cfg, pop.Registry)
+			gen := xfaas.NewGenerator(p.Engine, pop, p.Topo.CapacityShare(), p.SubmitFunc(), xfaas.NewRand(cfg.Seed+200))
+			gen.Start()
+			p.Engine.RunFor(30 * time.Minute)
+			totalCalls += gen.Generated.Value()
+		}
+	})
+	r := toResult(res)
+	if secs := res.T.Seconds(); secs > 0 {
+		r.SimCallsPerSec = totalCalls / secs
+	}
+	return r
+}
+
+// benchSubmitPath measures the per-call submit hot path at a fixed
+// iteration count (pool warm-up amortizes away only over many calls).
+// Mirrors BenchmarkSubmitPath in bench_test.go.
+func benchSubmitPath(n int) Result {
+	cfg := xfaas.DefaultConfig()
+	cfg.Cluster.Regions = 1
+	cfg.Cluster.TotalWorkers = 4
+	cfg.CodePushInterval = 0
+	reg := xfaas.NewRegistry()
+	spec := &xfaas.FunctionSpec{
+		Name: "bench-fn", Namespace: "main", Runtime: "php",
+		Trigger: xfaas.TriggerQueue, Deadline: time.Hour,
+		Retry: xfaas.RetryPolicy{MaxAttempts: 3, Backoff: 10 * time.Second},
+		Zone:  xfaas.NewZone(xfaas.Internal),
+		Resources: xfaas.ResourceModel{
+			CPUMu: math.Log(10), CPUSigma: 0.3,
+			MemMu: math.Log(8), MemSigma: 0.3,
+			TimeMu: math.Log(0.05), TimeSigma: 0.3,
+			CodeMB: 8, JITCodeMB: 4,
+		},
+	}
+	reg.MustRegister(spec)
+	p := xfaas.New(cfg, reg)
+	src := xfaas.NewRand(1)
+	var clients [8]string
+	for i := range clients {
+		clients[i] = fmt.Sprintf("client-%d", i)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		c := &xfaas.Call{
+			Spec:     spec,
+			CPUWorkM: src.LogNormal(math.Log(10), 0.3),
+			MemMB:    src.LogNormal(math.Log(8), 0.3),
+			ExecSecs: src.LogNormal(math.Log(0.05), 0.3),
+		}
+		if err := p.Submit(0, clients[i%8], c); err != nil {
+			fatal("submit: %v", err)
+		}
+		if i%256 == 255 {
+			p.Engine.RunFor(time.Second)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return Result{
+		Iterations:  n,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(n),
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(n),
+	}
+}
+
+// benchEngine measures the event-queue primitive: schedule one event and
+// run it to completion.
+func benchEngine() Result {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngine()
+		cnt := 0
+		fn := func() { cnt++ }
+		for i := 0; i < b.N; i++ {
+			e.Schedule(time.Duration(i%1000)*time.Microsecond, fn)
+			e.Run()
+		}
+	})
+	return toResult(res)
+}
+
+func toResult(res testing.BenchmarkResult) Result {
+	return Result{
+		Iterations:  res.N,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+}

@@ -46,7 +46,7 @@ func ramp(seeded bool) *stats.TimeSeries {
 				ID: id, Spec: specs[draw.Intn(nFuncs)],
 				CPUWorkM: 200, MemMB: 16, ExecSecs: 0.1,
 			}
-			w.TryExecute(c, func(error) { completions.Record(engine.Now(), 1) })
+			w.TryExecute(c, func(*function.Call, error) { completions.Record(engine.Now(), 1) })
 		}
 	})
 	engine.RunFor(30 * time.Minute)

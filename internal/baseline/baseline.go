@@ -64,7 +64,7 @@ type container struct {
 	host      *host
 	state     containerState
 	memMB     float64
-	idleTimer *sim.Timer
+	idleTimer sim.Timer
 }
 
 type host struct {

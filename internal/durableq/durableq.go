@@ -7,9 +7,7 @@
 package durableq
 
 import (
-	"container/heap"
 	"fmt"
-	"sort"
 	"time"
 
 	"xfaas/internal/cluster"
@@ -26,9 +24,15 @@ type ShardID struct {
 
 func (s ShardID) String() string { return fmt.Sprintf("dq-%d-%d", s.Region, s.Index) }
 
+// lease records one outstanding delivery. Lease objects are pooled per
+// shard: every offered call needs one, and recycling them (plus their
+// prebuilt expiry closure) keeps the offer path allocation-free in
+// steady state.
 type lease struct {
 	call  *function.Call
-	timer *sim.Timer
+	id    uint64
+	timer sim.Timer
+	fire  func() // prebuilt s.expire(l) closure, built once per object
 }
 
 // Shard is one durable queue shard.
@@ -43,6 +47,7 @@ type Shard struct {
 	funcNames []string // sorted; parallel index for deterministic polling
 	cursor    int      // round-robin position for fairness across functions
 	leases    map[uint64]*lease
+	freeLease []*lease
 	// down marks an unavailability window (storage maintenance, network
 	// isolation): the shard's durable state survives, but no request —
 	// enqueue, poll, ack, nack, renew — succeeds until it returns.
@@ -93,9 +98,9 @@ func (s *Shard) Enqueue(c *function.Call) bool {
 		q = &callHeap{}
 		s.queues[c.Spec.Name] = q
 		s.funcNames = append(s.funcNames, c.Spec.Name)
-		sort.Strings(s.funcNames)
+		sortStrings(s.funcNames)
 	}
-	heap.Push(q, queued{call: c, readyAt: c.StartAfter})
+	q.push(queued{call: c, readyAt: c.StartAfter})
 	s.Enqueued.Inc()
 	s.pending++
 	return true
@@ -128,16 +133,23 @@ func (s *Shard) PendingReady(now sim.Time) int {
 // are offered (used for function-subset pulls); rejected calls stay
 // queued.
 func (s *Shard) Poll(max int, filter func(*function.Call) bool) []*function.Call {
+	return s.PollInto(nil, max, filter)
+}
+
+// PollInto is Poll appending into dst, so a caller polling every tick
+// can reuse one scratch buffer instead of allocating a result slice per
+// shard per tick.
+func (s *Shard) PollInto(dst []*function.Call, max int, filter func(*function.Call) bool) []*function.Call {
 	if s.down || max <= 0 || len(s.funcNames) == 0 {
-		return nil
+		return dst
 	}
 	now := s.engine.Now()
-	var out []*function.Call
+	taken := 0
 	n := len(s.funcNames)
-	for scanned := 0; scanned < n && len(out) < max; scanned++ {
+	for scanned := 0; scanned < n && taken < max; scanned++ {
 		name := s.funcNames[(s.cursor+scanned)%n]
 		q := s.queues[name]
-		for q.Len() > 0 && len(out) < max {
+		for q.Len() > 0 && taken < max {
 			top := (*q)[0]
 			if top.readyAt > now {
 				break
@@ -145,32 +157,62 @@ func (s *Shard) Poll(max int, filter func(*function.Call) bool) []*function.Call
 			if filter != nil && !filter(top.call) {
 				break
 			}
-			heap.Pop(q)
+			q.pop()
 			s.pending--
-			out = append(out, s.offer(top.call))
+			dst = append(dst, s.offer(top.call))
+			taken++
 		}
 	}
 	s.cursor = (s.cursor + 1) % n
-	return out
+	return dst
 }
 
 func (s *Shard) offer(c *function.Call) *function.Call {
 	c.State = function.StateLeased
 	c.Attempt++
-	l := &lease{call: c}
-	l.timer = s.engine.Schedule(s.LeaseTimeout, func() { s.expireLease(c.ID) })
+	l := s.getLease()
+	l.call = c
+	l.id = c.ID
+	l.timer = s.engine.Schedule(s.LeaseTimeout, l.fire)
 	s.leases[c.ID] = l
 	return c
 }
 
-func (s *Shard) expireLease(id uint64) {
-	l, ok := s.leases[id]
-	if !ok {
+// getLease recycles a lease object, building its expiry closure exactly
+// once per object lifetime.
+func (s *Shard) getLease() *lease {
+	if n := len(s.freeLease); n > 0 {
+		l := s.freeLease[n-1]
+		s.freeLease[n-1] = nil
+		s.freeLease = s.freeLease[:n-1]
+		return l
+	}
+	l := &lease{}
+	l.fire = func() { s.expire(l) }
+	return l
+}
+
+// putLease returns a settled lease to the pool. The caller must have
+// stopped (or observed the firing of) l.timer first; the engine's
+// generation-checked timers guarantee a recycled lease can never receive
+// a stale expiry.
+func (s *Shard) putLease(l *lease) {
+	l.call = nil
+	l.id = 0
+	l.timer = sim.Timer{}
+	s.freeLease = append(s.freeLease, l)
+}
+
+func (s *Shard) expire(l *lease) {
+	cur, ok := s.leases[l.id]
+	if !ok || cur != l {
 		return
 	}
-	delete(s.leases, id)
+	delete(s.leases, l.id)
 	s.Expired.Inc()
-	s.retryOrDrop(l.call, 0)
+	c := l.call
+	s.putLease(l)
+	s.retryOrDrop(c, 0)
 }
 
 // Renew extends a held lease by another LeaseTimeout — schedulers renew
@@ -183,7 +225,7 @@ func (s *Shard) Renew(id uint64) bool {
 		return false
 	}
 	l.timer.Stop()
-	l.timer = s.engine.Schedule(s.LeaseTimeout, func() { s.expireLease(id) })
+	l.timer = s.engine.Schedule(s.LeaseTimeout, l.fire)
 	return true
 }
 
@@ -197,6 +239,7 @@ func (s *Shard) Ack(id uint64) bool {
 	l.timer.Stop()
 	delete(s.leases, id)
 	l.call.State = function.StateSucceeded
+	s.putLease(l)
 	s.Acked.Inc()
 	return true
 }
@@ -211,7 +254,9 @@ func (s *Shard) Nack(id uint64) bool {
 	l.timer.Stop()
 	delete(s.leases, id)
 	s.Nacked.Inc()
-	s.retryOrDrop(l.call, l.call.Spec.Retry.Backoff)
+	c := l.call
+	s.putLease(l)
+	s.retryOrDrop(c, c.Spec.Retry.Backoff)
 	return true
 }
 
@@ -224,8 +269,18 @@ func (s *Shard) retryOrDrop(c *function.Call, backoff time.Duration) {
 	s.Redelivered.Inc()
 	c.State = function.StateQueued
 	q := s.queues[c.Spec.Name]
-	heap.Push(q, queued{call: c, readyAt: s.engine.Now() + backoff})
+	q.push(queued{call: c, readyAt: s.engine.Now() + backoff})
 	s.pending++
+}
+
+// sortStrings is an insertion sort: funcNames grows one name at a time
+// and is nearly sorted, so this beats sort.Strings and allocates nothing.
+func sortStrings(a []string) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
 }
 
 type queued struct {
@@ -233,17 +288,64 @@ type queued struct {
 	readyAt sim.Time
 }
 
-// callHeap orders by (readyAt, ID) for deterministic FIFO within a start
-// time.
+// callHeap is a binary min-heap ordered by (readyAt, ID) for
+// deterministic FIFO within a start time. The push/pop implementations
+// mirror container/heap's sift algorithms exactly — same comparisons,
+// same tie-breaks, so the pop order is bit-identical to the previous
+// boxed implementation — without boxing every element in an interface.
 type callHeap []queued
 
 func (h callHeap) Len() int { return len(h) }
-func (h callHeap) Less(i, j int) bool {
+
+func (h callHeap) less(i, j int) bool {
 	if h[i].readyAt != h[j].readyAt {
 		return h[i].readyAt < h[j].readyAt
 	}
 	return h[i].call.ID < h[j].call.ID
 }
-func (h callHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *callHeap) Push(x any)   { *h = append(*h, x.(queued)) }
-func (h *callHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+func (h *callHeap) push(v queued) {
+	*h = append(*h, v)
+	h.up(len(*h) - 1)
+}
+
+func (h *callHeap) pop() queued {
+	q := *h
+	n := len(q) - 1
+	q[0], q[n] = q[n], q[0]
+	h.down(0, n)
+	v := q[n]
+	q[n] = queued{}
+	*h = q[:n]
+	return v
+}
+
+func (h callHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h callHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}

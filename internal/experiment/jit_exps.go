@@ -65,7 +65,7 @@ func jitRamp(seed uint64, seeded bool, window time.Duration) []float64 {
 				MemMB:    16,
 				ExecSecs: 0.1, // CPU-bound at CoreMIPS
 			}
-			w.TryExecute(c, func(error) {
+			w.TryExecute(c, func(*function.Call, error) {
 				completions.Record(engine.Now(), 1)
 			})
 		}

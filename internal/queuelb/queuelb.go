@@ -159,22 +159,34 @@ func (lb *LB) Route(c *function.Call) *durableq.Shard {
 }
 
 // pickShard chooses uniformly among the region's available shards (nil if
-// the region has none up).
+// the region has none up). Two passes — count, then walk to the k-th up
+// shard — make exactly the same single Intn draw as collecting the up
+// shards into a slice would, without allocating one per routed call.
 func (lb *LB) pickShard(region cluster.RegionID) *durableq.Shard {
 	if int(region) >= len(lb.shards) {
 		return nil
 	}
 	pool := lb.shards[region]
-	up := make([]*durableq.Shard, 0, len(pool))
+	up := 0
 	for _, sh := range pool {
 		if !sh.IsDown() {
-			up = append(up, sh)
+			up++
 		}
 	}
-	if len(up) == 0 {
+	if up == 0 {
 		return nil
 	}
-	return up[lb.src.Intn(len(up))]
+	k := lb.src.Intn(up)
+	for _, sh := range pool {
+		if sh.IsDown() {
+			continue
+		}
+		if k == 0 {
+			return sh
+		}
+		k--
+	}
+	return nil
 }
 
 func (lb *LB) finishRoute(c *function.Call, shard *durableq.Shard, dst cluster.RegionID) {

@@ -9,6 +9,7 @@
 package scheduler
 
 import (
+	"slices"
 	"sort"
 	"time"
 
@@ -95,6 +96,16 @@ type Scheduler struct {
 	runLen  int // live (non-nil, unread) entries
 	origin  map[uint64]*durableq.Shard
 
+	// Hot-path scratch, reused every tick so the poll/schedule/dispatch
+	// loop does not allocate in steady state.
+	completeFn  worker.DoneFunc // prebuilt s.complete
+	filterFn    func(*function.Call) bool
+	filterScale float64 // cached per poll for filterFn
+	filterCrit  function.Criticality
+	pollScratch []*function.Call
+	candScratch []*FuncBuffer
+	idScratch   []uint64
+
 	// In-flight call tracking: which worker holds each dispatched call,
 	// so a detected worker death evacuates exactly its leases.
 	inflight         map[uint64]*worker.Worker
@@ -160,6 +171,10 @@ func New(engine *sim.Engine, src *rng.Source, region cluster.RegionID, params Pa
 		ExecutedSeries:    stats.NewTimeSeries(time.Minute, stats.ModeSum),
 		ExecutedCPUSeries: stats.NewTimeSeries(time.Minute, stats.ModeSum),
 	}
+	// Bind the per-call callbacks once; dispatching a closure per call or
+	// per poll was a top allocation site in the platform profile.
+	s.completeFn = s.complete
+	s.filterFn = s.pollFilter
 	lb.OnWorkerDown(s.onWorkerDown)
 	s.ticker = engine.Every(params.PollInterval, s.tick)
 	if params.LeaseRenewInterval > 0 {
@@ -183,7 +198,7 @@ func (s *Scheduler) onWorkerDown(w *worker.Worker) {
 	for id := range calls {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	for _, id := range ids {
 		c := calls[id]
 		delete(s.inflight, id)
@@ -225,14 +240,15 @@ func (s *Scheduler) untrack(c *function.Call) bool {
 // renewLeases extends the lease of every call this scheduler still holds,
 // in deterministic (sorted) order.
 func (s *Scheduler) renewLeases() {
-	ids := make([]uint64, 0, len(s.origin))
+	ids := s.idScratch[:0]
 	for id := range s.origin {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	for _, id := range ids {
 		s.origin[id].Renew(id)
 	}
+	s.idScratch = ids[:0]
 }
 
 // Stop halts the scheduler (crash injection in tests). Leased calls left
@@ -315,6 +331,59 @@ func (s *Scheduler) matrixRow() []float64 {
 	return m[s.region]
 }
 
+// pollFilter is the DurableQ admission predicate, bound once at
+// construction. filterScale and filterCrit are cached by poll() each
+// tick so the predicate itself captures no per-tick state.
+func (s *Scheduler) pollFilter(c *function.Call) bool {
+	if c.Spec.Quota == function.QuotaOpportunistic && s.filterScale <= 0.01 {
+		return false // deferred: wait durably in the queue
+	}
+	if c.Spec.Criticality < s.filterCrit {
+		// Degradation policy: during a severe capacity loss,
+		// low-criticality work waits durably so remaining capacity
+		// serves critical traffic first.
+		return false
+	}
+	// Buffer at most ~a minute of dispatchable work per function so
+	// quota-throttled calls wait in the DurableQ (not in scheduler
+	// memory past their lease).
+	cap := s.params.BufferCap
+	if limit := s.cen.RPSLimit(c.Spec); limit >= 0 {
+		byRate := int(limit*60) + 16
+		if byRate < cap {
+			cap = byRate
+		}
+	}
+	if b, ok := s.buffers[c.Spec.Name]; ok && b.Len() >= cap {
+		return false
+	}
+	return true
+}
+
+// pullFrom polls up to max calls from a sample of the region's shards.
+func (s *Scheduler) pullFrom(region int, max int) {
+	if max <= 0 || len(s.shards[region]) == 0 {
+		return
+	}
+	perShard := max/s.params.ShardsPerPoll + 1
+	for i := 0; i < s.params.ShardsPerPoll && max > 0; i++ {
+		shard := s.shards[region][s.src.Intn(len(s.shards[region]))]
+		n := perShard
+		if n > max {
+			n = max
+		}
+		calls := shard.PollInto(s.pollScratch[:0], n, s.filterFn)
+		for _, c := range calls {
+			s.admit(c, shard)
+		}
+		s.pollScratch = calls[:0]
+		max -= len(calls)
+		if region != int(s.region) {
+			s.CrossRegionPulls.Add(float64(len(calls)))
+		}
+	}
+}
+
 // poll pulls ready calls from DurableQs into FuncBuffers, splitting the
 // poll budget across source regions per the traffic matrix.
 func (s *Scheduler) poll() {
@@ -323,56 +392,10 @@ func (s *Scheduler) poll() {
 	}
 	row := s.matrixRow()
 	budget := s.params.PollBatch
-	scale := s.cen.Scale()
-	minCrit := s.cen.MinCriticality()
-	filter := func(c *function.Call) bool {
-		if c.Spec.Quota == function.QuotaOpportunistic && scale <= 0.01 {
-			return false // deferred: wait durably in the queue
-		}
-		if c.Spec.Criticality < minCrit {
-			// Degradation policy: during a severe capacity loss,
-			// low-criticality work waits durably so remaining capacity
-			// serves critical traffic first.
-			return false
-		}
-		// Buffer at most ~a minute of dispatchable work per function so
-		// quota-throttled calls wait in the DurableQ (not in scheduler
-		// memory past their lease).
-		cap := s.params.BufferCap
-		if limit := s.cen.RPSLimit(c.Spec); limit >= 0 {
-			byRate := int(limit*60) + 16
-			if byRate < cap {
-				cap = byRate
-			}
-		}
-		if b, ok := s.buffers[c.Spec.Name]; ok && b.Len() >= cap {
-			return false
-		}
-		return true
-	}
-	pullFrom := func(region int, max int) {
-		if max <= 0 || len(s.shards[region]) == 0 {
-			return
-		}
-		perShard := max/s.params.ShardsPerPoll + 1
-		for i := 0; i < s.params.ShardsPerPoll && max > 0; i++ {
-			shard := s.shards[region][s.src.Intn(len(s.shards[region]))]
-			n := perShard
-			if n > max {
-				n = max
-			}
-			calls := shard.Poll(n, filter)
-			for _, c := range calls {
-				s.admit(c, shard)
-			}
-			max -= len(calls)
-			if region != int(s.region) {
-				s.CrossRegionPulls.Add(float64(len(calls)))
-			}
-		}
-	}
+	s.filterScale = s.cen.Scale()
+	s.filterCrit = s.cen.MinCriticality()
 	if row == nil {
-		pullFrom(int(s.region), budget)
+		s.pullFrom(int(s.region), budget)
 		return
 	}
 	// Drop unreachable source regions (partitions) and renormalize so
@@ -388,14 +411,14 @@ func (s *Scheduler) poll() {
 		}
 	}
 	if total <= 0 {
-		pullFrom(int(s.region), budget)
+		s.pullFrom(int(s.region), budget)
 		return
 	}
 	for j, frac := range row {
 		if frac <= 0 || !reach(j) {
 			continue
 		}
-		pullFrom(j, int(float64(budget)*frac/total+0.5))
+		s.pullFrom(j, int(float64(budget)*frac/total+0.5))
 	}
 }
 
@@ -428,19 +451,26 @@ func (s *Scheduler) schedule() {
 	// criticality levels drain the full remaining budget first, so
 	// important calls win during a capacity crunch (§4.4), while peers at
 	// the same level cannot starve each other.
-	var cands []*FuncBuffer
+	cands := s.candScratch[:0]
 	for _, name := range s.names {
 		b := s.buffers[name]
 		if b.Len() > 0 {
 			cands = append(cands, b)
 		}
 	}
+	s.candScratch = cands
 	if len(cands) == 0 {
 		return
 	}
-	sort.SliceStable(cands, func(i, j int) bool {
-		return Less(cands[i].Peek(), cands[j].Peek())
-	})
+	// Stable insertion sort: produces the identical order to
+	// sort.SliceStable for the same comparator without its reflection
+	// allocations; the candidate list is one entry per backlogged
+	// function, small by construction.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && Less(cands[j].Peek(), cands[j-1].Peek()); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
 	for start := 0; start < len(cands) && space > 0; {
 		crit := cands[start].Spec().Criticality
 		end := start
@@ -507,7 +537,7 @@ func (s *Scheduler) dispatch() {
 			continue
 		}
 		c.DispatchAt = s.engine.Now()
-		w, ok := s.lb.DispatchTo(c, func(err error) { s.complete(c, err) })
+		w, ok := s.lb.DispatchTo(c, s.completeFn)
 		if !ok {
 			rejects++
 			if rejects >= maxConsecutiveRejects {

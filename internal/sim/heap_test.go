@@ -1,0 +1,306 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+	"time"
+)
+
+// refTimer and refEngine reimplement the engine's original
+// container/heap event queue (boxed timers, lazy cancellation). The
+// property tests below drive it in lockstep with the specialized 4-ary
+// heap and demand identical (time, seq) fire order under randomized
+// schedule/stop interleavings — the refactor's determinism contract.
+
+type refTimer struct {
+	at      Time
+	seq     uint64
+	fn      func()
+	index   int
+	stopped bool
+}
+
+func (t *refTimer) Stop() bool {
+	if t == nil || t.stopped || t.index < 0 {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+type refHeap []*refTimer
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *refHeap) Push(x any) {
+	tm := x.(*refTimer)
+	tm.index = len(*h)
+	*h = append(*h, tm)
+}
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	tm := old[n-1]
+	old[n-1] = nil
+	tm.index = -1
+	*h = old[:n-1]
+	return tm
+}
+
+type refEngine struct {
+	now   Time
+	queue refHeap
+	seq   uint64
+}
+
+func (e *refEngine) schedule(d time.Duration, fn func()) *refTimer {
+	if d < 0 {
+		d = 0
+	}
+	t := e.now + d
+	e.seq++
+	tm := &refTimer{at: t, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.queue, tm)
+	return tm
+}
+
+func (e *refEngine) run() {
+	for len(e.queue) > 0 {
+		tm := heap.Pop(&e.queue).(*refTimer)
+		if tm.stopped {
+			continue
+		}
+		e.now = tm.at
+		tm.fn()
+	}
+}
+
+// fireEvent records one observed firing for the order-equivalence check.
+type fireEvent struct {
+	id int
+	at Time
+}
+
+// TestHeapOrderMatchesContainerHeap drives the specialized 4-ary heap
+// and the original container/heap implementation through identical
+// randomized schedule/stop interleavings — including stops issued from
+// inside callbacks and re-scheduling callbacks — and requires the exact
+// same fire sequence from both.
+func TestHeapOrderMatchesContainerHeap(t *testing.T) {
+	for seed := 1; seed <= 20; seed++ {
+		r := testRand(seed * 1013)
+		const n = 400
+
+		// Build one shared script: for each timer a delay, an optional
+		// stop time, and an optional child event spawned on fire.
+		type op struct {
+			delay      time.Duration
+			stopAt     time.Duration // -1: never stopped
+			childDelay time.Duration // -1: no child
+		}
+		ops := make([]op, n)
+		for i := range ops {
+			ops[i].delay = time.Duration(r.intn(500)) * time.Millisecond
+			ops[i].stopAt = -1
+			if r.intn(3) == 0 {
+				ops[i].stopAt = time.Duration(r.intn(500)) * time.Millisecond
+			}
+			ops[i].childDelay = -1
+			if r.intn(4) == 0 {
+				ops[i].childDelay = time.Duration(r.intn(100)) * time.Millisecond
+			}
+		}
+
+		var got []fireEvent
+		e := NewEngine()
+		for i, o := range ops {
+			id, o := i, o
+			tm := e.Schedule(o.delay, func() {
+				got = append(got, fireEvent{id, e.Now()})
+				if o.childDelay >= 0 {
+					e.Schedule(o.childDelay, func() {
+						got = append(got, fireEvent{id + n, e.Now()})
+					})
+				}
+			})
+			if o.stopAt >= 0 {
+				e.Schedule(o.stopAt, func() { tm.Stop() })
+			}
+		}
+		e.Run()
+
+		var want []fireEvent
+		re := &refEngine{}
+		for i, o := range ops {
+			id, o := i, o
+			tm := re.schedule(o.delay, func() {
+				want = append(want, fireEvent{id, re.now})
+				if o.childDelay >= 0 {
+					re.schedule(o.childDelay, func() {
+						want = append(want, fireEvent{id + n, re.now})
+					})
+				}
+			})
+			if o.stopAt >= 0 {
+				re.schedule(o.stopAt, func() { tm.Stop() })
+			}
+		}
+		re.run()
+
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: fired %d events, reference fired %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: event %d = %+v, reference %+v", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPoolReuseCannotFireStaleCallback proves a recycled timer node can
+// never run its previous occupant's callback: after timer A fires, its
+// node returns to the pool and is handed to timer B; A's stale handle
+// must not cancel B, and B must fire its own callback.
+func TestPoolReuseCannotFireStaleCallback(t *testing.T) {
+	e := NewEngine()
+	aFired, bFired := 0, 0
+	a := e.Schedule(time.Second, func() { aFired++ })
+	e.RunFor(2 * time.Second) // A fires; its node is recycled.
+
+	b := e.Schedule(time.Second, func() { bFired++ })
+	// The pool handed A's node to B.
+	if a.n != b.n {
+		t.Fatalf("expected node reuse: a.n=%p b.n=%p", a.n, b.n)
+	}
+	if a.Stop() {
+		t.Fatal("Stop on a fired (recycled) timer reported cancellation")
+	}
+	e.RunFor(2 * time.Second)
+	if aFired != 1 || bFired != 1 {
+		t.Fatalf("aFired=%d bFired=%d, want 1/1 (stale Stop must not cancel the new occupant)", aFired, bFired)
+	}
+	// And B's own handle still behaves: stopped after firing = false.
+	if b.Stop() {
+		t.Fatal("Stop on fired timer reported cancellation")
+	}
+}
+
+// TestStoppedHandleCannotCancelRecycledNode covers the cancel-then-reuse
+// path: a stopped timer's node is recycled immediately; calling Stop
+// again through the stale handle must not cancel the node's new owner.
+func TestStoppedHandleCannotCancelRecycledNode(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	a := e.Schedule(time.Second, func() { t.Error("stopped timer fired") })
+	if !a.Stop() {
+		t.Fatal("first Stop should cancel")
+	}
+	b := e.Schedule(time.Second, func() { fired++ })
+	if a.n != b.n {
+		t.Fatalf("expected node reuse after Stop: a.n=%p b.n=%p", a.n, b.n)
+	}
+	if a.Stop() {
+		t.Fatal("second Stop through stale handle reported cancellation")
+	}
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("new occupant fired %d times, want 1", fired)
+	}
+}
+
+// TestTickerNodeReuseSafety: a stopped ticker's node is recycled; the
+// dead ticker must not tick again even when another event reuses it.
+func TestTickerNodeReuseSafety(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	tk := e.Every(time.Second, func() { ticks++ })
+	e.RunFor(3 * time.Second)
+	tk.Stop()
+	otherFired := 0
+	e.Schedule(time.Second, func() { otherFired++ })
+	e.RunFor(10 * time.Second)
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3", ticks)
+	}
+	if otherFired != 1 {
+		t.Fatalf("otherFired = %d, want 1", otherFired)
+	}
+	tk.Stop() // idempotent
+}
+
+// TestZeroTimerStop: the zero Timer handle is inert.
+func TestZeroTimerStop(t *testing.T) {
+	var tm Timer
+	if tm.Stop() {
+		t.Fatal("zero Timer.Stop reported cancellation")
+	}
+	if tm.When() != 0 {
+		t.Fatalf("zero Timer.When = %v", tm.When())
+	}
+}
+
+// TestHeapInvariant checks the 4-ary heap property and index bookkeeping
+// after a randomized mix of pushes, pops, and removals.
+func TestHeapInvariant(t *testing.T) {
+	r := testRand(42)
+	e := NewEngine()
+	var handles []Timer
+	for i := 0; i < 2000; i++ {
+		switch r.intn(3) {
+		case 0, 1:
+			handles = append(handles, e.Schedule(time.Duration(r.intn(10000))*time.Millisecond, func() {}))
+		case 2:
+			if len(handles) > 0 {
+				j := r.intn(len(handles))
+				handles[j].Stop()
+				handles = append(handles[:j], handles[j+1:]...)
+			}
+		}
+		for k := 1; k < len(e.queue); k++ {
+			p := (k - 1) / 4
+			if less(e.queue[k], e.queue[p]) {
+				t.Fatalf("heap violation at %d after op %d", k, i)
+			}
+			if int(e.queue[k].index) != k {
+				t.Fatalf("index bookkeeping broken at %d", k)
+			}
+		}
+	}
+}
+
+// BenchmarkEngineScheduleStop measures the cancel-heavy pattern (lease
+// renewal: schedule then stop) — steady state must not allocate.
+func BenchmarkEngineScheduleStop(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := e.Schedule(time.Duration(i%1000)*time.Microsecond, fn)
+		tm.Stop()
+	}
+}
+
+// BenchmarkTicker measures the per-tick cost of a long-lived ticker.
+func BenchmarkTicker(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	e.Every(time.Millisecond, func() { n++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.RunFor(time.Duration(b.N) * time.Millisecond)
+	if n == 0 {
+		b.Fatal("no ticks")
+	}
+}

@@ -260,7 +260,7 @@ func (r *testRand) intn(n int) int { return int(r.next() % uint64(n)) }
 func TestTimerStopInsideOwnCallback(t *testing.T) {
 	e := NewEngine()
 	fired := 0
-	var tm *Timer
+	var tm Timer
 	tm = e.Schedule(time.Second, func() {
 		fired++
 		if tm.Stop() {
@@ -284,7 +284,7 @@ func TestPropertyTimersNeverFireStale(t *testing.T) {
 		e := NewEngine()
 		const n = 300
 		type tracked struct {
-			timer     *Timer
+			timer     Timer
 			fired     int
 			firedAt   Time
 			cancelled bool // Stop() returned true before the fire time

@@ -35,16 +35,14 @@ func NewTimers(engine *sim.Engine, submit workload.SubmitFunc) *Timers {
 // TimerHandle cancels a registered schedule.
 type TimerHandle struct {
 	stopped bool
-	pre     *sim.Timer
+	pre     sim.Timer
 	tk      *sim.Ticker
 }
 
 // Stop cancels the schedule, whether or not its first firing happened.
 func (h *TimerHandle) Stop() {
 	h.stopped = true
-	if h.pre != nil {
-		h.pre.Stop()
-	}
+	h.pre.Stop()
 	if h.tk != nil {
 		h.tk.Stop()
 	}

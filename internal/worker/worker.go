@@ -9,7 +9,7 @@ package worker
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"xfaas/internal/cluster"
@@ -81,12 +81,23 @@ type codeEntry struct {
 // DurableQ redelivers them elsewhere (at-least-once).
 var ErrWorkerFailed = errors.New("worker: failed")
 
+// DoneFunc observes a call's completion. Taking the call as a parameter
+// (rather than capturing it) lets dispatchers pass one long-lived
+// function instead of allocating a closure per dispatched call.
+type DoneFunc func(*function.Call, error)
+
+// runningCall tracks one in-flight invocation. Objects are pooled per
+// worker, and fire — the completion-timer callback — is built once per
+// object, so the execute path allocates nothing in steady state.
 type runningCall struct {
-	call    *function.Call
-	cpuRate float64
-	memMB   float64
-	timer   *sim.Timer
-	done    func(error)
+	call     *function.Call
+	cpuRate  float64
+	memMB    float64
+	timer    sim.Timer
+	done     DoneFunc
+	err      error
+	duration time.Duration
+	fire     func()
 }
 
 // Worker is one simulated server.
@@ -107,6 +118,7 @@ type Worker struct {
 	// slowdown 5–20, without dying — the hardest failure mode to detect.
 	slowdown float64
 	running  map[uint64]*runningCall
+	freeRC   []*runningCall
 	cpuInUse float64
 	workMem  float64
 	codeMB   float64
@@ -252,17 +264,16 @@ func (w *Worker) callShape(c *function.Call) (secs, rate float64) {
 	return secs, c.CPUWorkM / secs
 }
 
-// TryExecute starts the call, invoking done(err) at completion. It
+// TryExecute starts the call, invoking done(c, err) at completion. It
 // reports false (and does not run done) when the worker must reject.
-func (w *Worker) TryExecute(c *function.Call, done func(error)) bool {
+func (w *Worker) TryExecute(c *function.Call, done DoneFunc) bool {
 	if !w.CanAccept(c) {
 		w.Rejections.Inc()
 		return false
 	}
 	now := w.engine.Now()
-	w.loadCode(c.Spec, now)
+	entry := w.loadCode(c.Spec, now)
 	w.seen[c.Spec.Name] = now
-	entry := w.code[c.Spec.Name]
 	entry.active++
 	entry.lastUsed = now
 
@@ -284,17 +295,45 @@ func (w *Worker) TryExecute(c *function.Call, done func(error)) bool {
 		duration = short
 	}
 
-	rc := &runningCall{call: c, cpuRate: rate, memMB: c.MemMB, done: done}
+	rc := w.getRC()
+	rc.call = c
+	rc.cpuRate = rate
+	rc.memMB = c.MemMB
+	rc.done = done
+	rc.err = err
+	rc.duration = duration
 	w.running[c.ID] = rc
 	w.cpuInUse += rate
 	w.workMem += c.MemMB
 
 	c.State = function.StateRunning
 	c.ExecStartAt = now
-	rc.timer = w.engine.Schedule(duration, func() {
-		w.finish(c, rc, err, duration, done)
-	})
+	rc.timer = w.engine.Schedule(duration, rc.fire)
 	return true
+}
+
+// getRC recycles a runningCall, building its completion closure exactly
+// once per object lifetime.
+func (w *Worker) getRC() *runningCall {
+	if n := len(w.freeRC); n > 0 {
+		rc := w.freeRC[n-1]
+		w.freeRC[n-1] = nil
+		w.freeRC = w.freeRC[:n-1]
+		return rc
+	}
+	rc := &runningCall{}
+	rc.fire = func() { w.finish(rc) }
+	return rc
+}
+
+// putRC returns a settled runningCall to the pool. The caller must have
+// stopped (or observed the firing of) rc.timer first.
+func (w *Worker) putRC(rc *runningCall) {
+	rc.call = nil
+	rc.done = nil
+	rc.err = nil
+	rc.timer = sim.Timer{}
+	w.freeRC = append(w.freeRC, rc)
 }
 
 // Fail kills the worker: every in-flight call's completion callback
@@ -330,13 +369,15 @@ func (w *Worker) fail(notify bool) {
 	for id := range victims {
 		ids = append(ids, id)
 	}
-	sortUint64(ids)
+	slices.Sort(ids)
 	for _, id := range ids {
 		rc := victims[id]
 		rc.timer.Stop()
 		w.Failures.Inc()
+		c, done := rc.call, rc.done
+		w.putRC(rc)
 		if notify {
-			rc.done(ErrWorkerFailed)
+			done(c, ErrWorkerFailed)
 		}
 	}
 }
@@ -375,12 +416,9 @@ func (w *Worker) Probe() (ok bool, slowdown float64) {
 	return true, w.slowdown
 }
 
-func sortUint64(ids []uint64) {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-}
-
-func (w *Worker) finish(c *function.Call, rc *runningCall, err error, duration time.Duration, done func(error)) {
+func (w *Worker) finish(rc *runningCall) {
 	now := w.engine.Now()
+	c, err, done := rc.call, rc.err, rc.done
 	delete(w.running, c.ID)
 	w.cpuInUse -= rc.cpuRate
 	w.workMem -= rc.memMB
@@ -393,9 +431,12 @@ func (w *Worker) finish(c *function.Call, rc *runningCall, err error, duration t
 	if err != nil {
 		w.Failures.Inc()
 	} else {
-		w.CPUWork.Add(rc.cpuRate * duration.Seconds())
+		w.CPUWork.Add(rc.cpuRate * rc.duration.Seconds())
 	}
-	done(err)
+	// Recycle before invoking the callback: done may re-enter TryExecute
+	// and reuse this object immediately.
+	w.putRC(rc)
+	done(c, err)
 }
 
 // callDownstream performs the invocation's downstream sub-call with
@@ -426,22 +467,25 @@ func (w *Worker) callDownstream(c *function.Call) error {
 }
 
 // loadCode ensures the function's code and JIT cache are resident,
-// evicting least-recently-used idle entries under memory pressure. Code
-// always loads from local SSD (pre-pushed), so there is no cold start —
-// only a memory accounting effect.
-func (w *Worker) loadCode(spec *function.Spec, now sim.Time) {
-	if _, ok := w.code[spec.Name]; ok {
-		return
+// evicting least-recently-used idle entries under memory pressure, and
+// returns the resident entry. Code always loads from local SSD
+// (pre-pushed), so there is no cold start — only a memory accounting
+// effect.
+func (w *Worker) loadCode(spec *function.Spec, now sim.Time) *codeEntry {
+	if e, ok := w.code[spec.Name]; ok {
+		return e
 	}
 	mb := w.codeFootprint(spec)
 	for w.MemUsedMB()+mb > w.params.MemoryMB {
+		// LRU victim; equal ages tie-break on name so eviction order never
+		// depends on map iteration order (the determinism contract).
 		victim := ""
 		var oldest sim.Time
 		for fn, e := range w.code {
 			if e.active > 0 {
 				continue
 			}
-			if victim == "" || e.lastUsed < oldest {
+			if victim == "" || e.lastUsed < oldest || (e.lastUsed == oldest && fn < victim) {
 				victim, oldest = fn, e.lastUsed
 			}
 		}
@@ -452,8 +496,10 @@ func (w *Worker) loadCode(spec *function.Spec, now sim.Time) {
 		delete(w.code, victim)
 		w.CodeEvictions.Inc()
 	}
-	w.code[spec.Name] = &codeEntry{mb: mb, lastUsed: now}
+	e := &codeEntry{mb: mb, lastUsed: now}
+	w.code[spec.Name] = e
 	w.codeMB += mb
+	return e
 }
 
 // SwitchVersion implements jit.Target so the code-push distributor can

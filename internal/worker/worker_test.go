@@ -39,7 +39,7 @@ func TestExecuteCompletes(t *testing.T) {
 	c := testCall(testSpec("f"), 100, 50, 1.0)
 	var gotErr error
 	doneCalled := false
-	if !w.TryExecute(c, func(err error) { doneCalled = true; gotErr = err }) {
+	if !w.TryExecute(c, func(_ *function.Call, err error) { doneCalled = true; gotErr = err }) {
 		t.Fatal("idle worker rejected call")
 	}
 	if w.Running() != 1 {
@@ -68,7 +68,7 @@ func TestConcurrencyCap(t *testing.T) {
 	p.MaxConcurrency = 2
 	w := newWorker(e, p)
 	s := testSpec("f")
-	nop := func(error) {}
+	nop := func(*function.Call, error) {}
 	if !w.TryExecute(testCall(s, 10, 1, 10), nop) || !w.TryExecute(testCall(s, 10, 1, 10), nop) {
 		t.Fatal("under-cap rejected")
 	}
@@ -86,7 +86,7 @@ func TestCPUAdmission(t *testing.T) {
 	p.CPUMIPS = 1000
 	w := newWorker(e, p)
 	s := testSpec("f")
-	nop := func(error) {}
+	nop := func(*function.Call, error) {}
 	// Each call needs 600 MIPS-rate (600M instructions over 1s).
 	if !w.TryExecute(testCall(s, 600, 1, 1), nop) {
 		t.Fatal("first call rejected")
@@ -106,7 +106,7 @@ func TestMemoryAdmission(t *testing.T) {
 	p.RuntimeBaseMB = 1_000
 	w := newWorker(e, p)
 	s := testSpec("big")
-	nop := func(error) {}
+	nop := func(*function.Call, error) {}
 	if !w.TryExecute(testCall(s, 10, 8_000, 10), nop) {
 		t.Fatal("fitting call rejected")
 	}
@@ -121,7 +121,7 @@ func TestCodeCacheLRUEviction(t *testing.T) {
 	p.MemoryMB = 1_200
 	p.RuntimeBaseMB = 1_000
 	w := newWorker(e, p)
-	nop := func(error) {}
+	nop := func(*function.Call, error) {}
 	// Each function's code is 15MB (10+5); ~13 fit in the 200MB budget.
 	for i := 0; i < 30; i++ {
 		s := testSpec(fmt.Sprintf("f%02d", i))
@@ -142,7 +142,7 @@ func TestCodeCacheLRUEviction(t *testing.T) {
 func TestDistinctFuncsSince(t *testing.T) {
 	e := sim.NewEngine()
 	w := newWorker(e, DefaultParams())
-	nop := func(error) {}
+	nop := func(*function.Call, error) {}
 	w.TryExecute(testCall(testSpec("a"), 1, 1, 0.01), nop)
 	e.RunFor(2 * time.Hour)
 	w.TryExecute(testCall(testSpec("b"), 1, 1, 0.01), nop)
@@ -161,7 +161,7 @@ func TestJITSecondCallFasterAfterOptimization(t *testing.T) {
 	p := DefaultParams()
 	w := newWorker(e, p)
 	s := testSpec("f")
-	nop := func(error) {}
+	nop := func(*function.Call, error) {}
 	w.TryExecute(testCall(s, 10, 1, 1), nop)
 	// Wait past the self-profiling budget.
 	e.RunFor(p.JIT.ProfileTime + p.JIT.CompileDelay + time.Minute)
@@ -191,7 +191,7 @@ func TestDownstreamBackpressureFailsCall(t *testing.T) {
 	var failures, successes int
 	for i := 0; i < 50; i++ {
 		c := testCall(s, 10, 1, 1)
-		w.TryExecute(c, func(err error) {
+		w.TryExecute(c, func(_ *function.Call, err error) {
 			if errors.Is(err, downstream.ErrBackpressure) {
 				failures++
 			} else if err == nil {
@@ -222,7 +222,7 @@ func TestDownstreamRetryAmplification(t *testing.T) {
 	s.Downstream = "kvstore"
 	c := testCall(s, 10, 1, 1)
 	var gotErr error
-	w.TryExecute(c, func(err error) { gotErr = err })
+	w.TryExecute(c, func(_ *function.Call, err error) { gotErr = err })
 	e.RunFor(time.Minute)
 	if !errors.Is(gotErr, downstream.ErrFailure) {
 		t.Fatalf("err = %v", gotErr)
@@ -247,7 +247,7 @@ func TestFailedCallReleasesQuickly(t *testing.T) {
 	s := testSpec("f")
 	s.Downstream = "kvstore"
 	c := testCall(s, 10, 1, 100) // nominally 100s
-	w.TryExecute(c, func(error) {})
+	w.TryExecute(c, func(*function.Call, error) {})
 	e.RunFor(time.Minute)
 	if w.Running() != 0 {
 		t.Fatal("failed call still occupying worker after a minute")
@@ -271,7 +271,7 @@ func TestLoadMetric(t *testing.T) {
 	if w.Load() != 0 {
 		t.Fatalf("idle load = %v", w.Load())
 	}
-	w.TryExecute(testCall(testSpec("f"), 500, 1, 1), func(error) {})
+	w.TryExecute(testCall(testSpec("f"), 500, 1, 1), func(*function.Call, error) {})
 	if w.Load() != 0.5 {
 		t.Fatalf("load = %v, want 0.5", w.Load())
 	}
@@ -283,7 +283,7 @@ func TestWorkerFailKillsInflight(t *testing.T) {
 	s := testSpec("f")
 	var errs []error
 	for i := 0; i < 5; i++ {
-		w.TryExecute(testCall(s, 10, 1, 100), func(err error) { errs = append(errs, err) })
+		w.TryExecute(testCall(s, 10, 1, 100), func(_ *function.Call, err error) { errs = append(errs, err) })
 	}
 	e.RunFor(time.Second)
 	w.Fail()
@@ -298,7 +298,7 @@ func TestWorkerFailKillsInflight(t *testing.T) {
 	if w.Running() != 0 || w.Load() != 0 {
 		t.Fatalf("failed worker still accounting: running=%d load=%v", w.Running(), w.Load())
 	}
-	if w.TryExecute(testCall(s, 10, 1, 1), func(error) {}) {
+	if w.TryExecute(testCall(s, 10, 1, 1), func(*function.Call, error) {}) {
 		t.Fatal("failed worker accepted work")
 	}
 	// The stopped timers must not fire later.
@@ -315,7 +315,7 @@ func TestWorkerRecoverColdRuntime(t *testing.T) {
 	w := newWorker(e, p)
 	s := testSpec("f")
 	// Warm the JIT.
-	w.TryExecute(testCall(s, 10, 1, 1), func(error) {})
+	w.TryExecute(testCall(s, 10, 1, 1), func(*function.Call, error) {})
 	e.RunFor(p.JIT.ProfileTime + p.JIT.CompileDelay + time.Minute)
 	if !w.Runtime.Optimized("f", e.Now()) {
 		t.Fatal("function should be optimized before failure")
@@ -325,7 +325,7 @@ func TestWorkerRecoverColdRuntime(t *testing.T) {
 	if w.Runtime.Optimized("f", e.Now()) {
 		t.Fatal("JIT state survived a machine failure")
 	}
-	if !w.TryExecute(testCall(s, 10, 1, 1), func(error) {}) {
+	if !w.TryExecute(testCall(s, 10, 1, 1), func(*function.Call, error) {}) {
 		t.Fatal("recovered worker rejected work")
 	}
 }
@@ -347,7 +347,7 @@ func TestWorkerDoubleFailDeliversExactlyOnce(t *testing.T) {
 	counts := make(map[uint64]int)
 	for i := 0; i < 5; i++ {
 		c := testCall(s, 10, 1, 100)
-		w.TryExecute(c, func(err error) {
+		w.TryExecute(c, func(_ *function.Call, err error) {
 			if !errors.Is(err, ErrWorkerFailed) {
 				t.Errorf("call %d: err = %v", c.ID, err)
 			}
@@ -379,7 +379,7 @@ func TestFailSilentDropsInflightWithoutCallbacks(t *testing.T) {
 	s := testSpec("f")
 	callbacks := 0
 	for i := 0; i < 4; i++ {
-		w.TryExecute(testCall(s, 10, 1, 100), func(error) { callbacks++ })
+		w.TryExecute(testCall(s, 10, 1, 100), func(*function.Call, error) { callbacks++ })
 	}
 	e.RunFor(time.Second)
 	w.FailSilent()
@@ -392,7 +392,7 @@ func TestFailSilentDropsInflightWithoutCallbacks(t *testing.T) {
 	if ok, _ := w.Probe(); ok {
 		t.Fatal("silently failed worker answered a probe")
 	}
-	if w.TryExecute(testCall(s, 10, 1, 1), func(error) {}) {
+	if w.TryExecute(testCall(s, 10, 1, 1), func(*function.Call, error) {}) {
 		t.Fatal("silently failed worker accepted work")
 	}
 	e.RunFor(time.Hour)
@@ -409,12 +409,12 @@ func TestFailReentrantCallbackSurvivesTeardown(t *testing.T) {
 	// starts a new call — teardown must already be finished so the new
 	// call's accounting is not wiped.
 	restarted := false
-	w.TryExecute(testCall(s, 10, 1, 100), func(error) {
+	w.TryExecute(testCall(s, 10, 1, 100), func(*function.Call, error) {
 		w.Recover()
-		restarted = w.TryExecute(testCall(s, 10, 1, 0.1), func(error) {})
+		restarted = w.TryExecute(testCall(s, 10, 1, 0.1), func(*function.Call, error) {})
 	})
 	later := 0
-	w.TryExecute(testCall(s, 10, 1, 100), func(error) { later++ })
+	w.TryExecute(testCall(s, 10, 1, 100), func(*function.Call, error) { later++ })
 	e.RunFor(time.Second)
 	w.Fail()
 	if !restarted {
@@ -439,7 +439,7 @@ func TestSlowdownStretchesExecution(t *testing.T) {
 		w := newWorker(e, DefaultParams())
 		w.SetSlowdown(slowdown)
 		var at sim.Time
-		w.TryExecute(testCall(testSpec("f"), 10, 1, 1), func(error) { at = e.Now() })
+		w.TryExecute(testCall(testSpec("f"), 10, 1, 1), func(*function.Call, error) { at = e.Now() })
 		e.RunFor(time.Hour)
 		return at
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"xfaas/internal/function"
 	"xfaas/internal/rng"
 	"xfaas/internal/sim"
 	"xfaas/internal/worker"
@@ -114,7 +115,7 @@ func TestDispatchRoutesAroundDetectedBad(t *testing.T) {
 	s := lbSpec("f")
 	total := 200
 	for i := 0; i < total; i++ {
-		lb.Dispatch(lbCall(s), func(error) {})
+		lb.Dispatch(lbCall(s), func(*function.Call, error) {})
 		e.RunFor(10 * time.Millisecond)
 	}
 	grayShare := float64(workers[0].Executions.Value()) / float64(total)

@@ -106,10 +106,10 @@ func (lb *LB) GroupPool(spec *function.Spec) []*worker.Worker {
 }
 
 // Dispatch routes the call to a worker in its locality group using the
-// power of two choices, invoking done(err) when execution completes. It
-// reports false if no chosen worker could accept (the caller keeps the
-// call queued — flow control).
-func (lb *LB) Dispatch(c *function.Call, done func(error)) bool {
+// power of two choices, invoking done(c, err) when execution completes.
+// It reports false if no chosen worker could accept (the caller keeps
+// the call queued — flow control).
+func (lb *LB) Dispatch(c *function.Call, done worker.DoneFunc) bool {
 	_, ok := lb.DispatchTo(c, done)
 	return ok
 }
@@ -117,7 +117,7 @@ func (lb *LB) Dispatch(c *function.Call, done func(error)) bool {
 // DispatchTo is Dispatch exposing the chosen worker, so callers can track
 // which machine holds each in-flight call (lease evacuation on detected
 // worker death needs the association).
-func (lb *LB) DispatchTo(c *function.Call, done func(error)) (*worker.Worker, bool) {
+func (lb *LB) DispatchTo(c *function.Call, done worker.DoneFunc) (*worker.Worker, bool) {
 	pool := lb.GroupPool(c.Spec)
 	if len(pool) == 0 {
 		lb.Rejected.Inc()

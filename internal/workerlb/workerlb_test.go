@@ -38,7 +38,7 @@ func TestDispatchSucceeds(t *testing.T) {
 	e := sim.NewEngine()
 	lb := New(rng.New(1), pool(e, 4, 100000))
 	done := 0
-	if !lb.Dispatch(lbCall(lbSpec("f")), func(error) { done++ }) {
+	if !lb.Dispatch(lbCall(lbSpec("f")), func(*function.Call, error) { done++ }) {
 		t.Fatal("dispatch failed on idle pool")
 	}
 	e.RunFor(time.Minute)
@@ -56,7 +56,7 @@ func TestPowerOfTwoBalances(t *testing.T) {
 	lb := New(rng.New(2), workers)
 	s := lbSpec("f")
 	for i := 0; i < 300; i++ {
-		lb.Dispatch(lbCall(s), func(error) {})
+		lb.Dispatch(lbCall(s), func(*function.Call, error) {})
 	}
 	// With 300 concurrent 1s calls over 10 workers, power-of-two keeps the
 	// spread tight: max/min running should be well under 3x.
@@ -86,7 +86,7 @@ func TestLocalityRestrictsWorkers(t *testing.T) {
 	lb.SetAssignment(a)
 	sa := lbSpec("fa")
 	for i := 0; i < 100; i++ {
-		lb.Dispatch(lbCall(sa), func(error) {})
+		lb.Dispatch(lbCall(sa), func(*function.Call, error) {})
 	}
 	// All dispatches for fa must land inside its group slice.
 	groupPool := lb.GroupPool(sa)
@@ -114,9 +114,9 @@ func TestDispatchRejectsWhenSaturated(t *testing.T) {
 	w2 := worker.New(worker.ID{Index: 1}, e, p, rng.New(2), nil)
 	lb := New(rng.New(4), []*worker.Worker{w1, w2})
 	s := lbSpec("f")
-	ok1 := lb.Dispatch(lbCall(s), func(error) {})
-	ok2 := lb.Dispatch(lbCall(s), func(error) {})
-	ok3 := lb.Dispatch(lbCall(s), func(error) {})
+	ok1 := lb.Dispatch(lbCall(s), func(*function.Call, error) {})
+	ok2 := lb.Dispatch(lbCall(s), func(*function.Call, error) {})
+	ok3 := lb.Dispatch(lbCall(s), func(*function.Call, error) {})
 	if !ok1 || !ok2 {
 		t.Fatal("pool capacity dispatches failed")
 	}
@@ -152,7 +152,7 @@ func TestGroupLoads(t *testing.T) {
 	// Load only group of f0.
 	s := lbSpec("f0")
 	for i := 0; i < 4; i++ {
-		lb.Dispatch(lbCall(s), func(error) {})
+		lb.Dispatch(lbCall(s), func(*function.Call, error) {})
 	}
 	loads := lb.GroupLoads()
 	g := a.GroupOf("f0")
@@ -168,7 +168,7 @@ func TestMeanUtilization(t *testing.T) {
 	if lb.MeanUtilization() != 0 {
 		t.Fatal("idle pool utilization nonzero")
 	}
-	lb.Dispatch(&function.Call{ID: 999999, Spec: lbSpec("f"), CPUWorkM: 1000, ExecSecs: 1, MemMB: 1}, func(error) {})
+	lb.Dispatch(&function.Call{ID: 999999, Spec: lbSpec("f"), CPUWorkM: 1000, ExecSecs: 1, MemMB: 1}, func(*function.Call, error) {})
 	if lb.MeanUtilization() != 0.5 {
 		t.Fatalf("mean utilization = %v, want 0.5", lb.MeanUtilization())
 	}
@@ -248,7 +248,7 @@ func TestDispatchSkipsFailedWorkers(t *testing.T) {
 	workers[1].Fail()
 	ok := 0
 	for i := 0; i < 50; i++ {
-		if lb.Dispatch(lbCall(lbSpec("f")), func(error) {}) {
+		if lb.Dispatch(lbCall(lbSpec("f")), func(*function.Call, error) {}) {
 			ok++
 		}
 	}
