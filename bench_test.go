@@ -83,7 +83,7 @@ func BenchmarkAblationLocality(b *testing.B)       { benchExperiment(b, "localit
 // Platform micro-benchmarks: simulated-calls-per-wall-second of the full
 // control plane at two fleet sizes.
 
-func benchPlatformThroughput(b *testing.B, regions, workers int, rps float64) {
+func benchPlatformThroughput(b *testing.B, regions, workers int, rps float64, mutate func(*xfaas.Config)) {
 	b.Helper()
 	pcfg := xfaas.DefaultPopulationConfig()
 	pcfg.Functions = 60
@@ -99,6 +99,9 @@ func benchPlatformThroughput(b *testing.B, regions, workers int, rps float64) {
 		cfg.Cluster.Regions = regions
 		cfg.Cluster.TotalWorkers = workers
 		cfg.CodePushInterval = 0
+		if mutate != nil {
+			mutate(&cfg)
+		}
 		pop := xfaas.NewPopulation(pcfg, xfaas.NewRand(cfg.Seed+100))
 		p := xfaas.New(cfg, pop.Registry)
 		gen := xfaas.NewGenerator(p.Engine, pop, p.Topo.CapacityShare(), p.SubmitFunc(), xfaas.NewRand(cfg.Seed+200))
@@ -110,8 +113,17 @@ func benchPlatformThroughput(b *testing.B, regions, workers int, rps float64) {
 	b.ReportMetric(totalCalls/b.Elapsed().Seconds(), "simcalls/s")
 }
 
-func BenchmarkPlatformSmall(b *testing.B) { benchPlatformThroughput(b, 3, 12, 10) }
-func BenchmarkPlatformLarge(b *testing.B) { benchPlatformThroughput(b, 12, 48, 40) }
+func BenchmarkPlatformSmall(b *testing.B) { benchPlatformThroughput(b, 3, 12, 10, nil) }
+func BenchmarkPlatformLarge(b *testing.B) { benchPlatformThroughput(b, 12, 48, 40, nil) }
+
+// BenchmarkPlatformSmallTraced is PlatformSmall with per-call tracing on
+// at full sampling — the upper bound of the tracing layer's overhead.
+func BenchmarkPlatformSmallTraced(b *testing.B) {
+	benchPlatformThroughput(b, 3, 12, 10, func(cfg *xfaas.Config) {
+		cfg.Trace.Enabled = true
+		cfg.Trace.SampleEvery = 1
+	})
+}
 
 // Hot-path micro-benchmark: a single worker executing back-to-back calls
 // through the public API types.

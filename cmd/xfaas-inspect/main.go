@@ -1,0 +1,232 @@
+// Command xfaas-inspect runs a seeded workload with per-call tracing on
+// and prints where the time went: latency breakdowns (submit → queue →
+// scheduling → execution) aggregated by function, region, criticality
+// and quota; the critical paths of the slowest calls; and the
+// control-plane event log (chaos injections, breaker flips, health
+// transitions). With -chrome it also exports the sampled traces as a
+// Chrome/Perfetto trace_event file.
+//
+// All output derives from the simulated clock only, so two runs with the
+// same flags are byte-identical — the determinism CI relies on it.
+//
+// Usage:
+//
+//	xfaas-inspect -minutes 30
+//	xfaas-inspect -seed 7 -sample 8 -chaos correlated -top 3
+//	xfaas-inspect -chrome trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xfaas/internal/chaos"
+	"xfaas/internal/cluster"
+	"xfaas/internal/core"
+	"xfaas/internal/rng"
+	"xfaas/internal/sim"
+	"xfaas/internal/trace"
+	"xfaas/internal/workload"
+)
+
+func main() {
+	var (
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		minutes   = flag.Int("minutes", 30, "simulated minutes to run")
+		sample    = flag.Uint64("sample", 1, "trace 1 in N calls (1 = every call)")
+		chaosFlag = flag.String("chaos", "", "fault scenario: gray, partition, correlated, dq")
+		top       = flag.Int("top", 5, "slowest calls to print as critical paths")
+		events    = flag.Int("events", 40, "control-plane events to print")
+		rps       = flag.Float64("rps", 10, "workload mean RPS")
+		funcs     = flag.Int("functions", 40, "workload population size")
+		chrome    = flag.String("chrome", "", "write Chrome trace_event JSON to this file")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Cluster.Regions = 3
+	cfg.CodePushInterval = 0
+	cfg.Trace.Enabled = true
+	cfg.Trace.SampleEvery = *sample
+	cfg.Trace.RingSize = 1 << 16
+
+	pcfg := workload.DefaultPopulationConfig()
+	pcfg.Functions = *funcs
+	pcfg.TotalRPS = *rps
+	pcfg.SpikyFunctions = 0
+	pcfg.MidnightSpikeFrac = 0
+	pop := workload.NewPopulation(pcfg, rng.New(cfg.Seed+100))
+	cfg.Cluster.TotalWorkers = core.ProvisionWorkers(cfg.Worker,
+		pop.ExpectedMIPS()*1.4, pop.ExpectedConcurrentMemMB(cfg.Worker.CoreMIPS)*1.4,
+		0.66, 2*cfg.Cluster.Regions)
+
+	p := core.New(cfg, pop.Registry)
+	gen := workload.NewGenerator(p.Engine, pop, p.Topo.CapacityShare(), p.SubmitFunc(), rng.New(cfg.Seed+200))
+	gen.Start()
+
+	dur := time.Duration(*minutes) * time.Minute
+	if *chaosFlag != "" {
+		if !scheduleChaos(p, *chaosFlag, cfg.Seed, dur) {
+			fmt.Fprintf(os.Stderr, "unknown chaos scenario %q (want gray, partition, correlated, dq)\n", *chaosFlag)
+			os.Exit(2)
+		}
+	}
+	p.Engine.RunFor(dur)
+
+	fmt.Printf("xfaas-inspect seed=%d minutes=%d sample=1/%d", *seed, *minutes, *sample)
+	if *chaosFlag != "" {
+		fmt.Printf(" chaos=%s", *chaosFlag)
+	}
+	fmt.Println()
+	sampled, completed, droppedEv := p.Tracer.Stats()
+	fmt.Printf("generated=%.0f acked=%.0f slo_misses=%.0f pending=%d\n",
+		gen.Generated.Value(), p.Acked(), p.SLOMisses(), p.PendingCalls())
+	fmt.Printf("traces: sampled=%d completed=%d in_flight=%d dropped_events=%d control_events=%d\n\n",
+		sampled, completed, p.Tracer.Active(), droppedEv, p.Tracer.ControlCount())
+
+	traces := p.Tracer.Recent()
+
+	printAgg("by criticality", trace.Aggregate(traces, func(t *trace.CallTrace) string { return t.Crit.String() }))
+	printAgg("by quota", trace.Aggregate(traces, func(t *trace.CallTrace) string { return t.Quota.String() }))
+	printAgg("by region", trace.Aggregate(traces, func(t *trace.CallTrace) string {
+		return fmt.Sprintf("r%d", t.Region)
+	}))
+	byFunc := trace.Aggregate(traces, func(t *trace.CallTrace) string { return t.Func })
+	// Functions can be numerous; keep the busiest 10 (stable: sort is by
+	// key, selection by count with key tie-break).
+	if len(byFunc) > 10 {
+		for i := 0; i < 10; i++ {
+			max := i
+			for j := i + 1; j < len(byFunc); j++ {
+				if byFunc[j].Count > byFunc[max].Count {
+					max = j
+				}
+			}
+			byFunc[i], byFunc[max] = byFunc[max], byFunc[i]
+		}
+		byFunc = byFunc[:10]
+	}
+	printAgg("by function (busiest 10)", byFunc)
+
+	// Consistency: the tracer's view of end-to-end latency must agree
+	// with the platform's histogram. At sample=1 with an unfilled ring
+	// both see exactly the acked calls, so the means are equal up to
+	// float summation order.
+	var ackSum float64
+	var ackN int
+	for _, t := range traces {
+		if t.Outcome != trace.KindAck {
+			continue
+		}
+		if c, ok := t.Breakdown(); ok {
+			ackSum += c.Sum().Seconds()
+			ackN++
+		}
+	}
+	if ackN > 0 {
+		traceMean := ackSum / float64(ackN)
+		fmt.Printf("consistency: trace mean e2e %.6fs over %d acked traces; histogram mean %.6fs over %d acked calls\n\n",
+			traceMean, ackN, p.E2ELatency.Mean(), p.E2ELatency.Count())
+	}
+
+	slow := p.Tracer.Slowest()
+	if len(slow) > *top {
+		slow = slow[:*top]
+	}
+	fmt.Printf("== slowest %d calls (critical paths)\n", len(slow))
+	for _, t := range slow {
+		fmt.Print(t.Render())
+	}
+	fmt.Println()
+
+	ctrl := p.Tracer.Controls()
+	if len(ctrl) > *events {
+		ctrl = ctrl[len(ctrl)-*events:]
+	}
+	fmt.Printf("== control-plane events (last %d of %d)\n", len(ctrl), p.Tracer.ControlCount())
+	for _, e := range ctrl {
+		fmt.Printf("%9.1fs %-22s %s\n", e.At.Seconds(), e.Kind, e.Detail)
+	}
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chrome export: %v\n", err)
+			os.Exit(1)
+		}
+		if err := trace.WriteChrome(f, traces); err != nil {
+			fmt.Fprintf(os.Stderr, "chrome export: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "chrome export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d traces to %s\n", len(traces), *chrome)
+	}
+}
+
+// printAgg renders one aggregation as an aligned table of mean
+// per-component seconds.
+func printAgg(title string, groups []trace.Agg) {
+	fmt.Printf("== latency breakdown %s\n", title)
+	fmt.Printf("%-28s %7s %7s %9s %9s %9s %9s %9s %9s %9s %9s %9s\n",
+		"key", "calls", "acked", "mean_e2e", "submit", "deferred", "queue", "retry", "sched", "exec", "max", "p_ack")
+	for _, a := range groups {
+		m := a.Mean()
+		ackFrac := 0.0
+		if a.Count > 0 {
+			ackFrac = float64(a.Acked) / float64(a.Count)
+		}
+		fmt.Printf("%-28s %7d %7d %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.3f\n",
+			a.Key, a.Count, a.Acked, a.MeanE2E().Seconds(),
+			m.Submit.Seconds(), m.Deferred.Seconds(), m.Queue.Seconds(),
+			m.Retry.Seconds(), m.Sched.Seconds(), m.Exec.Seconds(),
+			a.Max.Seconds(), ackFrac)
+	}
+	fmt.Println()
+}
+
+// scheduleChaos arms one named deterministic fault schedule on the
+// engine before the run starts. Fractions of the run duration place the
+// faults so every -minutes value exercises inject → detect → recover.
+func scheduleChaos(p *core.Platform, name string, seed uint64, dur time.Duration) bool {
+	inj := chaos.NewInjector(p, rng.New(seed+300))
+	at := func(frac float64) sim.Time { return sim.Time(float64(dur) * frac) }
+	reg := cluster.RegionID(0)
+	switch name {
+	case "gray":
+		p.Engine.Schedule(at(0.25), func() {
+			for i := 0; i < 3; i++ {
+				inj.GrayWorker(reg, i, 10)
+			}
+		})
+		p.Engine.Schedule(at(0.7), func() {
+			for i := 0; i < 3; i++ {
+				inj.ClearGray(reg, i)
+			}
+		})
+	case "partition":
+		p.Engine.Schedule(at(0.25), func() { inj.PartitionRegion(1) })
+		p.Engine.Schedule(at(0.6), func() { inj.HealPartition(1) })
+	case "correlated":
+		p.Engine.Schedule(at(0.3), func() {
+			picked := inj.CorrelatedCrash(reg, 0.25, true)
+			p.Engine.Schedule(at(0.4), func() {
+				for _, i := range picked {
+					inj.RestartWorker(reg, i)
+				}
+			})
+		})
+	case "dq":
+		p.Engine.Schedule(at(0.25), func() {
+			inj.ShardOutage(reg, 0, at(0.2))
+		})
+	default:
+		return false
+	}
+	return true
+}

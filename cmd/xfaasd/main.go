@@ -6,6 +6,9 @@
 //	curl -X POST localhost:8080/functions -d '{"name":"resize","exec_median_seconds":0.3}'
 //	curl -X POST localhost:8080/invoke -d '{"function":"resize"}'
 //	curl localhost:8080/stats
+//	curl localhost:8080/metrics            # Prometheus text exposition
+//	curl localhost:8080/traces             # sampled call traces
+//	curl localhost:8080/events             # control-plane event log
 //
 // With -speedup N, one wall second advances N virtual seconds, so
 // time-shifting and utilization control are observable in minutes.
@@ -29,6 +32,7 @@ func main() {
 		workers = flag.Int("workers", 12, "total workers across regions")
 		speedup = flag.Float64("speedup", 1, "virtual seconds per wall second")
 		seed    = flag.Uint64("seed", 1, "simulation seed")
+		sample  = flag.Uint64("trace-sample", 1, "trace 1 in N calls (0 disables per-call tracing)")
 	)
 	flag.Parse()
 
@@ -36,6 +40,10 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Cluster.Regions = *regions
 	cfg.Cluster.TotalWorkers = *workers
+	if *sample > 0 {
+		cfg.Trace.Enabled = true
+		cfg.Trace.SampleEvery = *sample
+	}
 	p := core.New(cfg, function.NewRegistry())
 
 	srv := httpapi.NewServer(p, *seed+1)

@@ -59,11 +59,16 @@ func NewInjector(p *core.Platform, src *rng.Source) *Injector {
 func (inj *Injector) Events() []Event { return inj.events }
 
 func (inj *Injector) record(kind, format string, args ...any) {
+	detail := fmt.Sprintf(format, args...)
 	inj.events = append(inj.events, Event{
 		At:     inj.p.Engine.Now(),
 		Kind:   kind,
-		Detail: fmt.Sprintf(format, args...),
+		Detail: detail,
 	})
+	// Forward to the platform's control-plane event log so injected
+	// faults have a durable, queryable record (httpapi /events) next to
+	// the reactions they trigger (breaker flips, health transitions).
+	inj.p.Tracer.Control("chaos."+kind, detail)
 }
 
 // CrashWorker kills one worker. Silent crashes (power loss, kernel hang)

@@ -1,11 +1,13 @@
 package congestion
 
 import (
+	"fmt"
 	"time"
 
 	"xfaas/internal/function"
 	"xfaas/internal/sim"
 	"xfaas/internal/stats"
+	"xfaas/internal/trace"
 )
 
 // Control bundles the three protection mechanisms for one function.
@@ -40,8 +42,15 @@ type Manager struct {
 	Advice func(service string) float64
 
 	funcs map[string]*Control
+	// names mirrors funcs' keys, kept sorted so the tick (and any control
+	// events it emits) visits functions in deterministic order.
+	names []string
 
 	DispatchDenied stats.Counter
+
+	// Trace, when set, receives control-plane events for AIMD limit
+	// decreases (back-pressure reactions).
+	Trace *trace.Recorder
 }
 
 // NewManager returns a manager with the given parameters and starts the
@@ -60,8 +69,13 @@ func NewManager(engine *sim.Engine, params AIMDParams, ss SlowStartParams) *Mana
 
 func (m *Manager) tick() {
 	now := m.engine.Now()
-	for _, ctl := range m.funcs {
-		ctl.AIMD.Tick(now)
+	for _, name := range m.names {
+		ctl := m.funcs[name]
+		d0 := ctl.AIMD.Decreases
+		lim := ctl.AIMD.Tick(now)
+		if ctl.AIMD.Decreases != d0 {
+			m.Trace.Control("aimd.decrease", fmt.Sprintf("%s limit=%.1f", name, lim))
+		}
 	}
 }
 
@@ -76,6 +90,11 @@ func (m *Manager) Control(spec *function.Spec) *Control {
 			dispatched: stats.NewWindowRate(time.Second, 10),
 		}
 		m.funcs[spec.Name] = ctl
+		// Insertion sort: names grows one at a time and stays sorted.
+		m.names = append(m.names, spec.Name)
+		for i := len(m.names) - 1; i > 0 && m.names[i] < m.names[i-1]; i-- {
+			m.names[i], m.names[i-1] = m.names[i-1], m.names[i]
+		}
 	}
 	return ctl
 }

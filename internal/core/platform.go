@@ -31,6 +31,7 @@ import (
 	"xfaas/internal/sim"
 	"xfaas/internal/stats"
 	"xfaas/internal/submitter"
+	"xfaas/internal/trace"
 	"xfaas/internal/utilization"
 	"xfaas/internal/worker"
 	"xfaas/internal/workerlb"
@@ -97,6 +98,10 @@ type Config struct {
 	// HeartbeatInterval disables detection (unit-test rigs), in which
 	// case the LB's detected view degenerates to direct observation.
 	Chaos config.Chaos
+	// Trace configures per-call tracing (disabled by default: the
+	// recorder still exists and collects control-plane events, but no
+	// call is sampled and the hot path pays one boolean load).
+	Trace trace.Params
 }
 
 // DefaultConfig returns a paper-shaped platform at simulation scale: 12
@@ -134,6 +139,7 @@ func DefaultConfig() Config {
 		MetricsInterval:     30 * time.Second,
 		PrewarmJIT:          true,
 		Chaos:               config.DefaultChaos(),
+		Trace:               trace.DefaultParams(),
 	}
 }
 
@@ -191,6 +197,12 @@ type Platform struct {
 	Distributor *jit.Distributor
 	// RIM is the global coordination advisor (nil without downstreams).
 	RIM *rim.RIM
+	// Tracer is the per-call trace recorder and control-plane event log.
+	// Always non-nil: control events record even with call tracing off.
+	Tracer *trace.Recorder
+	// Metrics is the platform-level labeled metric registry backing the
+	// Prometheus exposition.
+	Metrics *stats.Registry
 
 	cfg     Config
 	regions []*Region
@@ -206,6 +218,10 @@ type Platform struct {
 	breakers []breaker
 	// BreakerOpens counts open transitions across all region breakers.
 	BreakerOpens stats.Counter
+	// lastShed/lastMinCrit hold the previous degradation outputs so the
+	// control-event log records transitions, not every degrade tick.
+	lastShed    float64
+	lastMinCrit function.Criticality
 
 	codeVersion int
 	// localityWarm flips once locality groups have been partitioned from
@@ -225,6 +241,14 @@ type Platform struct {
 	OpportunisticCPU *stats.TimeSeries
 	// Completions and Failures count terminal call outcomes.
 	Completions stats.Counter
+	// E2ELatency observes every completion's submit→done latency in
+	// seconds; xfaas-inspect checks its traced breakdown against this
+	// independently collected distribution.
+	E2ELatency *stats.Histogram
+	// completionCtr holds prebuilt per-(region, quota, criticality)
+	// counter handles so onExecuted never does a label lookup on the hot
+	// path; they are children of Metrics' completions_total family.
+	completionCtr [][][]*stats.Counter
 	// OnExecutedHook, when set, observes every successful completion
 	// (experiment instrumentation).
 	OnExecutedHook func(*function.Call)
@@ -256,11 +280,32 @@ func New(cfg Config, registry *function.Registry) *Platform {
 		src:              src,
 		spiky:            make(map[string]bool),
 		avgCostM:         100,
+		lastShed:         1,
+		lastMinCrit:      function.CritLow,
 		Executed:         stats.NewTimeSeries(time.Minute, stats.ModeSum),
 		ReservedCPU:      stats.NewTimeSeries(time.Minute, stats.ModeSum),
 		OpportunisticCPU: stats.NewTimeSeries(time.Minute, stats.ModeSum),
+		Metrics:          stats.NewRegistry(),
+	}
+	p.Tracer = trace.NewRecorder(engine, cfg.Seed, cfg.Trace)
+	p.E2ELatency = p.Metrics.Histogram("e2e_latency_seconds")
+	// Prebuild the per-(region, quota, criticality) completion counter
+	// handles so the completion path never joins label strings.
+	compVec := p.Metrics.CounterVec("completions_total", "region", "quota", "crit")
+	nRegions := p.Topo.NumRegions()
+	p.completionCtr = make([][][]*stats.Counter, nRegions)
+	for r := 0; r < nRegions; r++ {
+		p.completionCtr[r] = make([][]*stats.Counter, 2)
+		for _, q := range []function.QuotaType{function.QuotaReserved, function.QuotaOpportunistic} {
+			crits := make([]*stats.Counter, 3)
+			for _, cr := range []function.Criticality{function.CritLow, function.CritNormal, function.CritHigh} {
+				crits[cr] = compVec.With(fmt.Sprintf("r%d", r), q.String(), cr.String())
+			}
+			p.completionCtr[r][q] = crits
+		}
 	}
 	p.Cong = congestion.NewManager(engine, cfg.AIMD, cfg.SlowStart)
+	p.Cong.Trace = p.Tracer
 	for _, c := range cfg.SpikyClients {
 		p.spiky[c] = true
 	}
@@ -283,26 +328,33 @@ func New(cfg Config, registry *function.Registry) *Platform {
 		for k := 0; k < r.DurableQShards; k++ {
 			sh := durableq.NewShard(durableq.ShardID{Region: r.ID, Index: k}, engine)
 			sh.LeaseTimeout = cfg.LeaseTimeout
+			sh.Trace = p.Tracer
 			allShards[i] = append(allShards[i], sh)
 		}
 	}
 	p.Store.Set(queuelb.PolicyKey, queuelb.LocalFirstPolicy(p.Topo, cfg.QueueLocalFrac))
 
 	for i, r := range p.Topo.Regions() {
+		// Region series are children of labeled families so the /metrics
+		// exposition enumerates them; the Region fields keep pointing at
+		// the same *TimeSeries objects for existing readers.
+		regLabel := fmt.Sprintf("r%d", r.ID)
 		reg := &Region{
 			ID:         r.ID,
 			Shards:     allShards[i],
-			UtilSeries: stats.NewTimeSeries(time.Minute, stats.ModeMean),
-			MemSeries:  stats.NewTimeSeries(time.Minute, stats.ModeMean),
+			UtilSeries: p.Metrics.SeriesVec("region_utilization", time.Minute, stats.ModeMean, "region").With(regLabel),
+			MemSeries:  p.Metrics.SeriesVec("region_memory_mb", time.Minute, stats.ModeMean, "region").With(regLabel),
 		}
 		for w := 0; w < r.Workers; w++ {
 			wk := worker.New(worker.ID{Region: r.ID, Index: w}, engine, cfg.Worker, src.Split(), p.Downstreams)
 			if cfg.PrewarmJIT {
 				wk.Runtime.Prewarm(registry.Names())
 			}
+			wk.Trace = p.Tracer
 			reg.Workers = append(reg.Workers, wk)
 		}
 		reg.LB = workerlb.New(src.Split(), reg.Workers)
+		reg.LB.Trace = p.Tracer
 		if cfg.Chaos.HeartbeatInterval > 0 {
 			reg.LB.StartHealthChecks(engine, workerlb.HealthParams{
 				Interval:              cfg.Chaos.HeartbeatInterval,
@@ -312,8 +364,11 @@ func New(cfg Config, registry *function.Registry) *Platform {
 			})
 		}
 		reg.QueueLB = queuelb.New(r.ID, src.Split(), allShards, p.Store)
+		reg.QueueLB.Trace = p.Tracer
 		reg.Normal = submitter.New(engine, r.ID, submitter.PoolNormal, cfg.Submitter, reg.QueueLB, p.KV, src.Split(), &p.idSeq)
 		reg.Spiky = submitter.New(engine, r.ID, submitter.PoolSpiky, cfg.Submitter, reg.QueueLB, p.KV, src.Split(), &p.idSeq)
+		reg.Normal.Trace = p.Tracer
+		reg.Spiky.Trace = p.Tracer
 		nSched := cfg.SchedulersPerRegion
 		if nSched < 1 {
 			nSched = 1
@@ -321,6 +376,7 @@ func New(cfg Config, registry *function.Registry) *Platform {
 		from := r.ID
 		for k := 0; k < nSched; k++ {
 			sc := scheduler.New(engine, src.Split(), r.ID, cfg.Scheduler, allShards, reg.LB, p.Central, p.Cong, p.Store)
+			sc.Trace = p.Tracer
 			sc.OnExecuted = p.onExecuted
 			sc.Reachable = func(dst cluster.RegionID) bool { return p.Reachable(from, dst) }
 			sc.AllowPull = func() bool { return !p.breakers[from].isOpen() }
@@ -412,6 +468,10 @@ func (p *Platform) onExecuted(c *function.Call) {
 	now := p.Engine.Now()
 	p.Executed.Record(now, 1)
 	p.Completions.Inc()
+	p.E2ELatency.Observe((now - c.SubmitTime).Seconds())
+	if r := int(c.SourceRegion); r >= 0 && r < len(p.completionCtr) {
+		p.completionCtr[r][c.Spec.Quota][c.Spec.Criticality].Inc()
+	}
 	if c.Spec.Quota == function.QuotaOpportunistic {
 		p.OpportunisticCPU.Record(now, c.CPUWorkM)
 	} else {

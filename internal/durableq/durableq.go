@@ -14,6 +14,7 @@ import (
 	"xfaas/internal/function"
 	"xfaas/internal/sim"
 	"xfaas/internal/stats"
+	"xfaas/internal/trace"
 )
 
 // ShardID identifies a DurableQ shard within a region.
@@ -61,6 +62,9 @@ type Shard struct {
 	DeadLetters stats.Counter
 	Expired     stats.Counter
 	pending     int
+
+	// Trace, when set, records queue lifecycle events for sampled calls.
+	Trace *trace.Recorder
 }
 
 // NewShard returns an empty shard with a 5-minute lease timeout.
@@ -103,6 +107,7 @@ func (s *Shard) Enqueue(c *function.Call) bool {
 	q.push(queued{call: c, readyAt: c.StartAfter})
 	s.Enqueued.Inc()
 	s.pending++
+	s.Trace.Record(c, trace.KindEnqueue, trace.Ref(s.ID.Region, s.ID.Index))
 	return true
 }
 
@@ -170,6 +175,7 @@ func (s *Shard) PollInto(dst []*function.Call, max int, filter func(*function.Ca
 func (s *Shard) offer(c *function.Call) *function.Call {
 	c.State = function.StateLeased
 	c.Attempt++
+	s.Trace.Record(c, trace.KindLease, int64(c.Attempt))
 	l := s.getLease()
 	l.call = c
 	l.id = c.ID
@@ -212,6 +218,7 @@ func (s *Shard) expire(l *lease) {
 	s.Expired.Inc()
 	c := l.call
 	s.putLease(l)
+	s.Trace.Record(c, trace.KindLeaseExpired, 0)
 	s.retryOrDrop(c, 0)
 }
 
@@ -239,6 +246,7 @@ func (s *Shard) Ack(id uint64) bool {
 	l.timer.Stop()
 	delete(s.leases, id)
 	l.call.State = function.StateSucceeded
+	s.Trace.Record(l.call, trace.KindAck, 0)
 	s.putLease(l)
 	s.Acked.Inc()
 	return true
@@ -256,6 +264,7 @@ func (s *Shard) Nack(id uint64) bool {
 	s.Nacked.Inc()
 	c := l.call
 	s.putLease(l)
+	s.Trace.Record(c, trace.KindNack, 0)
 	s.retryOrDrop(c, c.Spec.Retry.Backoff)
 	return true
 }
@@ -264,10 +273,12 @@ func (s *Shard) retryOrDrop(c *function.Call, backoff time.Duration) {
 	if c.Attempt >= c.Spec.Retry.MaxAttempts {
 		c.State = function.StateFailed
 		s.DeadLetters.Inc()
+		s.Trace.Record(c, trace.KindDeadLetter, int64(c.Attempt))
 		return
 	}
 	s.Redelivered.Inc()
 	c.State = function.StateQueued
+	s.Trace.Record(c, trace.KindRetry, int64(backoff))
 	q := s.queues[c.Spec.Name]
 	q.push(queued{call: c, readyAt: s.engine.Now() + backoff})
 	s.pending++

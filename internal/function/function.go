@@ -296,6 +296,11 @@ type Call struct {
 
 	State   State
 	Attempt int // 1-based once queued
+	// Sampled marks the call as selected for tracing (set once at
+	// submission by trace.Recorder.OnSubmit). Keeping the flag on the
+	// call lets every instrumentation hook bail with one field load when
+	// the call is untraced — the zero-alloc disabled path.
+	Sampled bool
 
 	// Timeline bookkeeping for delay metrics.
 	QueuedAt    sim.Time

@@ -103,6 +103,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /invoke", s.handleInvoke)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /functions/{name}", s.handleFunction)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /traces", s.handleTraces)
+	mux.HandleFunc("GET /traces/{id}", s.handleTrace)
+	mux.HandleFunc("GET /events", s.handleEvents)
 	return mux
 }
 

@@ -14,6 +14,7 @@ import (
 	"xfaas/internal/function"
 	"xfaas/internal/rng"
 	"xfaas/internal/stats"
+	"xfaas/internal/trace"
 )
 
 // RoutingPolicy is a row-stochastic matrix: Policy[src][dst] is the
@@ -89,6 +90,8 @@ type LB struct {
 	// Unroutable counts submissions dropped because no shard anywhere was
 	// available (total durable-queue outage).
 	Unroutable stats.Counter
+	// Trace, when set, records routing decisions for sampled calls.
+	Trace *trace.Recorder
 }
 
 // New returns a QueueLB for region, routing over the per-region shard
@@ -190,6 +193,7 @@ func (lb *LB) pickShard(region cluster.RegionID) *durableq.Shard {
 }
 
 func (lb *LB) finishRoute(c *function.Call, shard *durableq.Shard, dst cluster.RegionID) {
+	lb.Trace.Record(c, trace.KindRoute, int64(dst))
 	shard.Enqueue(c)
 	lb.Routed.Inc()
 	if dst != lb.region {

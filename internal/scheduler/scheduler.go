@@ -25,6 +25,7 @@ import (
 	"xfaas/internal/rng"
 	"xfaas/internal/sim"
 	"xfaas/internal/stats"
+	"xfaas/internal/trace"
 	"xfaas/internal/worker"
 	"xfaas/internal/workerlb"
 
@@ -127,6 +128,9 @@ type Scheduler struct {
 	// call (platform-level series aggregation).
 	OnExecuted func(*function.Call)
 
+	// Trace, when set, records scheduling decisions for sampled calls.
+	Trace *trace.Recorder
+
 	// Metrics.
 	Polled            stats.Counter
 	Scheduled         stats.Counter
@@ -203,6 +207,7 @@ func (s *Scheduler) onWorkerDown(w *worker.Worker) {
 		c := calls[id]
 		delete(s.inflight, id)
 		s.cong.OnComplete(c.Spec)
+		s.Trace.Record(c, trace.KindEvacuated, 0)
 		s.nack(c)
 		s.Evacuated.Inc()
 	}
@@ -302,6 +307,7 @@ func (s *Scheduler) evacuate() {
 	for i := s.runHead; i < len(s.runQ); i++ {
 		if c := s.runQ[i]; c != nil {
 			s.cong.OnComplete(c.Spec) // release the concurrency slot
+			s.Trace.Record(c, trace.KindEvacuated, 0)
 			s.nack(c)
 			s.Evacuated.Inc()
 		}
@@ -311,7 +317,9 @@ func (s *Scheduler) evacuate() {
 	s.runLen = 0
 	for _, b := range s.buffers {
 		for b.Len() > 0 {
-			s.nack(b.Pop())
+			c := b.Pop()
+			s.Trace.Record(c, trace.KindEvacuated, 0)
+			s.nack(c)
 			s.Evacuated.Inc()
 		}
 	}
@@ -498,23 +506,27 @@ func (s *Scheduler) scheduleLevel(cands []*FuncBuffer, space int) int {
 				// Illegal flow: reject permanently (NACK until DLQ).
 				b.Pop()
 				s.IsolationDenied.Inc()
+				s.Trace.Record(c, trace.KindIsolationDenied, 0)
 				s.nack(c)
 				continue
 			}
 			if !s.cen.Allow(spec) {
 				s.QuotaThrottled.Inc()
+				s.Trace.Record(c, trace.KindQuotaDenied, 0)
 				break // over global quota: the whole function waits
 			}
 			// Note: quota was already accounted; a congestion deny here
 			// leaves a small overcount, which is conservative.
 			if !s.cong.AllowDispatch(spec) {
 				s.CongestionDenied.Inc()
+				s.Trace.Record(c, trace.KindCongestionDenied, 0)
 				break
 			}
 			b.Pop()
 			s.runQ = append(s.runQ, c)
 			s.runLen++
 			s.Scheduled.Inc()
+			s.Trace.Record(c, trace.KindScheduled, 0)
 			space--
 			taken++
 		}
@@ -552,6 +564,7 @@ func (s *Scheduler) dispatch() {
 		dispatched++
 		s.recordDispatchDelay(c)
 		s.Dispatched.Inc()
+		s.Trace.Record(c, trace.KindDispatch, trace.Ref(w.ID.Region, w.ID.Index))
 	}
 	for s.runHead < len(s.runQ) && s.runQ[s.runHead] == nil {
 		s.runHead++
@@ -597,6 +610,7 @@ func (s *Scheduler) complete(c *function.Call, err error) {
 	s.cong.OnComplete(c.Spec)
 	if errors.Is(err, downstream.ErrBackpressure) {
 		s.cong.OnBackpressure(c.Spec)
+		s.Trace.Record(c, trace.KindBackpressure, 0)
 	}
 	if err != nil {
 		s.nack(c)
@@ -605,6 +619,7 @@ func (s *Scheduler) complete(c *function.Call, err error) {
 	s.cen.RecordCost(c.Spec, c.CPUWorkM)
 	if c.Expired(now) {
 		s.SLOMisses.Inc()
+		s.Trace.Record(c, trace.KindSLOMiss, 0)
 	}
 	s.ExecutedSeries.Record(now, 1)
 	s.ExecutedCPUSeries.Record(now, c.CPUWorkM)

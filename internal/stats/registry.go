@@ -73,10 +73,17 @@ func (w *WindowRate) advance(now time.Duration) {
 	}
 }
 
-// Add records n events at virtual time now.
+// Add records n events at virtual time now. A now that lags the window
+// (out-of-order observation after the window already advanced past it)
+// is clamped to the oldest retained slot rather than indexing before
+// counts[0].
 func (w *WindowRate) Add(now time.Duration, n float64) {
 	w.advance(now)
-	w.counts[int64(now/w.slot)-w.base] += n
+	idx := int64(now/w.slot) - w.base
+	if idx < 0 {
+		idx = 0
+	}
+	w.counts[idx] += n
 }
 
 // Total returns the number of events inside the window ending at now.
@@ -102,6 +109,9 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	series   map[string]*TimeSeries
+	cvecs    map[string]*CounterVec
+	gvecs    map[string]*GaugeVec
+	svecs    map[string]*SeriesVec
 }
 
 // NewRegistry returns an empty registry.
@@ -111,6 +121,9 @@ func NewRegistry() *Registry {
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 		series:   map[string]*TimeSeries{},
+		cvecs:    map[string]*CounterVec{},
+		gvecs:    map[string]*GaugeVec{},
+		svecs:    map[string]*SeriesVec{},
 	}
 }
 
@@ -170,6 +183,15 @@ func (r *Registry) Names() []string {
 	for n := range r.series {
 		names = append(names, "series/"+n)
 	}
+	for n := range r.cvecs {
+		names = append(names, "countervec/"+n)
+	}
+	for n := range r.gvecs {
+		names = append(names, "gaugevec/"+n)
+	}
+	for n := range r.svecs {
+		names = append(names, "seriesvec/"+n)
+	}
 	sort.Strings(names)
 	return names
 }
@@ -185,7 +207,33 @@ func (r *Registry) Dump() string {
 			out += fmt.Sprintf("%s = %g\n", n, r.gauges[n[6:]].Value())
 		case len(n) > 10 && n[:10] == "histogram/":
 			out += fmt.Sprintf("%s: %s\n", n, r.hists[n[10:]].Summarize())
+		case len(n) > 11 && n[:11] == "countervec/":
+			v := r.cvecs[n[11:]]
+			v.Do(func(vals []string, c *Counter) {
+				out += fmt.Sprintf("%s{%s} = %g\n", n, labelPairs(v.Labels(), vals), c.Value())
+			})
+		case len(n) > 9 && n[:9] == "gaugevec/":
+			v := r.gvecs[n[9:]]
+			v.Do(func(vals []string, g *Gauge) {
+				out += fmt.Sprintf("%s{%s} = %g\n", n, labelPairs(v.Labels(), vals), g.Value())
+			})
 		}
+	}
+	return out
+}
+
+// labelPairs renders name="value" pairs for Dump and exposition output.
+func labelPairs(names, values []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ","
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		out += fmt.Sprintf("%s=%q", n, v)
 	}
 	return out
 }

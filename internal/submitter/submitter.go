@@ -17,6 +17,7 @@ import (
 	"xfaas/internal/rng"
 	"xfaas/internal/sim"
 	"xfaas/internal/stats"
+	"xfaas/internal/trace"
 )
 
 // ErrThrottled is returned when a client exceeds the submitter's rate
@@ -73,6 +74,11 @@ type Submitter struct {
 	batch   []*function.Call
 	idSeq   *uint64
 	clients map[string]*clientState
+
+	// Trace, when set, samples submitted calls for per-call tracing.
+	// Throttled submissions never get an ID and so cannot be traced
+	// per-call; the Throttled counter is their only record.
+	Trace *trace.Recorder
 
 	Submitted     stats.Counter
 	Throttled     stats.Counter
@@ -150,6 +156,7 @@ func (s *Submitter) Submit(client string, c *function.Call) error {
 		s.ArgsOffloaded.Inc()
 	}
 	c.State = function.StateSubmitted
+	s.Trace.OnSubmit(c)
 	s.batch = append(s.batch, c)
 	s.Submitted.Inc()
 	if len(s.batch) >= s.params.BatchSize {
@@ -179,6 +186,7 @@ func (s *Submitter) flush() {
 	for _, c := range s.batch {
 		if s.lb.Route(c) == nil {
 			s.RouteFailed.Inc()
+			s.Trace.Record(c, trace.KindDropped, 0)
 		}
 	}
 	s.batch = s.batch[:0]

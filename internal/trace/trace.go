@@ -1,0 +1,543 @@
+// Package trace is the platform's deterministic per-call tracing layer
+// and control-plane event log. A Recorder threaded through core.Platform
+// collects spans on the simulated clock for a seeded sample of calls —
+// submit, route, DurableQ enqueue→lease, scheduler admission decisions
+// (quota, congestion, isolation), dispatch, execution, retries,
+// back-pressure and evacuations — into bounded buffers, alongside a
+// separate ring of control-plane events (chaos injections, breaker and
+// health-state transitions, AIMD backoffs, shed-level changes).
+//
+// Two properties are contractual:
+//
+//   - Determinism: sampling is a pure function of (seed, call ID), the
+//     recorder schedules nothing on the engine and feeds nothing back
+//     into any decision, so a traced run is byte-identical to the same
+//     seed untraced, and two traced runs are byte-identical to each
+//     other. Retention (recent ring, slowest-K heap) uses only virtual
+//     time and call IDs as tie-breaks.
+//
+//   - Zero-alloc when disabled: every per-call hook starts with a
+//     nil/flag check (`r == nil || !c.Sampled`) and returns before
+//     touching any state, so instrumented hot paths cost nothing when
+//     tracing is off. Control-plane events are always recorded; they
+//     fire only on rare state transitions.
+//
+// The Recorder is internally locked so HTTP readers (httpapi) can
+// snapshot traces while a paced engine advances under the server's own
+// mutex; the simulation itself remains single-threaded.
+package trace
+
+import (
+	"sync"
+
+	"xfaas/internal/cluster"
+	"xfaas/internal/function"
+	"xfaas/internal/sim"
+)
+
+// Kind labels one span event in a call's lifecycle.
+type Kind uint8
+
+const (
+	// KindSubmit: accepted by a submitter (ID assigned, batch-buffered).
+	KindSubmit Kind = iota
+	// KindRoute: QueueLB chose a destination region (arg: region).
+	KindRoute
+	// KindEnqueue: persisted into a DurableQ shard (arg: shard ref).
+	KindEnqueue
+	// KindLease: offered to a scheduler (arg: attempt number).
+	KindLease
+	// KindLeaseExpired: lease timed out without ACK/NACK.
+	KindLeaseExpired
+	// KindScheduled: moved FuncBuffer → RunQ past all admission gates.
+	KindScheduled
+	// KindQuotaDenied: blocked by the central rate limiter this tick.
+	KindQuotaDenied
+	// KindCongestionDenied: blocked by AIMD/slow-start/concurrency.
+	KindCongestionDenied
+	// KindIsolationDenied: argument-flow check rejected the call.
+	KindIsolationDenied
+	// KindDispatch: sent to a worker (arg: worker ref).
+	KindDispatch
+	// KindExecStart: execution began on a worker.
+	KindExecStart
+	// KindExecEnd: execution finished (arg: 0 ok, 1 error).
+	KindExecEnd
+	// KindDownstreamRetry: downstream sub-call needed retries
+	// (arg: extra attempts used).
+	KindDownstreamRetry
+	// KindBackpressure: completion carried a back-pressure exception.
+	KindBackpressure
+	// KindSLOMiss: completed after its deadline.
+	KindSLOMiss
+	// KindEvacuated: scheduler handed the call back (breaker open,
+	// detected outage, or detected worker death).
+	KindEvacuated
+	// KindNack: failed execution reported to the DurableQ.
+	KindNack
+	// KindRetry: requeued for redelivery (arg: backoff nanoseconds).
+	KindRetry
+	// KindAck: terminal success — removed from the DurableQ.
+	KindAck
+	// KindDeadLetter: terminal failure — retries exhausted
+	// (arg: attempts).
+	KindDeadLetter
+	// KindDropped: terminal — never persisted anywhere (total DurableQ
+	// outage at submission).
+	KindDropped
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"submit", "route", "enqueue", "lease", "lease-expired", "scheduled",
+	"quota-denied", "congestion-denied", "isolation-denied", "dispatch",
+	"exec-start", "exec-end", "downstream-retry", "backpressure",
+	"slo-miss", "evacuated", "nack", "retry", "ack", "dead-letter",
+	"dropped",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Terminal reports whether the kind ends a call's trace.
+func (k Kind) Terminal() bool {
+	return k == KindAck || k == KindDeadLetter || k == KindDropped
+}
+
+// Ref packs a (region, index) component identity into an event arg.
+func Ref(region cluster.RegionID, index int) int64 {
+	return int64(region)<<32 | int64(uint32(index))
+}
+
+// SplitRef unpacks a Ref arg.
+func SplitRef(arg int64) (region cluster.RegionID, index int) {
+	return cluster.RegionID(arg >> 32), int(uint32(arg))
+}
+
+// Event is one timestamped step in a call's lifecycle. Arg's meaning is
+// per-Kind (see the Kind constants).
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	Arg  int64
+}
+
+// CallTrace is the recorded lifecycle of one sampled call.
+type CallTrace struct {
+	ID         uint64
+	Func       string
+	Crit       function.Criticality
+	Quota      function.QuotaType
+	Region     cluster.RegionID // submission region
+	SubmitAt   sim.Time
+	StartAfter sim.Time
+	Deadline   sim.Time
+
+	// EndAt/Outcome/Done are set when a terminal event arrives.
+	EndAt   sim.Time
+	Outcome Kind
+	Done    bool
+	// Attempts is the highest delivery attempt observed.
+	Attempts int
+	// Truncated counts events dropped past MaxEventsPerCall.
+	Truncated int
+	Events    []Event
+}
+
+// Latency is submit→terminal; zero until Done.
+func (t *CallTrace) Latency() sim.Time {
+	if !t.Done {
+		return 0
+	}
+	return t.EndAt - t.SubmitAt
+}
+
+// ControlEvent is one control-plane state transition: a chaos injection,
+// a breaker or health-state flip, an AIMD backoff, a shed change.
+type ControlEvent struct {
+	Seq    uint64
+	At     sim.Time
+	Kind   string
+	Detail string
+}
+
+// Params configure a Recorder. The zero value records control-plane
+// events only (per-call tracing disabled).
+type Params struct {
+	// Enabled turns per-call span tracing on.
+	Enabled bool
+	// SampleEvery is the head-sampling rate: a seeded hash of the call ID
+	// selects ~1/SampleEvery of calls. Values <= 1 trace every call.
+	SampleEvery uint64
+	// RingSize bounds the ring of most recently completed traces.
+	RingSize int
+	// SlowestK additionally retains the K slowest completed traces
+	// (tail sampling: the calls a latency investigation wants are exactly
+	// the ones a recency ring evicts first).
+	SlowestK int
+	// MaxEventsPerCall bounds one trace's event list so a retry loop
+	// cannot grow a trace without bound; terminal events always record.
+	MaxEventsPerCall int
+	// ControlLog bounds the control-plane event ring.
+	ControlLog int
+}
+
+// DefaultParams returns the default sizes with tracing disabled.
+func DefaultParams() Params {
+	return Params{
+		Enabled:          false,
+		SampleEvery:      1,
+		RingSize:         4096,
+		SlowestK:         32,
+		MaxEventsPerCall: 96,
+		ControlLog:       512,
+	}
+}
+
+// Recorder collects call traces and control-plane events. All methods
+// are safe on a nil receiver (no-ops), so components hold a plain field
+// and never branch on configuration.
+type Recorder struct {
+	engine *sim.Engine
+	params Params
+	seed   uint64
+
+	mu     sync.Mutex
+	active map[uint64]*CallTrace
+	recent []*CallTrace // ring; next is the write position
+	next   int
+	filled bool
+	slow   slowHeap // min-heap over latency, size <= SlowestK
+
+	sampled   uint64
+	completed uint64
+	dropped   uint64
+
+	ctrl     []ControlEvent // ring
+	ctrlNext int
+	ctrlFull bool
+	ctrlSeq  uint64
+}
+
+// NewRecorder returns a recorder on the engine's clock. Sampling
+// decisions derive from seed only, never from runtime state.
+func NewRecorder(engine *sim.Engine, seed uint64, p Params) *Recorder {
+	if p.SampleEvery < 1 {
+		p.SampleEvery = 1
+	}
+	if p.RingSize < 1 {
+		p.RingSize = 1
+	}
+	if p.MaxEventsPerCall < 8 {
+		p.MaxEventsPerCall = 8
+	}
+	if p.ControlLog < 1 {
+		p.ControlLog = 1
+	}
+	if p.SlowestK < 0 {
+		p.SlowestK = 0
+	}
+	return &Recorder{
+		engine: engine,
+		params: p,
+		seed:   seed,
+		active: make(map[uint64]*CallTrace),
+		recent: make([]*CallTrace, p.RingSize),
+		ctrl:   make([]ControlEvent, p.ControlLog),
+	}
+}
+
+// Enabled reports whether per-call tracing is on.
+func (r *Recorder) Enabled() bool { return r != nil && r.params.Enabled }
+
+// Params returns the recorder's configuration (zero value when nil).
+func (r *Recorder) Params() Params {
+	if r == nil {
+		return Params{}
+	}
+	return r.params
+}
+
+// splitmix64 finalizer: a well-mixed pure hash of the call ID and seed.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// ShouldSample reports the head-sampling decision for a call ID — a pure
+// function of (seed, id), so every replica of a seeded run samples the
+// same calls.
+func (r *Recorder) ShouldSample(id uint64) bool {
+	if r.params.SampleEvery <= 1 {
+		return true
+	}
+	return mix(r.seed^id*0x9E3779B97F4A7C15)%r.params.SampleEvery == 0
+}
+
+// OnSubmit makes the sampling decision for a newly admitted call and, if
+// selected, opens its trace with a submit event. Call after the ID and
+// submit time are stamped.
+func (r *Recorder) OnSubmit(c *function.Call) {
+	if r == nil || !r.params.Enabled {
+		return
+	}
+	if !r.ShouldSample(c.ID) {
+		return
+	}
+	c.Sampled = true
+	t := &CallTrace{
+		ID:         c.ID,
+		Func:       c.Spec.Name,
+		Crit:       c.Spec.Criticality,
+		Quota:      c.Spec.Quota,
+		Region:     c.SourceRegion,
+		SubmitAt:   c.SubmitTime,
+		StartAfter: c.StartAfter,
+		Deadline:   c.Deadline,
+		Events:     make([]Event, 0, 8),
+	}
+	t.Events = append(t.Events, Event{At: c.SubmitTime, Kind: KindSubmit})
+	r.mu.Lock()
+	r.active[c.ID] = t
+	r.sampled++
+	r.mu.Unlock()
+}
+
+// Record appends one lifecycle event to a sampled call's trace. Unsampled
+// calls return immediately without taking the lock (the zero-alloc,
+// near-zero-cost disabled path). Terminal kinds finalize the trace.
+func (r *Recorder) Record(c *function.Call, k Kind, arg int64) {
+	if r == nil || !c.Sampled {
+		return
+	}
+	r.mu.Lock()
+	t, ok := r.active[c.ID]
+	if !ok {
+		r.mu.Unlock()
+		return
+	}
+	if len(t.Events) >= r.params.MaxEventsPerCall && !k.Terminal() {
+		t.Truncated++
+		r.dropped++
+		r.mu.Unlock()
+		return
+	}
+	t.Events = append(t.Events, Event{At: r.engine.Now(), Kind: k, Arg: arg})
+	if k == KindLease && int(arg) > t.Attempts {
+		t.Attempts = int(arg)
+	}
+	if k.Terminal() {
+		r.finalize(t, k)
+	}
+	r.mu.Unlock()
+}
+
+// finalize moves a trace from active to the retention buffers. Caller
+// holds r.mu.
+func (r *Recorder) finalize(t *CallTrace, outcome Kind) {
+	delete(r.active, t.ID)
+	t.Done = true
+	t.Outcome = outcome
+	t.EndAt = r.engine.Now()
+	r.completed++
+	r.recent[r.next] = t
+	r.next++
+	if r.next == len(r.recent) {
+		r.next = 0
+		r.filled = true
+	}
+	if r.params.SlowestK > 0 {
+		if len(r.slow) < r.params.SlowestK {
+			r.slow.push(t)
+		} else if slowLess(r.slow[0], t) {
+			r.slow[0] = t
+			r.slow.down(0)
+		}
+	}
+}
+
+// Control appends one control-plane event at the current virtual time.
+// Always on (independent of Enabled); safe on nil.
+func (r *Recorder) Control(kind, detail string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ctrlSeq++
+	r.ctrl[r.ctrlNext] = ControlEvent{
+		Seq:    r.ctrlSeq,
+		At:     r.engine.Now(),
+		Kind:   kind,
+		Detail: detail,
+	}
+	r.ctrlNext++
+	if r.ctrlNext == len(r.ctrl) {
+		r.ctrlNext = 0
+		r.ctrlFull = true
+	}
+	r.mu.Unlock()
+}
+
+// Controls returns the retained control-plane events in sequence order.
+func (r *Recorder) Controls() []ControlEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []ControlEvent
+	if r.ctrlFull {
+		out = make([]ControlEvent, 0, len(r.ctrl))
+		out = append(out, r.ctrl[r.ctrlNext:]...)
+		out = append(out, r.ctrl[:r.ctrlNext]...)
+		return out
+	}
+	return append(out, r.ctrl[:r.ctrlNext]...)
+}
+
+// ControlCount returns the total number of control events ever recorded.
+func (r *Recorder) ControlCount() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ctrlSeq
+}
+
+// Recent returns the completed-trace ring, oldest first.
+func (r *Recorder) Recent() []*CallTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*CallTrace
+	if r.filled {
+		out = make([]*CallTrace, 0, len(r.recent))
+		out = append(out, r.recent[r.next:]...)
+		out = append(out, r.recent[:r.next]...)
+		return out
+	}
+	return append(out, r.recent[:r.next]...)
+}
+
+// Slowest returns up to SlowestK completed traces, slowest first; ties
+// break on ascending call ID.
+func (r *Recorder) Slowest() []*CallTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]*CallTrace, len(r.slow))
+	copy(out, r.slow)
+	r.mu.Unlock()
+	// Sort descending by latency, ascending ID on ties (n <= SlowestK).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && slowLess(out[j-1], out[j]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Find returns the trace for a call ID: in-flight, recent, or retained
+// slowest. Nil when the call was not sampled or has been evicted.
+func (r *Recorder) Find(id uint64) *CallTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.active[id]; ok {
+		return t
+	}
+	for _, t := range r.recent {
+		if t != nil && t.ID == id {
+			return t
+		}
+	}
+	for _, t := range r.slow {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// Active returns the number of in-flight sampled traces.
+func (r *Recorder) Active() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.active)
+}
+
+// Stats returns lifetime counters: traces opened, traces completed, and
+// events dropped by the per-call cap.
+func (r *Recorder) Stats() (sampled, completed, dropped uint64) {
+	if r == nil {
+		return 0, 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sampled, r.completed, r.dropped
+}
+
+// slowLess orders a strictly below b for the slowest-K min-heap: smaller
+// latency first, larger ID first on ties (so the keeper among equals is
+// the earliest call — a deterministic rule, not a meaningful one).
+func slowLess(a, b *CallTrace) bool {
+	la, lb := a.Latency(), b.Latency()
+	if la != lb {
+		return la < lb
+	}
+	return a.ID > b.ID
+}
+
+// slowHeap is a binary min-heap under slowLess; the root is the
+// least-slow retained trace, evicted first.
+type slowHeap []*CallTrace
+
+func (h *slowHeap) push(t *CallTrace) {
+	*h = append(*h, t)
+	j := len(*h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !slowLess((*h)[j], (*h)[i]) {
+			break
+		}
+		(*h)[i], (*h)[j] = (*h)[j], (*h)[i]
+		j = i
+	}
+}
+
+func (h slowHeap) down(i int) {
+	n := len(h)
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && slowLess(h[j2], h[j1]) {
+			j = j2
+		}
+		if !slowLess(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"xfaas/internal/rng"
 	"xfaas/internal/sim"
 	"xfaas/internal/stats"
+	"xfaas/internal/trace"
 )
 
 // ID identifies a worker within a region's pool.
@@ -136,6 +137,9 @@ type Worker struct {
 	// CPUWork accumulates executed millions of instructions, for
 	// utilization accounting.
 	CPUWork stats.Counter
+
+	// Trace, when set, records execution events for sampled calls.
+	Trace *trace.Recorder
 }
 
 // New returns an idle worker. downstreams may be nil when the workload
@@ -286,7 +290,10 @@ func (w *Worker) TryExecute(c *function.Call, done DoneFunc) bool {
 
 	// Downstream interaction happens during execution; resolve the
 	// outcome now, deterministically per call.
-	err := w.callDownstream(c)
+	retries, err := w.callDownstream(c)
+	if retries > 0 {
+		w.Trace.Record(c, trace.KindDownstreamRetry, int64(retries))
+	}
 	if err != nil {
 		short := time.Duration(float64(duration) * w.params.FailureSlowdown)
 		if short < time.Millisecond {
@@ -308,6 +315,7 @@ func (w *Worker) TryExecute(c *function.Call, done DoneFunc) bool {
 
 	c.State = function.StateRunning
 	c.ExecStartAt = now
+	w.Trace.Record(c, trace.KindExecStart, 0)
 	rc.timer = w.engine.Schedule(duration, rc.fire)
 	return true
 }
@@ -430,8 +438,10 @@ func (w *Worker) finish(rc *runningCall) {
 	w.Executions.Inc()
 	if err != nil {
 		w.Failures.Inc()
+		w.Trace.Record(c, trace.KindExecEnd, 1)
 	} else {
 		w.CPUWork.Add(rc.cpuRate * rc.duration.Seconds())
+		w.Trace.Record(c, trace.KindExecEnd, 0)
 	}
 	// Recycle before invoking the callback: done may re-enter TryExecute
 	// and reuse this object immediately.
@@ -440,30 +450,31 @@ func (w *Worker) finish(rc *runningCall) {
 }
 
 // callDownstream performs the invocation's downstream sub-call with
-// bounded retries. Back-pressure fails the invocation immediately (no
-// retry — the exception is the signal); plain failures retry, amplifying
-// load on the struggling service.
-func (w *Worker) callDownstream(c *function.Call) error {
+// bounded retries, returning how many retries (extra attempts beyond the
+// first) were consumed and the final error. Back-pressure fails the
+// invocation immediately (no retry — the exception is the signal); plain
+// failures retry, amplifying load on the struggling service.
+func (w *Worker) callDownstream(c *function.Call) (int, error) {
 	name := c.Spec.Downstream
 	if name == "" || w.downstreams == nil {
-		return nil
+		return 0, nil
 	}
 	svc, ok := w.downstreams.Get(name)
 	if !ok {
-		return nil
+		return 0, nil
 	}
 	var err error
 	for attempt := 0; attempt <= w.params.DownstreamRetries; attempt++ {
 		err = svc.Invoke()
 		if err == nil {
-			return nil
+			return attempt, nil
 		}
 		if errors.Is(err, downstream.ErrBackpressure) {
 			w.Backpressured.Inc()
-			return err
+			return attempt, err
 		}
 	}
-	return err
+	return w.params.DownstreamRetries, err
 }
 
 // loadCode ensures the function's code and JIT cache are resident,

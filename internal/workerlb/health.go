@@ -105,6 +105,7 @@ func (lb *LB) probeAll() {
 			if h.missed >= lb.hp.MissedThreshold && h.state != Dead {
 				h.state = Dead
 				lb.DetectedDead.Inc()
+				lb.Trace.Control("health.dead", w.ID.String())
 				for _, fn := range lb.onDown {
 					fn(w)
 				}
@@ -115,18 +116,21 @@ func (lb *LB) probeAll() {
 		if h.state == Dead {
 			h.state = Healthy
 			lb.DetectedRecovered.Inc()
+			lb.Trace.Control("health.recovered", w.ID.String())
 		}
 		if slowdown >= lb.hp.GraySlowdownThreshold {
 			h.slowStreak++
 			if h.slowStreak >= lb.hp.GrayThreshold && h.state == Healthy {
 				h.state = Gray
 				lb.DetectedGray.Inc()
+				lb.Trace.Control("health.gray", w.ID.String())
 			}
 		} else {
 			h.slowStreak = 0
 			if h.state == Gray {
 				h.state = Healthy
 				lb.DetectedRecovered.Inc()
+				lb.Trace.Control("health.recovered", w.ID.String())
 			}
 		}
 	}

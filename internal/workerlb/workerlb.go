@@ -12,6 +12,7 @@ import (
 	"xfaas/internal/rng"
 	"xfaas/internal/sim"
 	"xfaas/internal/stats"
+	"xfaas/internal/trace"
 	"xfaas/internal/worker"
 )
 
@@ -36,6 +37,10 @@ type LB struct {
 	DetectedDead      stats.Counter
 	DetectedGray      stats.Counter
 	DetectedRecovered stats.Counter
+
+	// Trace, when set, receives control-plane events for health-state
+	// transitions (the durable record chaos tests assert on).
+	Trace *trace.Recorder
 }
 
 // New returns a load balancer over the pool with no locality assignment
