@@ -83,6 +83,12 @@ func main() {
 		cfg.Trace.Enabled = true
 		cfg.Trace.SampleEvery = 1
 	}))
+	// Invariant checking on: measures the ledger + probe overhead. Not
+	// gated — the strict gates are PlatformSmall (untraced, unchecked)
+	// and SubmitPath, which must not regress when both layers are off.
+	run("PlatformSmall/invariants", benchPlatform(3, 12, 10, func(cfg *xfaas.Config) {
+		cfg.Invariants.Enabled = true
+	}))
 	if !*quick {
 		run("PlatformLarge", benchPlatform(12, 48, 40, nil))
 	}

@@ -42,6 +42,7 @@ func main() {
 		rps       = flag.Float64("rps", 10, "workload mean RPS")
 		funcs     = flag.Int("functions", 40, "workload population size")
 		chrome    = flag.String("chrome", "", "write Chrome trace_event JSON to this file")
+		inv       = flag.Bool("invariants", false, "check platform invariants; print violations with critical paths and exit 1 on any")
 	)
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 	cfg.Trace.Enabled = true
 	cfg.Trace.SampleEvery = *sample
 	cfg.Trace.RingSize = 1 << 16
+	cfg.Invariants.Enabled = *inv
 
 	pcfg := workload.DefaultPopulationConfig()
 	pcfg.Functions = *funcs
@@ -151,6 +153,31 @@ func main() {
 		fmt.Printf("%9.1fs %-22s %s\n", e.At.Seconds(), e.Kind, e.Detail)
 	}
 
+	violated := false
+	if *inv {
+		vs := p.Inv.Final()
+		tot := p.Inv.Totals()
+		fmt.Printf("\n== invariants (%d evaluations, %d late events)\n", p.Inv.Evals(), p.Inv.LateEvents())
+		fmt.Printf("conservation: submitted=%d acked=%d dead_lettered=%d dropped=%d in_flight=%d gap=%d\n",
+			tot.Submitted, tot.Acked, tot.DeadLettered, tot.Dropped, tot.InFlight, tot.Gap())
+		if len(vs) == 0 {
+			fmt.Printf("all invariants hold (%d total violations)\n", p.Inv.TotalViolations())
+		} else {
+			violated = true
+			fmt.Printf("VIOLATIONS: %d recorded (%d total)\n", len(vs), p.Inv.TotalViolations())
+			for _, v := range vs {
+				fmt.Printf("  %s\n", v)
+				// The violation carries the call ID; if that call was
+				// sampled, print its critical path.
+				if v.CallID != 0 {
+					if t := p.Tracer.Find(v.CallID); t != nil {
+						fmt.Print(t.Render())
+					}
+				}
+			}
+		}
+	}
+
 	if *chrome != "" {
 		f, err := os.Create(*chrome)
 		if err != nil {
@@ -166,6 +193,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %d traces to %s\n", len(traces), *chrome)
+	}
+	if violated {
+		os.Exit(1)
 	}
 }
 
@@ -199,13 +229,18 @@ func scheduleChaos(p *core.Platform, name string, seed uint64, dur time.Duration
 	reg := cluster.RegionID(0)
 	switch name {
 	case "gray":
+		// The victim count is bounded by the region's actual pool: small
+		// provisioned runs can leave region 0 with a single worker.
+		grayN := func() int {
+			return min(3, len(p.Region(reg).Workers))
+		}
 		p.Engine.Schedule(at(0.25), func() {
-			for i := 0; i < 3; i++ {
+			for i := 0; i < grayN(); i++ {
 				inj.GrayWorker(reg, i, 10)
 			}
 		})
 		p.Engine.Schedule(at(0.7), func() {
-			for i := 0; i < 3; i++ {
+			for i := 0; i < grayN(); i++ {
 				inj.ClearGray(reg, i)
 			}
 		})

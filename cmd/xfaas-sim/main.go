@@ -33,8 +33,12 @@ func main() {
 		charts    = flag.Bool("charts", true, "render ASCII charts of result series")
 		out       = flag.String("out", "", "directory to write per-series CSV files")
 		md        = flag.Bool("markdown", false, "emit Markdown sections (EXPERIMENTS.md format) instead of terminal output")
+		inv       = flag.Bool("invariants", false, "run the platform invariant checker on every experiment and fail on violations")
 	)
 	flag.Parse()
+	if *inv {
+		experiment.SetInvariants(true)
+	}
 
 	if *chaosFlag != "" {
 		// Chaos runs print only simulation-derived output (no wall-clock

@@ -9,9 +9,13 @@
 //	curl localhost:8080/metrics            # Prometheus text exposition
 //	curl localhost:8080/traces             # sampled call traces
 //	curl localhost:8080/events             # control-plane event log
+//	curl localhost:8080/invariants         # invariant checker state (-invariants)
 //
 // With -speedup N, one wall second advances N virtual seconds, so
 // time-shifting and utilization control are observable in minutes.
+// -config applies a JSON override file on top of the defaults, and
+// -workload pre-registers a spec file's functions and drives their
+// arrival processes on the platform's engine.
 package main
 
 import (
@@ -23,16 +27,21 @@ import (
 	"xfaas/internal/core"
 	"xfaas/internal/function"
 	"xfaas/internal/httpapi"
+	"xfaas/internal/rng"
+	"xfaas/internal/workload"
 )
 
 func main() {
 	var (
-		listen  = flag.String("listen", ":8080", "HTTP listen address")
-		regions = flag.Int("regions", 3, "datacenter regions")
-		workers = flag.Int("workers", 12, "total workers across regions")
-		speedup = flag.Float64("speedup", 1, "virtual seconds per wall second")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		sample  = flag.Uint64("trace-sample", 1, "trace 1 in N calls (0 disables per-call tracing)")
+		listen   = flag.String("listen", ":8080", "HTTP listen address")
+		regions  = flag.Int("regions", 3, "datacenter regions")
+		workers  = flag.Int("workers", 12, "total workers across regions")
+		speedup  = flag.Float64("speedup", 1, "virtual seconds per wall second")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		sample   = flag.Uint64("trace-sample", 1, "trace 1 in N calls (0 disables per-call tracing)")
+		inv      = flag.Bool("invariants", false, "continuously check platform invariants (GET /invariants)")
+		confPath = flag.String("config", "", "JSON config-override file applied over the defaults")
+		workPath = flag.String("workload", "", "JSON workload spec: functions to pre-register and generate")
 	)
 	flag.Parse()
 
@@ -44,16 +53,61 @@ func main() {
 		cfg.Trace.Enabled = true
 		cfg.Trace.SampleEvery = *sample
 	}
-	p := core.New(cfg, function.NewRegistry())
+	if *confPath != "" {
+		data, err := os.ReadFile(*confPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg, err = core.LoadConfig(data, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *inv {
+		cfg.Invariants.Enabled = true
+	}
 
-	srv := httpapi.NewServer(p, *seed+1)
+	// A -workload spec is registered before the platform is built so
+	// PrewarmJIT sees the functions, then drives a generator on the
+	// platform's engine.
+	registry := function.NewRegistry()
+	var pop *workload.Population
+	if *workPath != "" {
+		data, err := os.ReadFile(*workPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sf, err := workload.ParseSpecFile(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if pop, err = sf.Population(rng.New(cfg.Seed + 3000)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		registry = pop.Registry
+	}
+
+	p := core.New(cfg, registry)
+
+	srv := httpapi.NewServer(p, cfg.Seed+1)
 	srv.Speedup = *speedup
+	if pop != nil {
+		gen := workload.NewGenerator(p.Engine, pop, p.Topo.CapacityShare(), p.SubmitFunc(), rng.New(cfg.Seed+3001))
+		gen.Start()
+		srv.InstallPopulation(pop)
+		fmt.Printf("xfaasd: loaded %d functions from %s\n", pop.Registry.Len(), *workPath)
+	}
 	stop := make(chan struct{})
 	go srv.Pace(stop)
 	defer close(stop)
 
 	fmt.Printf("xfaasd: %d regions, %d workers, %gx time compression, listening on %s\n",
-		*regions, *workers, *speedup, *listen)
+		cfg.Cluster.Regions, cfg.Cluster.TotalWorkers, *speedup, *listen)
 	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -104,6 +104,9 @@ func (a *AIMD) Tick(now sim.Time) float64 {
 // Limit returns the current RPS limit.
 func (a *AIMD) Limit() float64 { return a.limit }
 
+// Params returns the controller's tunables (for bound checks).
+func (a *AIMD) Params() AIMDParams { return a.params }
+
 // ExceptionsInWindow returns the back-pressure count inside the current
 // window.
 func (a *AIMD) ExceptionsInWindow(now sim.Time) float64 {
@@ -179,6 +182,9 @@ func (s *SlowStart) InWindow(now sim.Time) float64 {
 	s.roll(now)
 	return s.cur
 }
+
+// Params returns the gate's tunables (for bound checks).
+func (s *SlowStart) Params() SlowStartParams { return s.params }
 
 // Concurrency tracks running instances of a function against its
 // concurrency limit (0 = unlimited).

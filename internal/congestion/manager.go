@@ -135,3 +135,11 @@ func (m *Manager) OnComplete(spec *function.Spec) {
 func (m *Manager) OnBackpressure(spec *function.Spec) {
 	m.Control(spec).AIMD.OnBackpressure(m.engine.Now())
 }
+
+// EachControl visits every function's control state in sorted name order
+// (deterministic for invariant probes).
+func (m *Manager) EachControl(fn func(name string, ctl *Control)) {
+	for _, name := range m.names {
+		fn(name, m.funcs[name])
+	}
+}

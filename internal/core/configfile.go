@@ -1,0 +1,174 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+)
+
+// ConfigFile is the on-disk platform configuration: a JSON document of
+// overrides applied on top of DefaultConfig. Every field is a pointer
+// (or slice) so absence and an explicit zero are distinguishable —
+// `"locality_groups": 0` disables locality grouping, while omitting the
+// key keeps the default of 4. xfaasd loads one with -config.
+type ConfigFile struct {
+	Seed                *uint64  `json:"seed,omitempty"`
+	Regions             *int     `json:"regions,omitempty"`
+	TotalWorkers        *int     `json:"total_workers,omitempty"`
+	SchedulersPerRegion *int     `json:"schedulers_per_region,omitempty"`
+	LeaseTimeoutSec     *float64 `json:"lease_timeout_seconds,omitempty"`
+	QueueLocalFrac      *float64 `json:"queue_local_frac,omitempty"`
+	LocalityGroups      *int     `json:"locality_groups,omitempty"`
+	EnableGTC           *bool    `json:"enable_gtc,omitempty"`
+	CodePushIntervalSec *float64 `json:"code_push_interval_seconds,omitempty"`
+	SpikyClients        []string `json:"spiky_clients,omitempty"`
+	PrewarmJIT          *bool    `json:"prewarm_jit,omitempty"`
+	UtilTarget          *float64 `json:"utilization_target,omitempty"`
+
+	Trace      *TraceOverrides     `json:"trace,omitempty"`
+	Invariants *InvariantOverrides `json:"invariants,omitempty"`
+}
+
+// TraceOverrides configures per-call tracing.
+type TraceOverrides struct {
+	Enabled     *bool   `json:"enabled,omitempty"`
+	SampleEvery *uint64 `json:"sample_every,omitempty"`
+}
+
+// InvariantOverrides configures continuous invariant checking.
+type InvariantOverrides struct {
+	Enabled     *bool    `json:"enabled,omitempty"`
+	IntervalSec *float64 `json:"interval_seconds,omitempty"`
+}
+
+// ParseConfigFile strictly decodes and validates a config override
+// document. Unknown fields are errors.
+func ParseConfigFile(data []byte) (*ConfigFile, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var cf ConfigFile
+	if err := dec.Decode(&cf); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("config: trailing data after JSON document")
+	}
+	if err := cf.Validate(); err != nil {
+		return nil, err
+	}
+	return &cf, nil
+}
+
+// maxSeconds bounds every duration-in-seconds field so the conversion
+// to time.Duration cannot overflow (~31 simulated years).
+const maxSeconds = 1e9
+
+// Validate bounds-checks every present override.
+func (cf *ConfigFile) Validate() error {
+	bad := func(name string, v float64, min float64) error {
+		return fmt.Errorf("config: %s must be finite, >= %g and <= %g, got %v", name, min, float64(maxSeconds), v)
+	}
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) && v <= maxSeconds }
+	if cf.Regions != nil && *cf.Regions < 1 {
+		return fmt.Errorf("config: regions must be >= 1, got %d", *cf.Regions)
+	}
+	if cf.TotalWorkers != nil && *cf.TotalWorkers < 1 {
+		return fmt.Errorf("config: total_workers must be >= 1, got %d", *cf.TotalWorkers)
+	}
+	if cf.SchedulersPerRegion != nil && *cf.SchedulersPerRegion < 1 {
+		return fmt.Errorf("config: schedulers_per_region must be >= 1, got %d", *cf.SchedulersPerRegion)
+	}
+	if v := cf.LeaseTimeoutSec; v != nil && (!finite(*v) || *v <= 0) {
+		return bad("lease_timeout_seconds", *v, 0)
+	}
+	if v := cf.QueueLocalFrac; v != nil && (!finite(*v) || *v < 0 || *v > 1) {
+		return fmt.Errorf("config: queue_local_frac must be in [0,1], got %v", *v)
+	}
+	if cf.LocalityGroups != nil && *cf.LocalityGroups < 0 {
+		return fmt.Errorf("config: locality_groups must be >= 0, got %d", *cf.LocalityGroups)
+	}
+	if v := cf.CodePushIntervalSec; v != nil && (!finite(*v) || *v < 0) {
+		return bad("code_push_interval_seconds", *v, 0)
+	}
+	if v := cf.UtilTarget; v != nil && (!finite(*v) || *v <= 0 || *v > 1) {
+		return fmt.Errorf("config: utilization_target must be in (0,1], got %v", *v)
+	}
+	if t := cf.Trace; t != nil && t.SampleEvery != nil && *t.SampleEvery == 0 {
+		return fmt.Errorf("config: trace.sample_every must be >= 1 (use trace.enabled=false to disable)")
+	}
+	if i := cf.Invariants; i != nil && i.IntervalSec != nil {
+		if v := *i.IntervalSec; !finite(v) || v <= 0 {
+			return bad("invariants.interval_seconds", v, 0)
+		}
+	}
+	return nil
+}
+
+// Apply overlays the present overrides onto base and returns the result.
+func (cf *ConfigFile) Apply(base Config) Config {
+	cfg := base
+	if cf.Seed != nil {
+		cfg.Seed = *cf.Seed
+	}
+	if cf.Regions != nil {
+		cfg.Cluster.Regions = *cf.Regions
+	}
+	if cf.TotalWorkers != nil {
+		cfg.Cluster.TotalWorkers = *cf.TotalWorkers
+	}
+	if cf.SchedulersPerRegion != nil {
+		cfg.SchedulersPerRegion = *cf.SchedulersPerRegion
+	}
+	if cf.LeaseTimeoutSec != nil {
+		cfg.LeaseTimeout = time.Duration(*cf.LeaseTimeoutSec * float64(time.Second))
+	}
+	if cf.QueueLocalFrac != nil {
+		cfg.QueueLocalFrac = *cf.QueueLocalFrac
+	}
+	if cf.LocalityGroups != nil {
+		cfg.LocalityGroups = *cf.LocalityGroups
+	}
+	if cf.EnableGTC != nil {
+		cfg.EnableGTC = *cf.EnableGTC
+	}
+	if cf.CodePushIntervalSec != nil {
+		cfg.CodePushInterval = time.Duration(*cf.CodePushIntervalSec * float64(time.Second))
+	}
+	if cf.SpikyClients != nil {
+		cfg.SpikyClients = cf.SpikyClients
+	}
+	if cf.PrewarmJIT != nil {
+		cfg.PrewarmJIT = *cf.PrewarmJIT
+	}
+	if cf.UtilTarget != nil {
+		cfg.Util.Target = *cf.UtilTarget
+	}
+	if t := cf.Trace; t != nil {
+		if t.Enabled != nil {
+			cfg.Trace.Enabled = *t.Enabled
+		}
+		if t.SampleEvery != nil {
+			cfg.Trace.SampleEvery = *t.SampleEvery
+		}
+	}
+	if i := cf.Invariants; i != nil {
+		if i.Enabled != nil {
+			cfg.Invariants.Enabled = *i.Enabled
+		}
+		if i.IntervalSec != nil {
+			cfg.Invariants.Interval = time.Duration(*i.IntervalSec * float64(time.Second))
+		}
+	}
+	return cfg
+}
+
+// LoadConfig parses data and applies it to base in one step.
+func LoadConfig(data []byte, base Config) (Config, error) {
+	cf, err := ParseConfigFile(data)
+	if err != nil {
+		return base, err
+	}
+	return cf.Apply(base), nil
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"xfaas/internal/function"
+)
+
+func TestLoadConfigExample(t *testing.T) {
+	data, err := os.ReadFile("testdata/config.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(data, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 7 || cfg.Cluster.Regions != 3 || cfg.Cluster.TotalWorkers != 24 {
+		t.Fatalf("cluster overrides not applied: %+v", cfg.Cluster)
+	}
+	if cfg.SchedulersPerRegion != 2 || cfg.LeaseTimeout != 5*time.Minute {
+		t.Fatalf("scheduler overrides not applied")
+	}
+	if cfg.LocalityGroups != 0 {
+		t.Fatalf("explicit zero must override the default: %d", cfg.LocalityGroups)
+	}
+	if cfg.CodePushInterval != 0 {
+		t.Fatalf("code push interval: %v", cfg.CodePushInterval)
+	}
+	if !cfg.Trace.Enabled || cfg.Trace.SampleEvery != 8 {
+		t.Fatalf("trace overrides: %+v", cfg.Trace)
+	}
+	if !cfg.Invariants.Enabled || cfg.Invariants.Interval != 30*time.Second {
+		t.Fatalf("invariant overrides: %+v", cfg.Invariants)
+	}
+	// Untouched fields keep their defaults.
+	def := DefaultConfig()
+	if cfg.EnableGTC != def.EnableGTC || cfg.QueueLocalFrac != 0.9 {
+		t.Fatalf("default preservation broken")
+	}
+}
+
+func TestLoadConfigEmptyIsIdentity(t *testing.T) {
+	cfg, err := LoadConfig([]byte(`{}`), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfg, DefaultConfig()) {
+		t.Fatal("empty override changed the config")
+	}
+}
+
+func TestLoadConfigRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"zero regions", `{"regions": 0}`, "regions"},
+		{"negative workers", `{"total_workers": -1}`, "total_workers"},
+		{"zero schedulers", `{"schedulers_per_region": 0}`, "schedulers_per_region"},
+		{"zero lease", `{"lease_timeout_seconds": 0}`, "lease_timeout_seconds"},
+		{"frac over 1", `{"queue_local_frac": 1.5}`, "queue_local_frac"},
+		{"negative groups", `{"locality_groups": -1}`, "locality_groups"},
+		{"util target zero", `{"utilization_target": 0}`, "utilization_target"},
+		{"sample zero", `{"trace": {"sample_every": 0}}`, "sample_every"},
+		{"bad interval", `{"invariants": {"interval_seconds": -5}}`, "interval_seconds"},
+		{"unknown field", `{"regons": 3}`, "unknown field"},
+		{"trailing garbage", `{} {}`, "trailing"},
+		{"not json", `nope`, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadConfig([]byte(tc.in), DefaultConfig())
+			if err == nil {
+				t.Fatalf("accepted %s", tc.in)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadConfigBuildsPlatform: an accepted config must construct a
+// working platform end to end.
+func TestLoadConfigBuildsPlatform(t *testing.T) {
+	data, err := os.ReadFile("testdata/config.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(data, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(cfg, function.NewRegistry())
+	p.Engine.RunFor(time.Minute)
+	if p.Inv == nil || !p.Inv.Enabled() {
+		t.Fatal("invariants.enabled in the file did not wire the checker")
+	}
+	if len(p.Regions()) != 3 {
+		t.Fatalf("regions = %d", len(p.Regions()))
+	}
+}
+
+// FuzzParseConfigFile asserts the parser never panics, that accepted
+// documents round-trip losslessly, and that applying them preserves the
+// validated bounds.
+func FuzzParseConfigFile(f *testing.F) {
+	if data, err := os.ReadFile("testdata/config.json"); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"regions": 1, "total_workers": 1}`))
+	f.Add([]byte(`{"locality_groups": 0, "enable_gtc": false}`))
+	f.Add([]byte(`{"invariants": {"enabled": true}}`))
+	f.Add([]byte(`{"spiky_clients": ["a", "b"]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cf, err := ParseConfigFile(data)
+		if err != nil {
+			return
+		}
+		re, merr := json.Marshal(cf)
+		if merr != nil {
+			t.Fatalf("accepted config does not marshal: %v", merr)
+		}
+		cf2, rerr := ParseConfigFile(re)
+		if rerr != nil {
+			t.Fatalf("round trip rejected: %v\n%s", rerr, re)
+		}
+		if !reflect.DeepEqual(cf, cf2) {
+			t.Fatalf("round trip changed the config:\n%+v\n%+v", cf, cf2)
+		}
+		cfg := cf.Apply(DefaultConfig())
+		if cfg.Cluster.Regions < 1 || cfg.Cluster.TotalWorkers < 1 ||
+			cfg.SchedulersPerRegion < 0 || cfg.LeaseTimeout <= 0 ||
+			cfg.QueueLocalFrac < 0 || cfg.QueueLocalFrac > 1 {
+			t.Fatalf("validated config violates bounds: %+v", cfg)
+		}
+	})
+}

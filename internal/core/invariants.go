@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"xfaas/internal/congestion"
+	"xfaas/internal/function"
+	"xfaas/internal/invariant"
+	"xfaas/internal/sim"
+)
+
+// registerInvariantProbes installs the platform-wide structural checks on
+// the invariant checker: conservation closure against component counters,
+// quota ceilings, AIMD bounds, slow-start caps, concurrency limits, and
+// worker accounting closure. Per-call state-machine checks live in the
+// components' hooks; these probes validate the aggregate views against
+// each other at every evaluation interval and once at run end.
+func (p *Platform) registerInvariantProbes() {
+	if !p.Inv.Enabled() {
+		return
+	}
+
+	// Locality containment is checked at dispatch time (assignments
+	// refresh every LocalityInterval, so a probe-time check would flag
+	// calls placed legally under the previous assignment).
+	p.Inv.LocalityCheck = func(c *function.Call, region, workerIdx int) string {
+		if region < 0 || region >= len(p.regions) {
+			return fmt.Sprintf("dispatch to unknown region %d", region)
+		}
+		reg := p.regions[region]
+		if workerIdx < 0 || workerIdx >= len(reg.Workers) {
+			return fmt.Sprintf("dispatch to unknown worker %d in region %d", workerIdx, region)
+		}
+		if !reg.LB.InGroup(c.Spec, reg.Workers[workerIdx]) {
+			return fmt.Sprintf("func %s on w-%d-%d outside its locality group",
+				c.Spec.Name, region, workerIdx)
+		}
+		return ""
+	}
+
+	// Conservation: the ledger's own closure (submitted == acked + dead +
+	// dropped + in-flight, in total and per function and region), and the
+	// ledger cross-checked against the components' independent counters —
+	// submitters count accepted and route-failed calls, shards count acks
+	// and dead-letters, and the in-flight population must equal what the
+	// queues and batches physically hold.
+	p.Inv.RegisterProbe("conservation", func(now sim.Time) []string {
+		var out []string
+		t := p.Inv.Totals()
+		if gap := t.Gap(); gap != 0 {
+			out = append(out, fmt.Sprintf(
+				"ledger gap %+d (submitted=%d acked=%d dead=%d dropped=%d inflight=%d)",
+				gap, t.Submitted, t.Acked, t.DeadLettered, t.Dropped, t.InFlight))
+		}
+		var submitted, dropped, acked, dead float64
+		held := 0
+		for _, reg := range p.regions {
+			submitted += reg.Normal.Submitted.Value() + reg.Spiky.Submitted.Value()
+			dropped += reg.Normal.RouteFailed.Value() + reg.Spiky.RouteFailed.Value()
+			held += reg.Normal.BatchLen() + reg.Spiky.BatchLen()
+			for _, sh := range reg.Shards {
+				acked += sh.Acked.Value()
+				dead += sh.DeadLetters.Value()
+				held += sh.Pending() + sh.Leased()
+			}
+		}
+		if uint64(submitted) != t.Submitted {
+			out = append(out, fmt.Sprintf("submitter counters say %.0f submitted, ledger %d",
+				submitted, t.Submitted))
+		}
+		if uint64(dropped) != t.Dropped {
+			out = append(out, fmt.Sprintf("submitter counters say %.0f dropped, ledger %d",
+				dropped, t.Dropped))
+		}
+		if uint64(acked) != t.Acked {
+			out = append(out, fmt.Sprintf("shard counters say %.0f acked, ledger %d",
+				acked, t.Acked))
+		}
+		if uint64(dead) != t.DeadLettered {
+			out = append(out, fmt.Sprintf("shard counters say %.0f dead-lettered, ledger %d",
+				dead, t.DeadLettered))
+		}
+		if held != t.InFlight {
+			out = append(out, fmt.Sprintf(
+				"queues+batches hold %d calls, ledger has %d in flight", held, t.InFlight))
+		}
+		p.Inv.EachFunc(func(name string, ft invariant.Tally) {
+			if gap := ft.Gap(); gap != 0 {
+				out = append(out, fmt.Sprintf("func %s gap %+d (submitted=%d acked=%d dead=%d dropped=%d inflight=%d)",
+					name, gap, ft.Submitted, ft.Acked, ft.DeadLettered, ft.Dropped, ft.InFlight))
+			}
+		})
+		p.Inv.EachRegion(func(region int, rt invariant.Tally) {
+			if gap := rt.Gap(); gap != 0 {
+				out = append(out, fmt.Sprintf("region %d gap %+d (submitted=%d acked=%d dead=%d dropped=%d inflight=%d)",
+					region, gap, rt.Submitted, rt.Acked, rt.DeadLettered, rt.Dropped, rt.InFlight))
+			}
+		})
+		return out
+	})
+
+	// Quota ceilings: each function's measured global RPS must stay under
+	// the largest limit the Central could have legitimately admitted since
+	// the last probe (its high-watermark limit plus the burst allowance
+	// amortized over the measurement window). Valid because the probe
+	// interval exceeds the rate window, so the watermark covers the whole
+	// measured span. Negative bound means unlimited.
+	p.Inv.RegisterProbe("quota-ceiling", func(now sim.Time) []string {
+		var out []string
+		for _, spec := range p.Registry.All() {
+			bound := p.Central.TakePeakAllowedRPS(spec)
+			if bound < 0 {
+				continue
+			}
+			if cur := p.Central.CurrentRPS(spec); cur > bound+1e-6 {
+				out = append(out, fmt.Sprintf("func %s measured %.3f rps > allowed %.3f",
+					spec.Name, cur, bound))
+			}
+		}
+		return out
+	})
+
+	// Congestion control: AIMD limits stay inside [Floor, Ceiling], the
+	// slow-start window count never exceeds its cap (which itself never
+	// drops below the threshold), and concurrency occupancy respects the
+	// configured limit.
+	p.Inv.RegisterProbe("congestion-bounds", func(now sim.Time) []string {
+		var out []string
+		p.Cong.EachControl(func(name string, ctl *congestion.Control) {
+			ap := ctl.AIMD.Params()
+			if lim := ctl.AIMD.Limit(); lim < ap.Floor || lim > ap.Ceiling {
+				out = append(out, fmt.Sprintf("func %s aimd limit %.2f outside [%.2f, %.2f]",
+					name, lim, ap.Floor, ap.Ceiling))
+			}
+			sp := ctl.Slow.Params()
+			cap := ctl.Slow.Cap(now)
+			if cap < sp.Threshold {
+				out = append(out, fmt.Sprintf("func %s slow-start cap %.1f below threshold %.1f",
+					name, cap, sp.Threshold))
+			}
+			if in := ctl.Slow.InWindow(now); in > cap+1e-9 {
+				out = append(out, fmt.Sprintf("func %s slow-start window count %.0f exceeds cap %.1f",
+					name, in, cap))
+			}
+			if lim := ctl.Conc.Limit(); lim > 0 && ctl.Conc.Running() > lim {
+				out = append(out, fmt.Sprintf("func %s concurrency %d exceeds limit %d",
+					name, ctl.Conc.Running(), lim))
+			}
+			if ctl.Conc.Running() < 0 {
+				out = append(out, fmt.Sprintf("func %s negative concurrency %d",
+					name, ctl.Conc.Running()))
+			}
+		})
+		return out
+	})
+
+	// Worker accounting closure: each worker's cached CPU/memory/code
+	// totals must equal a fresh recomputation over its running set. Drift
+	// means an execution path incremented without decrementing (or vice
+	// versa) — the class of bug chaos evacuation is most likely to plant.
+	p.Inv.RegisterProbe("worker-accounting", func(now sim.Time) []string {
+		const tol = 1e-3
+		var out []string
+		for _, reg := range p.regions {
+			for _, w := range reg.Workers {
+				cpu, mem, code := w.AccountingDrift()
+				if math.Abs(cpu) > tol || math.Abs(mem) > tol || math.Abs(code) > tol {
+					out = append(out, fmt.Sprintf(
+						"w-%d-%d drift cpu=%+.4f mem=%+.4f code=%+.4f",
+						w.ID.Region, w.ID.Index, cpu, mem, code))
+				}
+			}
+		}
+		return out
+	})
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"xfaas/internal/workload"
+)
+
+// TestInvariantsCleanRun runs a loaded platform with the invariant
+// checker on and requires a clean bill of health: the probes ran, calls
+// flowed, and nothing was flagged.
+func TestInvariantsCleanRun(t *testing.T) {
+	p, gen, _ := smallPlatform(t, func(c *Config, _ *workload.PopulationConfig) {
+		c.Invariants.Enabled = true
+	})
+	p.Engine.RunFor(2 * time.Hour)
+	if gen.Generated.Value() < 1000 {
+		t.Fatalf("generated = %v, expected thousands", gen.Generated.Value())
+	}
+	if vs := p.Inv.Final(); len(vs) > 0 {
+		for _, v := range vs {
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatalf("%d invariant violations (total %d)", len(vs), p.Inv.TotalViolations())
+	}
+	if p.Inv.Evals() < 100 {
+		t.Fatalf("evals = %d, expected one per simulated minute", p.Inv.Evals())
+	}
+	tot := p.Inv.Totals()
+	if tot.Submitted == 0 || tot.Acked == 0 {
+		t.Fatalf("ledger saw no traffic: %+v", tot)
+	}
+}
+
+// TestInvariantsDisabledIsNil verifies the disabled checker is a nil
+// pointer end to end — the zero-cost contract every hook relies on.
+func TestInvariantsDisabledIsNil(t *testing.T) {
+	p, _, _ := smallPlatform(t, nil)
+	if p.Inv != nil {
+		t.Fatal("checker non-nil with Invariants.Enabled=false")
+	}
+	p.Engine.RunFor(time.Minute)
+	if vs := p.Inv.Final(); vs != nil {
+		t.Fatalf("nil checker returned violations: %v", vs)
+	}
+	if p.Inv.Enabled() {
+		t.Fatal("nil checker claims enabled")
+	}
+}
+
+// TestInvariantsLedgerMatchesPlatform cross-checks the checker's tallies
+// against the platform's own counters after a run — the two views are
+// collected independently and must agree.
+func TestInvariantsLedgerMatchesPlatform(t *testing.T) {
+	p, _, _ := smallPlatform(t, func(c *Config, _ *workload.PopulationConfig) {
+		c.Invariants.Enabled = true
+	})
+	p.Engine.RunFor(time.Hour)
+	tot := p.Inv.Totals()
+	if got := uint64(p.Acked()); got != tot.Acked {
+		t.Fatalf("platform acked %d, ledger %d", got, tot.Acked)
+	}
+	sub := 0.0
+	for _, reg := range p.Regions() {
+		sub += reg.Normal.Submitted.Value() + reg.Spiky.Submitted.Value()
+	}
+	if uint64(sub) != tot.Submitted {
+		t.Fatalf("platform submitted %.0f, ledger %d", sub, tot.Submitted)
+	}
+}

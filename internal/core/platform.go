@@ -20,6 +20,7 @@ import (
 	"xfaas/internal/durableq"
 	"xfaas/internal/function"
 	"xfaas/internal/gtc"
+	"xfaas/internal/invariant"
 	"xfaas/internal/jit"
 	"xfaas/internal/kv"
 	"xfaas/internal/locality"
@@ -102,6 +103,10 @@ type Config struct {
 	// recorder still exists and collects control-plane events, but no
 	// call is sampled and the hot path pays one boolean load).
 	Trace trace.Params
+	// Invariants configures continuous invariant checking (disabled by
+	// default: the checker stays nil and every hook is a nil-receiver
+	// no-op, preserving the zero-alloc submit path).
+	Invariants invariant.Params
 }
 
 // DefaultConfig returns a paper-shaped platform at simulation scale: 12
@@ -140,6 +145,7 @@ func DefaultConfig() Config {
 		PrewarmJIT:          true,
 		Chaos:               config.DefaultChaos(),
 		Trace:               trace.DefaultParams(),
+		Invariants:          invariant.DefaultParams(),
 	}
 }
 
@@ -200,6 +206,9 @@ type Platform struct {
 	// Tracer is the per-call trace recorder and control-plane event log.
 	// Always non-nil: control events record even with call tracing off.
 	Tracer *trace.Recorder
+	// Inv is the invariant checker; nil unless cfg.Invariants.Enabled
+	// (nil is the disabled checker — all hooks no-op on it).
+	Inv *invariant.Checker
 	// Metrics is the platform-level labeled metric registry backing the
 	// Prometheus exposition.
 	Metrics *stats.Registry
@@ -288,6 +297,7 @@ func New(cfg Config, registry *function.Registry) *Platform {
 		Metrics:          stats.NewRegistry(),
 	}
 	p.Tracer = trace.NewRecorder(engine, cfg.Seed, cfg.Trace)
+	p.Inv = invariant.NewChecker(engine, cfg.Invariants, p.Topo.NumRegions())
 	p.E2ELatency = p.Metrics.Histogram("e2e_latency_seconds")
 	// Prebuild the per-(region, quota, criticality) completion counter
 	// handles so the completion path never joins label strings.
@@ -329,6 +339,7 @@ func New(cfg Config, registry *function.Registry) *Platform {
 			sh := durableq.NewShard(durableq.ShardID{Region: r.ID, Index: k}, engine)
 			sh.LeaseTimeout = cfg.LeaseTimeout
 			sh.Trace = p.Tracer
+			sh.Inv = p.Inv
 			allShards[i] = append(allShards[i], sh)
 		}
 	}
@@ -369,6 +380,8 @@ func New(cfg Config, registry *function.Registry) *Platform {
 		reg.Spiky = submitter.New(engine, r.ID, submitter.PoolSpiky, cfg.Submitter, reg.QueueLB, p.KV, src.Split(), &p.idSeq)
 		reg.Normal.Trace = p.Tracer
 		reg.Spiky.Trace = p.Tracer
+		reg.Normal.Inv = p.Inv
+		reg.Spiky.Inv = p.Inv
 		nSched := cfg.SchedulersPerRegion
 		if nSched < 1 {
 			nSched = 1
@@ -377,6 +390,7 @@ func New(cfg Config, registry *function.Registry) *Platform {
 		for k := 0; k < nSched; k++ {
 			sc := scheduler.New(engine, src.Split(), r.ID, cfg.Scheduler, allShards, reg.LB, p.Central, p.Cong, p.Store)
 			sc.Trace = p.Tracer
+			sc.Inv = p.Inv
 			sc.OnExecuted = p.onExecuted
 			sc.Reachable = func(dst cluster.RegionID) bool { return p.Reachable(from, dst) }
 			sc.AllowPull = func() bool { return !p.breakers[from].isOpen() }
@@ -408,6 +422,7 @@ func New(cfg Config, registry *function.Registry) *Platform {
 	if cfg.Chaos.DegradeInterval > 0 {
 		engine.Every(cfg.Chaos.DegradeInterval, p.degradeTick)
 	}
+	p.registerInvariantProbes()
 	return p
 }
 

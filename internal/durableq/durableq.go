@@ -12,6 +12,7 @@ import (
 
 	"xfaas/internal/cluster"
 	"xfaas/internal/function"
+	"xfaas/internal/invariant"
 	"xfaas/internal/sim"
 	"xfaas/internal/stats"
 	"xfaas/internal/trace"
@@ -65,6 +66,9 @@ type Shard struct {
 
 	// Trace, when set, records queue lifecycle events for sampled calls.
 	Trace *trace.Recorder
+	// Inv, when set, feeds the invariant checker's call ledger at every
+	// durable state transition.
+	Inv *invariant.Checker
 }
 
 // NewShard returns an empty shard with a 5-minute lease timeout.
@@ -108,6 +112,7 @@ func (s *Shard) Enqueue(c *function.Call) bool {
 	s.Enqueued.Inc()
 	s.pending++
 	s.Trace.Record(c, trace.KindEnqueue, trace.Ref(s.ID.Region, s.ID.Index))
+	s.Inv.OnEnqueue(c)
 	return true
 }
 
@@ -176,6 +181,7 @@ func (s *Shard) offer(c *function.Call) *function.Call {
 	c.State = function.StateLeased
 	c.Attempt++
 	s.Trace.Record(c, trace.KindLease, int64(c.Attempt))
+	s.Inv.OnLease(c)
 	l := s.getLease()
 	l.call = c
 	l.id = c.ID
@@ -219,6 +225,7 @@ func (s *Shard) expire(l *lease) {
 	c := l.call
 	s.putLease(l)
 	s.Trace.Record(c, trace.KindLeaseExpired, 0)
+	s.Inv.OnExpired(c)
 	s.retryOrDrop(c, 0)
 }
 
@@ -247,6 +254,7 @@ func (s *Shard) Ack(id uint64) bool {
 	delete(s.leases, id)
 	l.call.State = function.StateSucceeded
 	s.Trace.Record(l.call, trace.KindAck, 0)
+	s.Inv.OnAck(l.call)
 	s.putLease(l)
 	s.Acked.Inc()
 	return true
@@ -265,6 +273,7 @@ func (s *Shard) Nack(id uint64) bool {
 	c := l.call
 	s.putLease(l)
 	s.Trace.Record(c, trace.KindNack, 0)
+	s.Inv.OnNack(c)
 	s.retryOrDrop(c, c.Spec.Retry.Backoff)
 	return true
 }
@@ -274,11 +283,13 @@ func (s *Shard) retryOrDrop(c *function.Call, backoff time.Duration) {
 		c.State = function.StateFailed
 		s.DeadLetters.Inc()
 		s.Trace.Record(c, trace.KindDeadLetter, int64(c.Attempt))
+		s.Inv.OnDeadLetter(c)
 		return
 	}
 	s.Redelivered.Inc()
 	c.State = function.StateQueued
 	s.Trace.Record(c, trace.KindRetry, int64(backoff))
+	s.Inv.OnRetry(c)
 	q := s.queues[c.Spec.Name]
 	q.push(queued{call: c, readyAt: s.engine.Now() + backoff})
 	s.pending++

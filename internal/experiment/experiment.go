@@ -181,6 +181,14 @@ func register(e *Experiment) {
 	if _, dup := registry[e.ID]; dup {
 		panic("experiment: duplicate id " + e.ID)
 	}
+	// Every experiment gets the invariant sweep appended to its result
+	// when checking is enabled (no-op — and no output change — otherwise).
+	run := e.Run
+	e.Run = func(s Scale) *Result {
+		r := run(s)
+		checkInvariants(r)
+		return r
+	}
 	registry[e.ID] = e
 }
 

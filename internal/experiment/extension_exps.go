@@ -69,7 +69,7 @@ func runCriticality(s Scale) *Result {
 		pop.TeamOf[spec.Name] = spec.Team
 		pop.Models = append(pop.Models, workload.NewModel(spec, perFuncRPS, spec.Team, rng.New(s.Seed+uint64(i)+50)))
 	}
-	p := core.New(cfg, pop.Registry)
+	p := newPlatform(cfg, pop.Registry)
 	gen := workload.NewGenerator(p.Engine, pop, p.Topo.CapacityShare(), p.SubmitFunc(), rng.New(s.Seed+60))
 	gen.Start()
 

@@ -71,7 +71,7 @@ func incidentRig(seed uint64, dsName string, dsCapacity, steadyRPS float64, conc
 		pop.TeamOf[name] = spec.Team
 		pop.Models = append(pop.Models, workload.NewModel(spec, steadyRPS, spec.Team, rng.New(seed+uint64(len(pop.Models))+9)))
 	}
-	p := core.New(cfg, pop.Registry)
+	p := newPlatform(cfg, pop.Registry)
 	gen := workload.NewGenerator(p.Engine, pop, p.Topo.CapacityShare(), p.SubmitFunc(), rng.New(seed+10))
 	gen.Start()
 	return p, gen, pop

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"xfaas/internal/core"
+	"xfaas/internal/function"
 	"xfaas/internal/rng"
 	"xfaas/internal/workload"
 )
@@ -44,6 +45,58 @@ func defaultRig(s Scale, targetUtil float64) rigConfig {
 	return rigConfig{Platform: cfg, Pop: pcfg, TargetUtil: targetUtil}
 }
 
+// invariantsOn gates invariant checking across every experiment rig;
+// cmd/xfaas-sim's -invariants flag sets it before any experiment runs.
+// Off by default so golden outputs (the determinism CI gate) are
+// unchanged: enabling it appends one extra check line per experiment.
+var invariantsOn bool
+
+// invPlatforms tracks every platform built with invariants enabled, so
+// the post-run check can sweep all of them (memoized rigs included).
+var invPlatforms []*core.Platform
+
+// SetInvariants enables continuous invariant checking on every rig built
+// afterwards; each experiment then reports an "invariants hold" check.
+func SetInvariants(on bool) { invariantsOn = on }
+
+// checkInvariants appends the zero-violation check to a result. Violations
+// are cumulative per platform, so any breach fails every later experiment
+// too — exactly what a CI gate wants.
+func checkInvariants(r *Result) {
+	if !invariantsOn {
+		return
+	}
+	var total uint64
+	var first string
+	for _, p := range invPlatforms {
+		vs := p.Inv.Final()
+		total += p.Inv.TotalViolations()
+		if first == "" && len(vs) > 0 {
+			first = vs[0].String()
+		}
+	}
+	if first == "" {
+		first = "all invariants hold"
+	}
+	r.check("invariants hold (zero violations)", total == 0, "%d violations across %d platform(s); %s",
+		total, len(invPlatforms), first)
+}
+
+// newPlatform wraps core.New for experiment rigs: it applies the
+// package-wide invariants toggle and registers the platform for the
+// post-run sweep. Every experiment that builds a platform goes through
+// it.
+func newPlatform(cfg core.Config, reg *function.Registry) *core.Platform {
+	if invariantsOn {
+		cfg.Invariants.Enabled = true
+	}
+	p := core.New(cfg, reg)
+	if p.Inv.Enabled() {
+		invPlatforms = append(invPlatforms, p)
+	}
+	return p
+}
+
 // rig is a running platform + generator.
 type rig struct {
 	P   *core.Platform
@@ -66,7 +119,7 @@ func (rc rigConfig) build() *rig {
 		}
 		cfg.Cluster.TotalWorkers = core.ProvisionWorkers(cfg.Worker, demand, mem, rc.TargetUtil, minW)
 	}
-	p := core.New(cfg, pop.Registry)
+	p := newPlatform(cfg, pop.Registry)
 	weights := p.Topo.CapacityShare()
 	if len(rc.SubmitWeights) == len(weights) {
 		weights = rc.SubmitWeights

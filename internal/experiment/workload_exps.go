@@ -127,7 +127,7 @@ func runTable2(s Scale) *Result {
 	cfg.CodePushInterval = 0
 	cfg.Cluster.TotalWorkers = core.ProvisionWorkers(cfg.Worker,
 		pop.ExpectedMIPS()*1.5, pop.ExpectedConcurrentMemMB(cfg.Worker.CoreMIPS)*1.5, 0.6, 4)
-	p := core.New(cfg, pop.Registry)
+	p := newPlatform(cfg, pop.Registry)
 	gen := workload.NewGenerator(p.Engine, pop, p.Topo.CapacityShare(), p.SubmitFunc(), rng.New(s.Seed+30))
 	gen.Start()
 

@@ -9,7 +9,6 @@ package httpapi
 import (
 	"encoding/json"
 	"fmt"
-	"math"
 	"net/http"
 	"sync"
 	"time"
@@ -17,23 +16,15 @@ import (
 	"xfaas/internal/cluster"
 	"xfaas/internal/core"
 	"xfaas/internal/function"
-	"xfaas/internal/isolation"
 	"xfaas/internal/rng"
 	"xfaas/internal/stats"
+	"xfaas/internal/workload"
 )
 
-// FunctionRequest is the JSON body of POST /functions.
-type FunctionRequest struct {
-	Name        string  `json:"name"`
-	Criticality string  `json:"criticality"`         // low|normal|high
-	Quota       string  `json:"quota"`               // reserved|opportunistic
-	QuotaMIPS   float64 `json:"quota_mips"`          // 0 = unlimited
-	DeadlineSec float64 `json:"deadline_seconds"`    // default 300
-	Concurrency int     `json:"concurrency_limit"`   // 0 = unlimited
-	CPUMedianM  float64 `json:"cpu_median_minstr"`   // default 20
-	MemMedianMB float64 `json:"mem_median_mb"`       // default 16
-	ExecMedianS float64 `json:"exec_median_seconds"` // default 0.2
-}
+// FunctionRequest is the JSON body of POST /functions — the same schema
+// a workload spec file uses per function, so HTTP registration and
+// -workload files share one validator and one Spec materializer.
+type FunctionRequest = workload.FuncSpec
 
 // InvokeRequest is the JSON body of POST /invoke.
 type InvokeRequest struct {
@@ -107,7 +98,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /traces", s.handleTraces)
 	mux.HandleFunc("GET /traces/{id}", s.handleTrace)
 	mux.HandleFunc("GET /events", s.handleEvents)
+	mux.HandleFunc("GET /invariants", s.handleInvariants)
 	return mux
+}
+
+// InstallPopulation makes a pre-built population's functions invokable
+// over HTTP (xfaasd -workload).
+func (s *Server) InstallPopulation(pop *workload.Population) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range pop.Models {
+		s.functions[m.Spec.Name] = m.Spec
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -126,61 +128,11 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad json: %v", err)
 		return
 	}
-	if req.Name == "" {
-		httpError(w, http.StatusBadRequest, "name required")
+	if err := req.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	crit := function.CritNormal
-	switch req.Criticality {
-	case "", "normal":
-	case "low":
-		crit = function.CritLow
-	case "high":
-		crit = function.CritHigh
-	default:
-		httpError(w, http.StatusBadRequest, "criticality must be low|normal|high")
-		return
-	}
-	quota := function.QuotaReserved
-	deadline := 300 * time.Second
-	switch req.Quota {
-	case "", "reserved":
-	case "opportunistic":
-		quota = function.QuotaOpportunistic
-		deadline = 24 * time.Hour
-	default:
-		httpError(w, http.StatusBadRequest, "quota must be reserved|opportunistic")
-		return
-	}
-	if req.DeadlineSec > 0 {
-		deadline = time.Duration(req.DeadlineSec * float64(time.Second))
-	}
-	orDefault := func(v, d float64) float64 {
-		if v > 0 {
-			return v
-		}
-		return d
-	}
-	spec := &function.Spec{
-		Name:             req.Name,
-		Namespace:        "main",
-		Runtime:          "php",
-		Team:             "http",
-		Trigger:          function.TriggerQueue,
-		Criticality:      crit,
-		Quota:            quota,
-		QuotaMIPS:        req.QuotaMIPS,
-		Deadline:         deadline,
-		ConcurrencyLimit: req.Concurrency,
-		Retry:            function.DefaultRetry,
-		Zone:             isolation.NewZone(isolation.Internal),
-		Resources: function.ResourceModel{
-			CPUMu: math.Log(orDefault(req.CPUMedianM, 20)), CPUSigma: 0.5,
-			MemMu: math.Log(orDefault(req.MemMedianMB, 16)), MemSigma: 0.5,
-			TimeMu: math.Log(orDefault(req.ExecMedianS, 0.2)), TimeSigma: 0.5,
-			CodeMB: 8, JITCodeMB: 4,
-		},
-	}
+	spec := req.Spec()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.p.Registry.Register(spec); err != nil {
@@ -309,6 +261,65 @@ func (s *Server) handleFunction(w http.ResponseWriter, r *http.Request) {
 		RPSLimit:    s.p.Central.RPSLimit(spec),
 		CurrentRPS:  s.p.Central.CurrentRPS(spec),
 	})
+}
+
+// InvariantsResponse is the GET /invariants payload.
+type InvariantsResponse struct {
+	Enabled         bool                 `json:"enabled"`
+	Evaluations     uint64               `json:"evaluations"`
+	TotalViolations uint64               `json:"total_violations"`
+	LateEvents      uint64               `json:"late_events"`
+	Totals          InvariantTally       `json:"totals"`
+	Violations      []InvariantViolation `json:"violations"`
+}
+
+// InvariantTally is the conservation ledger's current balance.
+type InvariantTally struct {
+	Submitted    uint64 `json:"submitted"`
+	Acked        uint64 `json:"acked"`
+	DeadLettered uint64 `json:"dead_lettered"`
+	Dropped      uint64 `json:"dropped"`
+	InFlight     int    `json:"in_flight"`
+}
+
+// InvariantViolation is one recorded invariant breach.
+type InvariantViolation struct {
+	AtSec   float64 `json:"virtual_time_seconds"`
+	Name    string  `json:"name"`
+	CallID  uint64  `json:"call_id,omitempty"`
+	Detail  string  `json:"detail"`
+	Context string  `json:"context,omitempty"`
+}
+
+func (s *Server) handleInvariants(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := s.p.Inv
+	tot := k.Totals()
+	resp := InvariantsResponse{
+		Enabled:         k.Enabled(),
+		Evaluations:     k.Evals(),
+		TotalViolations: k.TotalViolations(),
+		LateEvents:      k.LateEvents(),
+		Totals: InvariantTally{
+			Submitted:    tot.Submitted,
+			Acked:        tot.Acked,
+			DeadLettered: tot.DeadLettered,
+			Dropped:      tot.Dropped,
+			InFlight:     tot.InFlight,
+		},
+		Violations: []InvariantViolation{},
+	}
+	for _, v := range k.Violations() {
+		resp.Violations = append(resp.Violations, InvariantViolation{
+			AtSec:   v.At.Seconds(),
+			Name:    v.Name,
+			CallID:  v.CallID,
+			Detail:  v.Detail,
+			Context: v.Context,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func lastValues(ts *stats.TimeSeries, n int) []float64 {

@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"testing"
 	"time"
 
 	"xfaas/internal/core"
 	"xfaas/internal/function"
+	"xfaas/internal/rng"
+	"xfaas/internal/workload"
 )
 
 func newTestServer(t *testing.T) (*Server, http.Handler) {
@@ -148,5 +151,93 @@ func TestPaceAdvancesWithWallClock(t *testing.T) {
 	// scheduler jitter).
 	if now < 10*time.Second {
 		t.Fatalf("virtual time = %v, want ≥ 10s", now)
+	}
+}
+
+func TestInvariantsEndpoint(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Cluster.Regions = 2
+	cfg.Cluster.TotalWorkers = 6
+	cfg.CodePushInterval = 0
+	cfg.Invariants.Enabled = true
+	p := core.New(cfg, function.NewRegistry())
+	s := NewServer(p, 7)
+	h := s.Handler()
+
+	rec := do(t, h, "POST", "/functions", FunctionRequest{Name: "audited", ExecMedianS: 0.1})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("register status = %d: %s", rec.Code, rec.Body)
+	}
+	for i := 0; i < 20; i++ {
+		do(t, h, "POST", "/invoke", InvokeRequest{Function: "audited", Region: i % 2})
+	}
+	s.Advance(10 * time.Minute)
+
+	rec = do(t, h, "GET", "/invariants", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("invariants status = %d", rec.Code)
+	}
+	var resp InvariantsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Enabled {
+		t.Fatal("enabled = false with the checker wired")
+	}
+	if resp.TotalViolations != 0 || len(resp.Violations) != 0 {
+		t.Fatalf("violations on a clean run: %+v", resp.Violations)
+	}
+	if resp.Totals.Submitted != 20 || resp.Totals.Acked == 0 {
+		t.Fatalf("totals %+v", resp.Totals)
+	}
+	if resp.Evaluations == 0 {
+		t.Fatal("checker never evaluated")
+	}
+}
+
+func TestInvariantsEndpointDisabled(t *testing.T) {
+	_, h := newTestServer(t)
+	rec := do(t, h, "GET", "/invariants", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var resp InvariantsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Enabled {
+		t.Fatal("enabled = true without the checker")
+	}
+}
+
+func TestInstallPopulationInvokable(t *testing.T) {
+	data, err := os.ReadFile("../workload/testdata/workload.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := workload.ParseSpecFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := sf.Population(rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Cluster.Regions = 2
+	cfg.Cluster.TotalWorkers = 6
+	cfg.CodePushInterval = 0
+	p := core.New(cfg, pop.Registry)
+	s := NewServer(p, 7)
+	s.InstallPopulation(pop)
+	h := s.Handler()
+
+	rec := do(t, h, "POST", "/invoke", InvokeRequest{Function: "thumbnail-resize"})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("invoke of spec-file function = %d: %s", rec.Code, rec.Body)
+	}
+	rec = do(t, h, "GET", "/functions/nightly-aggregation", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("introspection of spec-file function = %d", rec.Code)
 	}
 }

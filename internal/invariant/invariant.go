@@ -1,0 +1,663 @@
+// Package invariant continuously checks the platform's correctness
+// claims while a simulation runs: call conservation (every submitted
+// call is eventually acked, dead-lettered, dropped, or still in flight —
+// per function, per region, and in total), lease exclusivity (no call
+// dispatched to two workers under one lease, including across chaos
+// evacuations), attempt monotonicity, quota ceilings, AIMD bounds and
+// slow-start caps, locality containment, and worker accounting closure.
+//
+// The wiring mirrors internal/trace: components hold a plain
+// `Inv *invariant.Checker` field and call nil-safe hooks at their state
+// transitions. When the checker is disabled the field stays nil and every
+// hook is a nil-receiver early return — zero allocations on the submit
+// path, enforced by the strict bench gate.
+//
+// Per-call hooks drive a small state machine (the ledger); structural
+// checks that need a platform-wide view (conservation closure against
+// component counters, quota/AIMD/utilization probes) are registered by
+// internal/core as named probes and run at simulated-time intervals and
+// once at run end. A violation carries the offending call's ID — the
+// same ID the tracer samples by — so xfaas-inspect can print the call's
+// critical path next to the violation.
+package invariant
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"xfaas/internal/function"
+	"xfaas/internal/sim"
+)
+
+// Params configure the checker.
+type Params struct {
+	// Enabled turns invariant checking on. Off by default: the hooks are
+	// nil-receiver no-ops and cost nothing.
+	Enabled bool
+	// Interval is how often the registered probes run (0 = only at run
+	// end via Final).
+	Interval time.Duration
+	// MaxViolations bounds the retained violation records; the total
+	// count keeps incrementing past it.
+	MaxViolations int
+}
+
+// DefaultParams checks every simulated minute and keeps 64 violations.
+func DefaultParams() Params {
+	return Params{Interval: time.Minute, MaxViolations: 64}
+}
+
+// Violation is one observed invariant breach.
+type Violation struct {
+	At   sim.Time
+	Name string
+	// CallID is the offending call (0 for structural probe violations).
+	CallID uint64
+	Detail string
+	// Context is the most recent Note at the time of the breach —
+	// typically the last chaos event, so violations read with their
+	// fault environment attached.
+	Context string
+}
+
+func (v Violation) String() string {
+	s := fmt.Sprintf("[%s] %s", v.At, v.Name)
+	if v.CallID != 0 {
+		s += fmt.Sprintf(" call=%d", v.CallID)
+	}
+	if v.Detail != "" {
+		s += ": " + v.Detail
+	}
+	if v.Context != "" {
+		s += " (during " + v.Context + ")"
+	}
+	return s
+}
+
+// Ledger states of one call. The legal transitions are the platform's
+// at-least-once lifecycle: submitted → queued → leased → running →
+// completed → acked, with nack/expiry detours through settling back to
+// queued (retry) or out to dead-letter, and drop as a terminal straight
+// from submitted (routing failure before persistence).
+const (
+	stSubmitted uint8 = iota
+	stQueued
+	stLeased
+	stRunning
+	stCompleted
+	stSettling
+)
+
+func stateName(s uint8) string {
+	switch s {
+	case stSubmitted:
+		return "submitted"
+	case stQueued:
+		return "queued"
+	case stLeased:
+		return "leased"
+	case stRunning:
+		return "running"
+	case stCompleted:
+		return "completed"
+	case stSettling:
+		return "settling"
+	}
+	return "?"
+}
+
+// centry is the ledger record of one in-flight call. Entries are deleted
+// at terminal states, so the ledger's size tracks the in-flight count,
+// not the run length.
+type centry struct {
+	state   uint8
+	region  int32 // submission region
+	attempt int32
+	worker  int64 // packed worker ref while running
+	fn      string
+}
+
+func packRef(region, worker int) int64 { return int64(region)<<32 | int64(uint32(worker)) }
+
+func refString(ref int64) string {
+	return fmt.Sprintf("w-%d-%d", ref>>32, int32(ref))
+}
+
+// Tally is a conservation snapshot: terminal outcomes plus the current
+// in-flight count. Submitted == Acked + DeadLettered + Dropped + InFlight
+// at every event boundary.
+type Tally struct {
+	Submitted    uint64
+	Acked        uint64
+	DeadLettered uint64
+	Dropped      uint64
+	InFlight     int
+}
+
+type counts struct {
+	submitted, acked, dead, dropped uint64
+}
+
+type probe struct {
+	name string
+	fn   func(now sim.Time) []string
+}
+
+// Checker is the invariant engine. All methods are safe on a nil
+// receiver (they no-op), so components hold plain fields and call hooks
+// unconditionally. A mutex guards all state: HTTP handlers snapshot
+// violations while the paced engine advances, same as trace.Recorder.
+type Checker struct {
+	engine *sim.Engine
+	params Params
+
+	// LocalityCheck, when set (by core), validates a dispatch against the
+	// function's locality group at dispatch time; it returns "" when the
+	// placement is legal. It runs under the checker's lock and must not
+	// call back into the checker.
+	LocalityCheck func(c *function.Call, region, worker int) string
+
+	mu         sync.Mutex
+	ledger     map[uint64]centry
+	byFunc     map[string]*counts
+	byRegion   []counts
+	total      counts
+	violations []Violation
+	nViol      uint64
+	lateEvents uint64
+	evals      uint64
+	note       string
+
+	probes []probe
+}
+
+// NewChecker returns a checker for a platform with numRegions regions.
+// When params.Enabled is false it returns nil, which is the disabled
+// checker: every hook on it is a no-op.
+func NewChecker(engine *sim.Engine, params Params, numRegions int) *Checker {
+	if !params.Enabled {
+		return nil
+	}
+	if params.MaxViolations <= 0 {
+		params.MaxViolations = 64
+	}
+	k := &Checker{
+		engine:   engine,
+		params:   params,
+		ledger:   make(map[uint64]centry),
+		byFunc:   make(map[string]*counts),
+		byRegion: make([]counts, numRegions),
+	}
+	if params.Interval > 0 {
+		engine.Every(params.Interval, func() { k.evaluate(engine.Now()) })
+	}
+	return k
+}
+
+// Enabled reports whether the checker is live.
+func (k *Checker) Enabled() bool { return k != nil }
+
+// RegisterProbe adds a named structural check run at every evaluation.
+// The probe returns one detail string per violation it found (empty
+// slice or nil when the invariant holds). Probes run outside the
+// checker's lock and may call its accessors.
+func (k *Checker) RegisterProbe(name string, fn func(now sim.Time) []string) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	k.probes = append(k.probes, probe{name: name, fn: fn})
+	k.mu.Unlock()
+}
+
+// Note records ambient context (e.g. an active chaos fault); subsequent
+// violations carry it so a breach reads with its fault environment.
+func (k *Checker) Note(kind, detail string) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	if detail != "" {
+		kind += " " + detail
+	}
+	k.note = kind
+	k.mu.Unlock()
+}
+
+// violate records one breach. Callers hold k.mu.
+func (k *Checker) violate(name string, callID uint64, format string, args ...any) {
+	k.nViol++
+	if len(k.violations) >= k.params.MaxViolations {
+		return
+	}
+	k.violations = append(k.violations, Violation{
+		At:      k.engine.Now(),
+		Name:    name,
+		CallID:  callID,
+		Detail:  fmt.Sprintf(format, args...),
+		Context: k.note,
+	})
+}
+
+func (k *Checker) fcounts(fn string) *counts {
+	c, ok := k.byFunc[fn]
+	if !ok {
+		c = &counts{}
+		k.byFunc[fn] = c
+	}
+	return c
+}
+
+// terminal books one terminal outcome and drops the ledger entry.
+// Callers hold k.mu.
+func (k *Checker) terminal(id uint64, e centry, out func(*counts)) {
+	out(&k.total)
+	out(k.fcounts(e.fn))
+	if int(e.region) < len(k.byRegion) {
+		out(&k.byRegion[e.region])
+	}
+	delete(k.ledger, id)
+}
+
+// OnSubmit records a call entering the platform (an ID was assigned and
+// the call joined a submitter batch).
+func (k *Checker) OnSubmit(c *function.Call) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, dup := k.ledger[c.ID]; dup {
+		k.violate("duplicate-call-id", c.ID, "id assigned twice (func %s)", c.Spec.Name)
+	}
+	e := centry{state: stSubmitted, region: int32(c.SourceRegion), fn: c.Spec.Name}
+	k.ledger[c.ID] = e
+	k.total.submitted++
+	k.fcounts(e.fn).submitted++
+	if int(e.region) < len(k.byRegion) {
+		k.byRegion[e.region].submitted++
+	}
+}
+
+// OnDropped records a routing failure before durable persistence — the
+// only legal way a call disappears without an ack or dead-letter.
+func (k *Checker) OnDropped(c *function.Call) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e, ok := k.ledger[c.ID]
+	if !ok {
+		k.violate("drop-unknown", c.ID, "dropped a call the ledger never saw")
+		return
+	}
+	if e.state != stSubmitted {
+		k.violate("drop-from-"+stateName(e.state), c.ID,
+			"dropped after durable persistence (func %s)", e.fn)
+	}
+	k.terminal(c.ID, e, func(t *counts) { t.dropped++ })
+}
+
+// OnEnqueue records durable persistence in a DurableQ shard.
+func (k *Checker) OnEnqueue(c *function.Call) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e, ok := k.ledger[c.ID]
+	if !ok {
+		k.violate("enqueue-unknown", c.ID, "enqueued a call the ledger never saw")
+		e = centry{region: int32(c.SourceRegion), fn: c.Spec.Name}
+	}
+	if ok && e.state != stSubmitted {
+		k.violate("enqueue-from-"+stateName(e.state), c.ID, "func %s", e.fn)
+	}
+	e.state = stQueued
+	k.ledger[c.ID] = e
+}
+
+// OnLease records a scheduler taking a lease (a DurableQ offer). Each
+// lease must come from the queued state and carry a strictly increasing
+// attempt number.
+func (k *Checker) OnLease(c *function.Call) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e, ok := k.ledger[c.ID]
+	if !ok {
+		k.violate("lease-unknown", c.ID, "leased a call the ledger never saw")
+		e = centry{region: int32(c.SourceRegion), fn: c.Spec.Name}
+	}
+	if ok && e.state != stQueued {
+		k.violate("lease-from-"+stateName(e.state), c.ID, "func %s attempt %d", e.fn, c.Attempt)
+	}
+	if ok && int32(c.Attempt) <= e.attempt {
+		k.violate("attempt-not-monotone", c.ID,
+			"attempt %d after %d (func %s)", c.Attempt, e.attempt, e.fn)
+	}
+	e.state = stLeased
+	e.attempt = int32(c.Attempt)
+	k.ledger[c.ID] = e
+}
+
+// OnDispatch records a worker starting the call. Dispatch from any state
+// but leased is a breach; dispatch while already running is the lease-
+// exclusivity violation — the same call executing on two workers under
+// one lease.
+func (k *Checker) OnDispatch(c *function.Call, region, worker int) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	ref := packRef(region, worker)
+	e, ok := k.ledger[c.ID]
+	if !ok {
+		k.violate("dispatch-unknown", c.ID, "dispatched a call the ledger never saw")
+		e = centry{region: int32(c.SourceRegion), fn: c.Spec.Name}
+	}
+	if ok && e.state != stLeased {
+		if e.state == stRunning {
+			k.violate("lease-exclusivity", c.ID,
+				"dispatched to %s while running on %s (func %s)",
+				refString(ref), refString(e.worker), e.fn)
+		} else {
+			k.violate("dispatch-from-"+stateName(e.state), c.ID, "func %s", e.fn)
+		}
+	}
+	if k.LocalityCheck != nil {
+		if msg := k.LocalityCheck(c, region, worker); msg != "" {
+			k.violate("locality", c.ID, "%s", msg)
+		}
+	}
+	e.state = stRunning
+	e.worker = ref
+	k.ledger[c.ID] = e
+}
+
+// OnComplete records a worker finishing the call (success or failure —
+// retry routing is the scheduler's decision). The worker identity
+// disambiguates at-least-once overlap from real protocol breaches: a
+// lease that expires mid-execution (e.g. its shard was unavailable, so
+// renewal failed) requeues the call while the old execution still runs,
+// and that execution's completion then arrives for an entry that has
+// moved on — or for no entry at all. Completions whose worker does not
+// match the ledger's current execution are tolerated and counted in
+// LateEvents; a completion from the matching worker in any state but
+// running is a genuine breach (e.g. one execution completing twice).
+func (k *Checker) OnComplete(c *function.Call, region, worker int) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	ref := packRef(region, worker)
+	e, ok := k.ledger[c.ID]
+	if !ok {
+		k.lateEvents++
+		return
+	}
+	if e.worker != ref {
+		// A superseded execution finishing late: legal overlap.
+		k.lateEvents++
+		return
+	}
+	if e.state != stRunning {
+		k.violate("complete-from-"+stateName(e.state), c.ID,
+			"func %s on %s", e.fn, refString(ref))
+	}
+	e.state = stCompleted
+	k.ledger[c.ID] = e
+}
+
+// OnAck records the durable queue settling the call as done — the happy
+// terminal state. The shard's ack is authoritative: under at-least-once
+// overlap a superseded execution's ack can land while a redelivered
+// attempt is queued, leased or running, which terminates the call early
+// (tolerated, counted in LateEvents). Only an ack before the call was
+// ever durably persisted is a breach.
+func (k *Checker) OnAck(c *function.Call) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e, ok := k.ledger[c.ID]
+	if !ok {
+		k.lateEvents++
+		return
+	}
+	switch e.state {
+	case stCompleted:
+	case stSubmitted:
+		k.violate("ack-from-submitted", c.ID, "func %s acked before persistence", e.fn)
+	default:
+		k.lateEvents++
+	}
+	k.terminal(c.ID, e, func(t *counts) { t.acked++ })
+}
+
+// OnNack records an explicit negative settle (execution failure or a
+// chaos evacuation returning the call to the queue).
+func (k *Checker) OnNack(c *function.Call) { k.settle(c, "nack") }
+
+// OnExpired records a lease expiring (scheduler presumed dead).
+func (k *Checker) OnExpired(c *function.Call) { k.settle(c, "expire") }
+
+func (k *Checker) settle(c *function.Call, kind string) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e, ok := k.ledger[c.ID]
+	if !ok {
+		k.lateEvents++
+		return
+	}
+	switch e.state {
+	case stLeased, stRunning, stCompleted:
+	default:
+		k.violate(kind+"-from-"+stateName(e.state), c.ID, "func %s", e.fn)
+	}
+	e.state = stSettling
+	e.worker = 0
+	k.ledger[c.ID] = e
+}
+
+// OnRetry records a settled call pushed back onto the queue for another
+// attempt.
+func (k *Checker) OnRetry(c *function.Call) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e, ok := k.ledger[c.ID]
+	if !ok {
+		k.lateEvents++
+		return
+	}
+	if e.state != stSettling {
+		k.violate("retry-from-"+stateName(e.state), c.ID, "func %s", e.fn)
+	}
+	e.state = stQueued
+	k.ledger[c.ID] = e
+}
+
+// OnDeadLetter records retry exhaustion — the unhappy terminal state.
+func (k *Checker) OnDeadLetter(c *function.Call) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e, ok := k.ledger[c.ID]
+	if !ok {
+		k.lateEvents++
+		return
+	}
+	if e.state != stSettling {
+		k.violate("deadletter-from-"+stateName(e.state), c.ID, "func %s", e.fn)
+	}
+	k.terminal(c.ID, e, func(t *counts) { t.dead++ })
+}
+
+// evaluate runs every registered probe. Probes run outside the lock so
+// they can read the checker's accessors and the platform's components.
+func (k *Checker) evaluate(now sim.Time) {
+	k.mu.Lock()
+	k.evals++
+	probes := k.probes
+	k.mu.Unlock()
+	for _, p := range probes {
+		for _, detail := range p.fn(now) {
+			k.mu.Lock()
+			k.violate(p.name, 0, "%s", detail)
+			k.mu.Unlock()
+		}
+	}
+}
+
+// Final runs one last evaluation at the current virtual time and returns
+// the retained violations. Call it after the simulation finishes.
+func (k *Checker) Final() []Violation {
+	if k == nil {
+		return nil
+	}
+	k.evaluate(k.engine.Now())
+	return k.Violations()
+}
+
+// Violations returns a copy of the retained violation records.
+func (k *Checker) Violations() []Violation {
+	if k == nil {
+		return nil
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return append([]Violation(nil), k.violations...)
+}
+
+// TotalViolations returns the full breach count, including records past
+// MaxViolations.
+func (k *Checker) TotalViolations() uint64 {
+	if k == nil {
+		return 0
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.nViol
+}
+
+// LateEvents counts tolerated post-terminal events from at-least-once
+// execution overlap (see OnComplete).
+func (k *Checker) LateEvents() uint64 {
+	if k == nil {
+		return 0
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.lateEvents
+}
+
+// Evals returns how many probe evaluations have run.
+func (k *Checker) Evals() uint64 {
+	if k == nil {
+		return 0
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.evals
+}
+
+// Totals returns the platform-wide conservation snapshot.
+func (k *Checker) Totals() Tally {
+	if k == nil {
+		return Tally{}
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return Tally{
+		Submitted:    k.total.submitted,
+		Acked:        k.total.acked,
+		DeadLettered: k.total.dead,
+		Dropped:      k.total.dropped,
+		InFlight:     len(k.ledger),
+	}
+}
+
+// EachFunc visits per-function conservation tallies in sorted name
+// order, with in-flight counts taken from the live ledger.
+func (k *Checker) EachFunc(fn func(name string, t Tally)) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	inflight := make(map[string]int, len(k.byFunc))
+	for _, e := range k.ledger {
+		inflight[e.fn]++
+	}
+	names := make([]string, 0, len(k.byFunc))
+	for name := range k.byFunc {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	tallies := make([]Tally, len(names))
+	for i, name := range names {
+		c := k.byFunc[name]
+		tallies[i] = Tally{
+			Submitted:    c.submitted,
+			Acked:        c.acked,
+			DeadLettered: c.dead,
+			Dropped:      c.dropped,
+			InFlight:     inflight[name],
+		}
+	}
+	k.mu.Unlock()
+	for i, name := range names {
+		fn(name, tallies[i])
+	}
+}
+
+// EachRegion visits per-submission-region conservation tallies in
+// region order.
+func (k *Checker) EachRegion(fn func(region int, t Tally)) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	inflight := make([]int, len(k.byRegion))
+	for _, e := range k.ledger {
+		if int(e.region) < len(inflight) {
+			inflight[e.region]++
+		}
+	}
+	tallies := make([]Tally, len(k.byRegion))
+	for i, c := range k.byRegion {
+		tallies[i] = Tally{
+			Submitted:    c.submitted,
+			Acked:        c.acked,
+			DeadLettered: c.dead,
+			Dropped:      c.dropped,
+			InFlight:     inflight[i],
+		}
+	}
+	k.mu.Unlock()
+	for i := range tallies {
+		fn(i, tallies[i])
+	}
+}
+
+// Gap returns the conservation imbalance of a tally: zero when
+// submitted == acked + dead-lettered + dropped + in-flight.
+func (t Tally) Gap() int64 {
+	return int64(t.Submitted) - int64(t.Acked) - int64(t.DeadLettered) -
+		int64(t.Dropped) - int64(t.InFlight)
+}

@@ -1,0 +1,18 @@
+// Package proptest holds the platform's property-based, metamorphic,
+// and differential tests. Where unit tests pin exact behaviour, these
+// tests assert relationships that must hold across whole simulated runs:
+//
+//   - Observation-only checker: enabling the invariant engine must not
+//     change a single platform outcome (same seed → identical counters),
+//     and neither may perturbing the order of its probe events.
+//   - Scale invariance: k× workers fed k× arrivals preserves the
+//     utilization and drain shape of the original system.
+//   - Chaos dominance: a fault-free run acks at least as much as any
+//     chaos run of the same seed — faults can only hurt.
+//   - Differential oracle: the same feasible call stream drains on both
+//     the XFaaS platform and the conventional baseline model.
+//
+// The tests live in an external harness package (rather than inside
+// internal/core) because they deliberately cross subsystem boundaries:
+// core, workload, chaos, baseline, and invariant together.
+package proptest

@@ -53,6 +53,11 @@ type funcState struct {
 	// seconds instead of being rounded out of existence by a windowed
 	// rate check.
 	bucket *TokenBucket
+	// peakLimit is the largest limit seen by Allow since the invariant
+	// checker last read it (limits move with S, shed, and avgCost between
+	// probe points, so the ceiling check needs the window's high
+	// watermark, not the instantaneous limit).
+	peakLimit float64
 }
 
 // NewCentral returns a limiter measuring RPS over a 10-second window.
@@ -152,6 +157,9 @@ func (c *Central) Allow(spec *function.Spec) bool {
 	now := c.engine.Now()
 	limit := c.RPSLimit(spec)
 	fs := c.state(spec)
+	if limit > fs.peakLimit {
+		fs.peakLimit = limit
+	}
 	if limit >= 0 {
 		if limit <= 0 {
 			c.Throttled.Inc()
@@ -186,6 +194,25 @@ func burstFor(limit float64) float64 {
 // CurrentRPS returns the measured global RPS for the function.
 func (c *Central) CurrentRPS(spec *function.Spec) float64 {
 	return c.state(spec).rate.PerSecond(c.engine.Now())
+}
+
+// Window returns the RPS measurement window.
+func (c *Central) Window() time.Duration { return c.window }
+
+// TakePeakAllowedRPS returns the largest RPS the limiter could have
+// legitimately admitted over the measurement window since the last call
+// — the high-watermark limit plus the burst allowance amortized over the
+// window — and resets the watermark. Negative means unlimited (no
+// quota). The invariant checker's quota-ceiling probe compares
+// CurrentRPS against this bound.
+func (c *Central) TakePeakAllowedRPS(spec *function.Spec) float64 {
+	fs := c.state(spec)
+	peak := fs.peakLimit
+	fs.peakLimit = c.RPSLimit(spec)
+	if peak < 0 || (peak == 0 && fs.peakLimit < 0) {
+		return -1
+	}
+	return peak + burstFor(peak)/c.window.Seconds()
 }
 
 // RecordCost feeds an observed per-invocation CPU cost (millions of

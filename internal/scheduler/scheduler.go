@@ -20,6 +20,7 @@ import (
 	"xfaas/internal/durableq"
 	"xfaas/internal/function"
 	"xfaas/internal/gtc"
+	"xfaas/internal/invariant"
 	"xfaas/internal/isolation"
 	"xfaas/internal/ratelimit"
 	"xfaas/internal/rng"
@@ -130,6 +131,9 @@ type Scheduler struct {
 
 	// Trace, when set, records scheduling decisions for sampled calls.
 	Trace *trace.Recorder
+	// Inv, when set, receives dispatch/complete transitions for the
+	// invariant checker's lease-exclusivity and conservation ledger.
+	Inv *invariant.Checker
 
 	// Metrics.
 	Polled            stats.Counter
@@ -224,13 +228,14 @@ func (s *Scheduler) track(c *function.Call, w *worker.Worker) {
 	m[c.ID] = c
 }
 
-// untrack removes the call from in-flight tracking, reporting whether it
-// was still tracked (false means failure detection already evacuated it
-// and any late completion callback must be ignored).
-func (s *Scheduler) untrack(c *function.Call) bool {
+// untrack removes the call from in-flight tracking, returning the worker
+// that held it and whether it was still tracked (false means failure
+// detection already evacuated it and any late completion callback must be
+// ignored).
+func (s *Scheduler) untrack(c *function.Call) (*worker.Worker, bool) {
 	w, ok := s.inflight[c.ID]
 	if !ok {
-		return false
+		return nil, false
 	}
 	delete(s.inflight, c.ID)
 	if m := s.inflightByWorker[w]; m != nil {
@@ -239,7 +244,7 @@ func (s *Scheduler) untrack(c *function.Call) bool {
 			delete(s.inflightByWorker, w)
 		}
 	}
-	return true
+	return w, true
 }
 
 // renewLeases extends the lease of every call this scheduler still holds,
@@ -565,6 +570,7 @@ func (s *Scheduler) dispatch() {
 		s.recordDispatchDelay(c)
 		s.Dispatched.Inc()
 		s.Trace.Record(c, trace.KindDispatch, trace.Ref(w.ID.Region, w.ID.Index))
+		s.Inv.OnDispatch(c, int(w.ID.Region), w.ID.Index)
 	}
 	for s.runHead < len(s.runQ) && s.runQ[s.runHead] == nil {
 		s.runHead++
@@ -600,7 +606,8 @@ func (s *Scheduler) recordDispatchDelay(c *function.Call) {
 }
 
 func (s *Scheduler) complete(c *function.Call, err error) {
-	if !s.untrack(c) {
+	w, tracked := s.untrack(c)
+	if !tracked {
 		// Failure detection already evacuated this call (the lease was
 		// NACKed and the concurrency slot released); a late completion
 		// callback must not double-complete it.
@@ -608,6 +615,7 @@ func (s *Scheduler) complete(c *function.Call, err error) {
 	}
 	now := s.engine.Now()
 	s.cong.OnComplete(c.Spec)
+	s.Inv.OnComplete(c, int(w.ID.Region), w.ID.Index)
 	if errors.Is(err, downstream.ErrBackpressure) {
 		s.cong.OnBackpressure(c.Spec)
 		s.Trace.Record(c, trace.KindBackpressure, 0)

@@ -12,6 +12,7 @@ import (
 
 	"xfaas/internal/cluster"
 	"xfaas/internal/function"
+	"xfaas/internal/invariant"
 	"xfaas/internal/kv"
 	"xfaas/internal/queuelb"
 	"xfaas/internal/rng"
@@ -79,6 +80,9 @@ type Submitter struct {
 	// Throttled submissions never get an ID and so cannot be traced
 	// per-call; the Throttled counter is their only record.
 	Trace *trace.Recorder
+	// Inv, when set, opens an invariant-ledger entry per accepted call
+	// (throttled submissions never enter the conservation universe).
+	Inv *invariant.Checker
 
 	Submitted     stats.Counter
 	Throttled     stats.Counter
@@ -157,6 +161,7 @@ func (s *Submitter) Submit(client string, c *function.Call) error {
 	}
 	c.State = function.StateSubmitted
 	s.Trace.OnSubmit(c)
+	s.Inv.OnSubmit(c)
 	s.batch = append(s.batch, c)
 	s.Submitted.Inc()
 	if len(s.batch) >= s.params.BatchSize {
@@ -187,6 +192,7 @@ func (s *Submitter) flush() {
 		if s.lb.Route(c) == nil {
 			s.RouteFailed.Inc()
 			s.Trace.Record(c, trace.KindDropped, 0)
+			s.Inv.OnDropped(c)
 		}
 	}
 	s.batch = s.batch[:0]
@@ -195,6 +201,11 @@ func (s *Submitter) flush() {
 
 // Flush forces out any buffered calls (tests and shutdown).
 func (s *Submitter) Flush() { s.flush() }
+
+// BatchLen returns the number of calls buffered for the next flush —
+// accepted but not yet durably persisted, the first in-flight stage of
+// the conservation closure.
+func (s *Submitter) BatchLen() int { return len(s.batch) }
 
 // Pool returns which submitter set this instance belongs to.
 func (s *Submitter) Pool() Pool { return s.pool }

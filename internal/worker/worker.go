@@ -194,6 +194,38 @@ func (w *Worker) CPUUtilization() float64 {
 	return u
 }
 
+// EachRunning visits every in-flight call in ascending call-ID order
+// (deterministic for the invariant checker's cross-worker scans).
+func (w *Worker) EachRunning(fn func(*function.Call)) {
+	ids := make([]uint64, 0, len(w.running))
+	for id := range w.running {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		fn(w.running[id].call)
+	}
+}
+
+// AccountingDrift recomputes the worker's resource books from first
+// principles and returns the signed error of each cached aggregate:
+// cpuInUse vs the sum of running calls' rates, workMem vs their working
+// sets, codeMB vs the resident code entries. All three are ~0 (modulo
+// float rounding) when release accounting is correct — the utilization
+// numbers the paper's headline claim rests on are derived from these
+// aggregates.
+func (w *Worker) AccountingDrift() (cpu, mem, code float64) {
+	var sumCPU, sumMem, sumCode float64
+	for _, rc := range w.running {
+		sumCPU += rc.cpuRate
+		sumMem += rc.memMB
+	}
+	for _, e := range w.code {
+		sumCode += e.mb
+	}
+	return w.cpuInUse - sumCPU, w.workMem - sumMem, w.codeMB - sumCode
+}
+
 // DistinctFuncsSince counts distinct functions executed at or after since
 // (paper Figure 9 measures this over one-hour windows).
 func (w *Worker) DistinctFuncsSince(since sim.Time) int {

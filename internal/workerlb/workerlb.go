@@ -110,6 +110,19 @@ func (lb *LB) GroupPool(spec *function.Spec) []*worker.Worker {
 	return lb.groups[g]
 }
 
+// InGroup reports whether w is a legal placement for spec right now: a
+// member of the function's locality group, or of the full pool when the
+// group is empty/overflowed (GroupPool's fallback). The invariant
+// checker's locality-containment check consults this at dispatch time.
+func (lb *LB) InGroup(spec *function.Spec, w *worker.Worker) bool {
+	for _, g := range lb.GroupPool(spec) {
+		if g == w {
+			return true
+		}
+	}
+	return false
+}
+
 // Dispatch routes the call to a worker in its locality group using the
 // power of two choices, invoking done(c, err) when execution completes.
 // It reports false if no chosen worker could accept (the caller keeps
