@@ -36,7 +36,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		minutes   = flag.Int("minutes", 30, "simulated minutes to run")
 		sample    = flag.Uint64("sample", 1, "trace 1 in N calls (1 = every call)")
-		chaosFlag = flag.String("chaos", "", "fault scenario: gray, partition, correlated, dq")
+		chaosFlag = flag.String("chaos", "", "fault scenario: gray, partition, correlated, dq, shardcrash, submittercrash, schedcrash")
 		top       = flag.Int("top", 5, "slowest calls to print as critical paths")
 		events    = flag.Int("events", 40, "control-plane events to print")
 		rps       = flag.Float64("rps", 10, "workload mean RPS")
@@ -54,6 +54,10 @@ func main() {
 	cfg.Trace.SampleEvery = *sample
 	cfg.Trace.RingSize = 1 << 16
 	cfg.Invariants.Enabled = *inv
+	// Journal the DurableQs so crash scenarios replay instead of losing
+	// everything. The journal is a passive observer until a crash, so
+	// non-crash runs are byte-identical with or without it.
+	cfg.Durability.JournalEnabled = true
 
 	pcfg := workload.DefaultPopulationConfig()
 	pcfg.Functions = *funcs
@@ -72,7 +76,7 @@ func main() {
 	dur := time.Duration(*minutes) * time.Minute
 	if *chaosFlag != "" {
 		if !scheduleChaos(p, *chaosFlag, cfg.Seed, dur) {
-			fmt.Fprintf(os.Stderr, "unknown chaos scenario %q (want gray, partition, correlated, dq)\n", *chaosFlag)
+			fmt.Fprintf(os.Stderr, "unknown chaos scenario %q (want gray, partition, correlated, dq, shardcrash, submittercrash, schedcrash)\n", *chaosFlag)
 			os.Exit(2)
 		}
 	}
@@ -158,8 +162,8 @@ func main() {
 		vs := p.Inv.Final()
 		tot := p.Inv.Totals()
 		fmt.Printf("\n== invariants (%d evaluations, %d late events)\n", p.Inv.Evals(), p.Inv.LateEvents())
-		fmt.Printf("conservation: submitted=%d acked=%d dead_lettered=%d dropped=%d in_flight=%d gap=%d\n",
-			tot.Submitted, tot.Acked, tot.DeadLettered, tot.Dropped, tot.InFlight, tot.Gap())
+		fmt.Printf("conservation: submitted=%d resurrected=%d acked=%d dead_lettered=%d dropped=%d lost=%d in_flight=%d gap=%d\n",
+			tot.Submitted, tot.Resurrected, tot.Acked, tot.DeadLettered, tot.Dropped, tot.Lost, tot.InFlight, tot.Gap())
 		if len(vs) == 0 {
 			fmt.Printf("all invariants hold (%d total violations)\n", p.Inv.TotalViolations())
 		} else {
@@ -260,6 +264,19 @@ func scheduleChaos(p *core.Platform, name string, seed uint64, dur time.Duration
 		p.Engine.Schedule(at(0.25), func() {
 			inj.ShardOutage(reg, 0, at(0.2))
 		})
+	case "shardcrash":
+		// Crash region 0's whole shard pool; journal replay restores the
+		// durable prefix after a short down window.
+		p.Engine.Schedule(at(0.3), func() {
+			for i := range p.Region(reg).Shards {
+				inj.ShardCrashRestart(reg, i, 30*time.Second)
+			}
+		})
+	case "submittercrash":
+		p.Engine.Schedule(at(0.3), func() { inj.CrashSubmitter(reg, false) })
+		p.Engine.Schedule(at(0.6), func() { inj.CrashSubmitter(reg, true) })
+	case "schedcrash":
+		p.Engine.Schedule(at(0.3), func() { inj.CrashScheduler(reg, 0) })
 	default:
 		return false
 	}

@@ -27,7 +27,7 @@ func main() {
 	var (
 		list      = flag.Bool("list", false, "list available experiments and exit")
 		run       = flag.String("run", "", "experiment id to run, or \"all\"")
-		chaosFlag = flag.String("chaos", "", "chaos scenario to run (gray, partition, correlated, dq); output is fully deterministic")
+		chaosFlag = flag.String("chaos", "", "chaos scenario to run (gray, partition, correlated, dq, shardcrash, submittercrash, schedcrash); output is fully deterministic")
 		full      = flag.Bool("full", false, "paper-scale runs (full simulated day) instead of quick")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		charts    = flag.Bool("charts", true, "render ASCII charts of result series")

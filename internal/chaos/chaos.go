@@ -24,6 +24,7 @@ import (
 	"xfaas/internal/downstream"
 	"xfaas/internal/rng"
 	"xfaas/internal/sim"
+	"xfaas/internal/submitter"
 )
 
 // Event is one injected fault or repair, logged for experiment reports
@@ -199,6 +200,94 @@ func (inj *Injector) UpShard(region cluster.RegionID, idx int) {
 func (inj *Injector) ShardOutage(region cluster.RegionID, idx int, d time.Duration) {
 	inj.DownShard(region, idx)
 	inj.p.Engine.Schedule(d, func() { inj.UpShard(region, idx) })
+}
+
+// CrashShard destroys a DurableQ shard's in-memory state — queues,
+// leases, timers — unlike DownShard's state-preserving unavailability
+// window. With journaling enabled only the unflushed tail is lost and
+// RestartShard replays the rest; without it every held call dies.
+func (inj *Injector) CrashShard(region cluster.RegionID, idx int) {
+	sh := inj.p.Region(region).Shards[idx]
+	held := sh.Pending() + sh.Leased()
+	sh.Crash()
+	inj.record("shard-crash", "%v held=%d lost=%d held-durable=%d",
+		sh.ID, held, int(sh.LostOnCrash.Value()), sh.CrashHeld())
+}
+
+// RestartShard begins a crashed shard's recovery: after its replay base
+// delay it replays the journal's durable prefix in batches and comes
+// back up. Recovery time is observable as the gap between this event and
+// the shard's durableq.replay-end control event.
+func (inj *Injector) RestartShard(region cluster.RegionID, idx int) {
+	sh := inj.p.Region(region).Shards[idx]
+	sh.Restart()
+	inj.record("shard-restart", "%v", sh.ID)
+}
+
+// ShardCrashRestart crashes the shard now and starts its restart after
+// downFor (replay time comes on top of that).
+func (inj *Injector) ShardCrashRestart(region cluster.RegionID, idx int, downFor time.Duration) {
+	inj.CrashShard(region, idx)
+	inj.p.Engine.Schedule(downFor, func() { inj.RestartShard(region, idx) })
+}
+
+// SetJournalLag changes a shard's journal flush lag mid-run (0 =
+// synchronous), widening or closing the torn-tail loss window the next
+// crash sees. No-op (recorded) on a shard without a journal.
+func (inj *Injector) SetJournalLag(region cluster.RegionID, idx int, lag time.Duration) {
+	sh := inj.p.Region(region).Shards[idx]
+	if j := sh.Journal(); j != nil {
+		j.SetFlushLag(lag)
+		inj.record("journal-lag", "%v lag=%s", sh.ID, lag)
+		return
+	}
+	inj.record("journal-lag", "%v no journal, ignored", sh.ID)
+}
+
+// CrashSubmitter kills one of the region's submitters (pool: "normal" or
+// "spiky"): its unflushed batch buffer — calls accepted but not yet
+// persisted — is terminally lost, and submissions fail until the rebuild
+// delay from the platform's durability config elapses.
+func (inj *Injector) CrashSubmitter(region cluster.RegionID, spiky bool) {
+	s := inj.submitter(region, spiky)
+	buffered := s.BatchLen()
+	s.Crash()
+	s.Restart(inj.p.Durability().SubmitterRebuildDelay)
+	inj.record("submitter-crash", "r%d spiky=%v lost=%d", region, spiky, buffered)
+}
+
+func (inj *Injector) submitter(region cluster.RegionID, spiky bool) *submitter.Submitter {
+	if spiky {
+		return inj.p.Region(region).Spiky
+	}
+	return inj.p.Region(region).Normal
+}
+
+// CrashScheduler kills scheduler replica idx of the region: its buffers,
+// run queue and lease tracking vanish, orphaning the DurableQ leases it
+// held — they redeliver after LeaseTimeout, the dominant term in the
+// scheduler-crash recovery time. The replica restarts stateless after
+// the durability config's rebuild delay.
+func (inj *Injector) CrashScheduler(region cluster.RegionID, idx int) {
+	sc := inj.p.Region(region).Scheds[idx]
+	sc.Crash()
+	sc.Restart(inj.p.Durability().SchedulerRebuildDelay)
+	inj.record("scheduler-crash", "r%d replica=%d", region, idx)
+}
+
+// CrashQueueLB kills the region's QueueLB process: every flush routed
+// through it fails (clients see failed submissions) until the rebuild
+// delay elapses. The LB is stateless — its policy lives in the config
+// store — so recovery is purely the restart delay.
+func (inj *Injector) CrashQueueLB(region cluster.RegionID) {
+	lb := inj.p.Region(region).QueueLB
+	lb.SetDown(true)
+	delay := inj.p.Durability().QueueLBRebuildDelay
+	inj.p.Engine.Schedule(delay, func() {
+		lb.SetDown(false)
+		inj.record("queuelb-restart", "r%d", region)
+	})
+	inj.record("queuelb-crash", "r%d back in %s", region, delay)
 }
 
 // Brownout cuts a downstream service to frac of its healthy capacity and

@@ -1,0 +1,67 @@
+package config
+
+import "time"
+
+// Durability is the platform's crash-recovery configuration section: the
+// DurableQ journal's sync discipline, how fast a crashed shard replays
+// itself back, and how long the stateless tiers (scheduler, QueueLB,
+// submitter) take to rebuild after a process restart. Journaling ships
+// disabled by default — the submit path stays allocation-free and the
+// in-memory shards behave exactly as before — and the recovery
+// experiments and chaos scenarios turn it on.
+type Durability struct {
+	// JournalEnabled gives every DurableQ shard a write-ahead log so it
+	// can crash, restart, and replay its state (at-least-once recovery).
+	JournalEnabled bool
+	// FlushLag is the journal sync-horizon lag: records newer than the
+	// last flush are lost by a crash (the torn tail). 0 = synchronous
+	// durability, no accepted call is ever lost.
+	FlushLag time.Duration
+	// ReplayBase is the fixed part of a shard's restart delay (process
+	// start, log open) before replay begins.
+	ReplayBase time.Duration
+	// ReplayPerEntry is the incremental replay cost per journal record;
+	// RTO grows linearly with the backlog the journal holds.
+	ReplayPerEntry time.Duration
+	// ReplayBatch bounds how many records one replay step processes
+	// before yielding the virtual clock.
+	ReplayBatch int
+
+	// BackoffCap bounds the exponential retry backoff a shard applies on
+	// redelivery (full jitter below the cap). Applies whether or not
+	// journaling is on.
+	BackoffCap time.Duration
+
+	// SchedulerRebuildDelay is how long a crashed scheduler replica takes
+	// to restart before it resumes polling (stateless rebuild: its state
+	// reconstitutes from live shards).
+	SchedulerRebuildDelay time.Duration
+	// QueueLBRebuildDelay is the same for a crashed QueueLB.
+	QueueLBRebuildDelay time.Duration
+	// SubmitterRebuildDelay is the same for a crashed submitter; only the
+	// unflushed batch window dies with the process.
+	SubmitterRebuildDelay time.Duration
+}
+
+// DefaultDurability returns a production-shaped recovery model:
+// journaling off (opt-in), a 200 ms flush lag when on, a 2-second replay
+// base plus 200 µs per record in batches of 256, a 5-minute retry
+// backoff cap, and single-digit-second rebuilds for the stateless tiers.
+func DefaultDurability() Durability {
+	return Durability{
+		JournalEnabled:        false,
+		FlushLag:              200 * time.Millisecond,
+		ReplayBase:            2 * time.Second,
+		ReplayPerEntry:        200 * time.Microsecond,
+		ReplayBatch:           256,
+		BackoffCap:            5 * time.Minute,
+		SchedulerRebuildDelay: 5 * time.Second,
+		QueueLBRebuildDelay:   2 * time.Second,
+		SubmitterRebuildDelay: time.Second,
+	}
+}
+
+// ReplayDelay returns the modeled time to replay n journal records.
+func (d Durability) ReplayDelay(n int) time.Duration {
+	return d.ReplayBase + time.Duration(n)*d.ReplayPerEntry
+}

@@ -39,19 +39,23 @@ func (p *Platform) registerInvariantProbes() {
 		return ""
 	}
 
-	// Conservation: the ledger's own closure (submitted == acked + dead +
-	// dropped + in-flight, in total and per function and region), and the
-	// ledger cross-checked against the components' independent counters —
-	// submitters count accepted and route-failed calls, shards count acks
-	// and dead-letters, and the in-flight population must equal what the
-	// queues and batches physically hold.
+	// Conservation: the ledger's own closure (submitted + resurrected ==
+	// acked + dead + dropped + lost + in-flight, in total and per function
+	// and region), and the ledger cross-checked against the components'
+	// independent counters — submitters count accepted and route-failed
+	// calls, shards count acks and dead-letters, and the in-flight
+	// population must equal what the queues and batches physically hold,
+	// including calls a crashed shard holds only in its durable journal
+	// (CrashHeld) until replay requeues them. The closure must therefore
+	// hold at every probe tick across crash/restart windows, not just in
+	// steady state.
 	p.Inv.RegisterProbe("conservation", func(now sim.Time) []string {
 		var out []string
 		t := p.Inv.Totals()
 		if gap := t.Gap(); gap != 0 {
 			out = append(out, fmt.Sprintf(
-				"ledger gap %+d (submitted=%d acked=%d dead=%d dropped=%d inflight=%d)",
-				gap, t.Submitted, t.Acked, t.DeadLettered, t.Dropped, t.InFlight))
+				"ledger gap %+d (submitted=%d resurrected=%d acked=%d dead=%d dropped=%d lost=%d inflight=%d)",
+				gap, t.Submitted, t.Resurrected, t.Acked, t.DeadLettered, t.Dropped, t.Lost, t.InFlight))
 		}
 		var submitted, dropped, acked, dead float64
 		held := 0
@@ -62,7 +66,7 @@ func (p *Platform) registerInvariantProbes() {
 			for _, sh := range reg.Shards {
 				acked += sh.Acked.Value()
 				dead += sh.DeadLetters.Value()
-				held += sh.Pending() + sh.Leased()
+				held += sh.Pending() + sh.Leased() + sh.CrashHeld()
 			}
 		}
 		if uint64(submitted) != t.Submitted {
@@ -87,16 +91,47 @@ func (p *Platform) registerInvariantProbes() {
 		}
 		p.Inv.EachFunc(func(name string, ft invariant.Tally) {
 			if gap := ft.Gap(); gap != 0 {
-				out = append(out, fmt.Sprintf("func %s gap %+d (submitted=%d acked=%d dead=%d dropped=%d inflight=%d)",
-					name, gap, ft.Submitted, ft.Acked, ft.DeadLettered, ft.Dropped, ft.InFlight))
+				out = append(out, fmt.Sprintf("func %s gap %+d (submitted=%d resurrected=%d acked=%d dead=%d dropped=%d lost=%d inflight=%d)",
+					name, gap, ft.Submitted, ft.Resurrected, ft.Acked, ft.DeadLettered, ft.Dropped, ft.Lost, ft.InFlight))
 			}
 		})
 		p.Inv.EachRegion(func(region int, rt invariant.Tally) {
 			if gap := rt.Gap(); gap != 0 {
-				out = append(out, fmt.Sprintf("region %d gap %+d (submitted=%d acked=%d dead=%d dropped=%d inflight=%d)",
-					region, gap, rt.Submitted, rt.Acked, rt.DeadLettered, rt.Dropped, rt.InFlight))
+				out = append(out, fmt.Sprintf("region %d gap %+d (submitted=%d resurrected=%d acked=%d dead=%d dropped=%d lost=%d inflight=%d)",
+					region, gap, rt.Submitted, rt.Resurrected, rt.Acked, rt.DeadLettered, rt.Dropped, rt.Lost, rt.InFlight))
 			}
 		})
+		return out
+	})
+
+	// Acked durability — "no acked call is ever lost". Two halves enforce
+	// it: (a) the ledger's lost-settled violation fires the instant any
+	// component destroys a call that already reached a terminal state
+	// (fired from OnLost, not here); (b) this probe proves every ledger
+	// loss is attributable to a component crash — the lost population
+	// must exactly equal what the shards and submitters report destroying,
+	// so no call can quietly vanish without a crash to blame, and every
+	// resurrection is matched by journal replay activity.
+	p.Inv.RegisterProbe("acked-durability", func(now sim.Time) []string {
+		var out []string
+		t := p.Inv.Totals()
+		var lost, replayed float64
+		for _, reg := range p.regions {
+			lost += reg.Normal.LostOnCrash.Value() + reg.Spiky.LostOnCrash.Value()
+			for _, sh := range reg.Shards {
+				lost += sh.LostOnCrash.Value()
+				replayed += sh.Replayed.Value()
+			}
+		}
+		if uint64(lost) != t.Lost {
+			out = append(out, fmt.Sprintf(
+				"components report %.0f crash losses, ledger has %d lost", lost, t.Lost))
+		}
+		if t.Resurrected > 0 && replayed == 0 {
+			out = append(out, fmt.Sprintf(
+				"ledger resurrected %d calls with no journal replay to account for them",
+				t.Resurrected))
+		}
 		return out
 	})
 

@@ -99,6 +99,10 @@ type Config struct {
 	// HeartbeatInterval disables detection (unit-test rigs), in which
 	// case the LB's detected view degenerates to direct observation.
 	Chaos config.Chaos
+	// Durability is the crash-recovery model: DurableQ journaling (off by
+	// default), replay pacing, retry-backoff cap, and the stateless
+	// tiers' restart delays.
+	Durability config.Durability
 	// Trace configures per-call tracing (disabled by default: the
 	// recorder still exists and collects control-plane events, but no
 	// call is sampled and the hot path pays one boolean load).
@@ -144,6 +148,7 @@ func DefaultConfig() Config {
 		MetricsInterval:     30 * time.Second,
 		PrewarmJIT:          true,
 		Chaos:               config.DefaultChaos(),
+		Durability:          config.DefaultDurability(),
 		Trace:               trace.DefaultParams(),
 		Invariants:          invariant.DefaultParams(),
 	}
@@ -332,12 +337,23 @@ func New(cfg Config, registry *function.Registry) *Platform {
 		}
 	}
 
-	// Shards first: schedulers need the global view.
+	// Shards first: schedulers need the global view. Their backoff-jitter
+	// sources derive from an independent root (not src) so adding draws
+	// here leaves every other component's stream — and therefore all
+	// seed-keyed results — untouched.
+	shardSrc := rng.New(cfg.Seed ^ 0x9e3779b97f4a7c15)
 	allShards := make([][]*durableq.Shard, p.Topo.NumRegions())
 	for i, r := range p.Topo.Regions() {
 		for k := 0; k < r.DurableQShards; k++ {
-			sh := durableq.NewShard(durableq.ShardID{Region: r.ID, Index: k}, engine)
+			sh := durableq.NewShard(durableq.ShardID{Region: r.ID, Index: k}, engine, shardSrc.Split())
 			sh.LeaseTimeout = cfg.LeaseTimeout
+			sh.BackoffCap = cfg.Durability.BackoffCap
+			sh.ReplayBase = cfg.Durability.ReplayBase
+			sh.ReplayPerEntry = cfg.Durability.ReplayPerEntry
+			sh.ReplayBatch = cfg.Durability.ReplayBatch
+			if cfg.Durability.JournalEnabled {
+				sh.EnableJournal(cfg.Durability.FlushLag)
+			}
 			sh.Trace = p.Tracer
 			sh.Inv = p.Inv
 			allShards[i] = append(allShards[i], sh)
@@ -431,6 +447,10 @@ func (p *Platform) Regions() []*Region { return p.regions }
 
 // Region returns one region's components.
 func (p *Platform) Region(id cluster.RegionID) *Region { return p.regions[id] }
+
+// Durability exposes the platform's crash-recovery configuration (chaos
+// injectors read rebuild delays from it).
+func (p *Platform) Durability() config.Durability { return p.cfg.Durability }
 
 // Submit enters one call into the platform through the submitter tier of
 // the given region, selecting the spiky pool for negotiated spiky

@@ -8,11 +8,14 @@ package durableq
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"xfaas/internal/cluster"
 	"xfaas/internal/function"
 	"xfaas/internal/invariant"
+	"xfaas/internal/journal"
+	"xfaas/internal/rng"
 	"xfaas/internal/sim"
 	"xfaas/internal/stats"
 	"xfaas/internal/trace"
@@ -41,9 +44,21 @@ type lease struct {
 type Shard struct {
 	ID     ShardID
 	engine *sim.Engine
+	// src seeds the retry-backoff jitter; nil disables jitter (retries
+	// use the fixed per-function backoff, mainly unit-test rigs).
+	src *rng.Source
 	// LeaseTimeout bounds how long a scheduler may hold a call without
 	// ACK/NACK before it is redelivered.
 	LeaseTimeout time.Duration
+	// BackoffCap bounds the exponential retry backoff (full jitter under
+	// the cap; see backoff).
+	BackoffCap time.Duration
+	// ReplayBase, ReplayPerEntry and ReplayBatch shape crash recovery:
+	// a restarting shard pays ReplayBase, then replays its journal in
+	// ReplayBatch-record steps costing ReplayPerEntry each.
+	ReplayBase     time.Duration
+	ReplayPerEntry time.Duration
+	ReplayBatch    int
 
 	queues    map[string]*callHeap
 	funcNames []string // sorted; parallel index for deterministic polling
@@ -55,6 +70,27 @@ type Shard struct {
 	// enqueue, poll, ack, nack, renew — succeeds until it returns.
 	down bool
 
+	// jrn is the shard's write-ahead log (nil = journaling off, the
+	// default: the shard is pure in-memory and a crash loses everything).
+	jrn *journal.Log
+	// crashed marks the window between Crash and the end of Restart's
+	// replay; the shard is down throughout.
+	crashed     bool
+	replayer    *journal.Replayer
+	replayLast  map[uint64]journal.Entry // last durable record per call
+	replayTimer sim.Timer
+	// crashHeld counts calls that survive in the durable journal but are
+	// not yet requeued — physically nowhere, still owed to the
+	// conservation closure (see CrashHeld).
+	crashHeld int
+	// recovered tracks replay-requeued calls still waiting in a queue; a
+	// late Ack from a pre-crash execution settles them by tombstoning
+	// the queued duplicate instead of letting it run again.
+	recovered map[uint64]*function.Call
+	// tombstones marks queued entries to discard lazily at poll time
+	// (heaps do not support removal).
+	tombstones map[uint64]bool
+
 	// Metrics.
 	Enqueued    stats.Counter
 	Acked       stats.Counter
@@ -62,7 +98,15 @@ type Shard struct {
 	Redelivered stats.Counter
 	DeadLetters stats.Counter
 	Expired     stats.Counter
-	pending     int
+	// Crashes counts Crash invocations; LostOnCrash counts calls
+	// destroyed by them (torn journal tail, or everything when
+	// unjournaled); Replayed counts calls requeued by journal replay;
+	// DupSuppressed counts queued duplicates settled by a late ack.
+	Crashes       stats.Counter
+	LostOnCrash   stats.Counter
+	Replayed      stats.Counter
+	DupSuppressed stats.Counter
+	pending       int
 
 	// Trace, when set, records queue lifecycle events for sampled calls.
 	Trace *trace.Recorder
@@ -71,23 +115,45 @@ type Shard struct {
 	Inv *invariant.Checker
 }
 
-// NewShard returns an empty shard with a 5-minute lease timeout.
-func NewShard(id ShardID, engine *sim.Engine) *Shard {
+// NewShard returns an empty shard with a 5-minute lease timeout. src
+// seeds retry-backoff jitter and may be nil (fixed backoff).
+func NewShard(id ShardID, engine *sim.Engine, src *rng.Source) *Shard {
 	return &Shard{
-		ID:           id,
-		engine:       engine,
-		LeaseTimeout: 5 * time.Minute,
-		queues:       make(map[string]*callHeap),
-		leases:       make(map[uint64]*lease),
+		ID:             id,
+		engine:         engine,
+		src:            src,
+		LeaseTimeout:   5 * time.Minute,
+		BackoffCap:     5 * time.Minute,
+		ReplayBase:     2 * time.Second,
+		ReplayPerEntry: 200 * time.Microsecond,
+		ReplayBatch:    256,
+		queues:         make(map[string]*callHeap),
+		leases:         make(map[uint64]*lease),
 	}
 }
+
+// EnableJournal attaches a write-ahead log with the given sync-horizon
+// lag, making the shard crash-recoverable: Crash loses only the
+// unflushed tail, Restart replays the durable prefix.
+func (s *Shard) EnableJournal(flushLag time.Duration) {
+	s.jrn = journal.New(s.engine, flushLag)
+}
+
+// Journal exposes the shard's log (nil when journaling is off).
+func (s *Shard) Journal() *journal.Log { return s.jrn }
 
 // SetDown marks the shard unavailable (true) or available again (false).
 // Durable state — queued calls and leases — survives the window; lease
 // timers keep running, so a lease can expire during the outage and the
 // call redelivers once the shard returns (at-least-once, possibly
-// duplicating work whose Ack was lost to the outage).
-func (s *Shard) SetDown(down bool) { s.down = down }
+// duplicating work whose Ack was lost to the outage). A crashed shard
+// cannot be brought back this way: only Restart's replay returns it.
+func (s *Shard) SetDown(down bool) {
+	if !down && s.crashed {
+		return
+	}
+	s.down = down
+}
 
 // IsDown reports whether the shard is in an unavailability window.
 func (s *Shard) IsDown() bool { return s.down }
@@ -101,6 +167,20 @@ func (s *Shard) Enqueue(c *function.Call) bool {
 	}
 	c.State = function.StateQueued
 	c.QueuedAt = s.engine.Now()
+	s.requeue(c, c.StartAfter)
+	s.Enqueued.Inc()
+	if s.jrn != nil {
+		s.jrn.Append(journal.OpEnqueue, c, c.StartAfter)
+	}
+	s.Trace.Record(c, trace.KindEnqueue, trace.Ref(s.ID.Region, s.ID.Index))
+	s.Inv.OnEnqueue(c)
+	return true
+}
+
+// requeue places a call into its per-function heap, creating the heap on
+// first sight of the function. Shared by Enqueue, retry redelivery, and
+// crash replay.
+func (s *Shard) requeue(c *function.Call, readyAt sim.Time) {
 	q, ok := s.queues[c.Spec.Name]
 	if !ok {
 		q = &callHeap{}
@@ -108,12 +188,8 @@ func (s *Shard) Enqueue(c *function.Call) bool {
 		s.funcNames = append(s.funcNames, c.Spec.Name)
 		sortStrings(s.funcNames)
 	}
-	q.push(queued{call: c, readyAt: c.StartAfter})
-	s.Enqueued.Inc()
+	q.push(queued{call: c, readyAt: readyAt})
 	s.pending++
-	s.Trace.Record(c, trace.KindEnqueue, trace.Ref(s.ID.Region, s.ID.Index))
-	s.Inv.OnEnqueue(c)
-	return true
 }
 
 // Pending returns the number of calls stored and not currently leased.
@@ -161,6 +237,13 @@ func (s *Shard) PollInto(dst []*function.Call, max int, filter func(*function.Ca
 		q := s.queues[name]
 		for q.Len() > 0 && taken < max {
 			top := (*q)[0]
+			if len(s.tombstones) > 0 && s.tombstones[top.call.ID] {
+				// Duplicate settled by a late ack after crash replay;
+				// discard lazily (pending was decremented at suppression).
+				delete(s.tombstones, top.call.ID)
+				q.pop()
+				continue
+			}
 			if top.readyAt > now {
 				break
 			}
@@ -180,6 +263,14 @@ func (s *Shard) PollInto(dst []*function.Call, max int, filter func(*function.Ca
 func (s *Shard) offer(c *function.Call) *function.Call {
 	c.State = function.StateLeased
 	c.Attempt++
+	if len(s.recovered) > 0 {
+		// Once a replayed call is re-delivered, a late pre-crash ack can
+		// no longer suppress it — the duplicate execution is in flight.
+		delete(s.recovered, c.ID)
+	}
+	if s.jrn != nil {
+		s.jrn.Append(journal.OpLease, c, 0)
+	}
 	s.Trace.Record(c, trace.KindLease, int64(c.Attempt))
 	s.Inv.OnLease(c)
 	l := s.getLease()
@@ -244,19 +335,54 @@ func (s *Shard) Renew(id uint64) bool {
 }
 
 // Ack confirms successful execution; the call is permanently removed. It
-// reports whether the lease was still held.
+// reports whether the lease was still held. After a crash replay, an ack
+// for an execution that started before the crash finds no lease but a
+// replay-requeued duplicate — the duplicate is settled in place instead
+// of being allowed to run again (duplicate suppression).
 func (s *Shard) Ack(id uint64) bool {
-	l, ok := s.leases[id]
-	if s.down || !ok {
+	if s.down {
 		return false
+	}
+	l, ok := s.leases[id]
+	if !ok {
+		return s.suppressDuplicate(id)
 	}
 	l.timer.Stop()
 	delete(s.leases, id)
-	l.call.State = function.StateSucceeded
-	s.Trace.Record(l.call, trace.KindAck, 0)
-	s.Inv.OnAck(l.call)
+	c := l.call
+	c.State = function.StateSucceeded
+	if s.jrn != nil {
+		s.jrn.Append(journal.OpAck, c, 0)
+	}
+	s.Trace.Record(c, trace.KindAck, 0)
+	s.Inv.OnAck(c)
 	s.putLease(l)
 	s.Acked.Inc()
+	return true
+}
+
+// suppressDuplicate settles a replay-requeued call when its pre-crash
+// execution acks late: the queued duplicate is tombstoned (discarded at
+// poll time) and the call counts as acked, not re-executed.
+func (s *Shard) suppressDuplicate(id uint64) bool {
+	c, ok := s.recovered[id]
+	if !ok {
+		return false
+	}
+	delete(s.recovered, id)
+	if s.tombstones == nil {
+		s.tombstones = make(map[uint64]bool)
+	}
+	s.tombstones[id] = true
+	s.pending--
+	c.State = function.StateSucceeded
+	if s.jrn != nil {
+		s.jrn.Append(journal.OpAck, c, 0)
+	}
+	s.DupSuppressed.Inc()
+	s.Acked.Inc()
+	s.Trace.Record(c, trace.KindAck, 1)
+	s.Inv.OnAck(c)
 	return true
 }
 
@@ -278,21 +404,226 @@ func (s *Shard) Nack(id uint64) bool {
 	return true
 }
 
-func (s *Shard) retryOrDrop(c *function.Call, backoff time.Duration) {
+func (s *Shard) retryOrDrop(c *function.Call, base time.Duration) {
 	if c.Attempt >= c.Spec.Retry.MaxAttempts {
 		c.State = function.StateFailed
 		s.DeadLetters.Inc()
+		if s.jrn != nil {
+			s.jrn.Append(journal.OpDeadLetter, c, 0)
+		}
 		s.Trace.Record(c, trace.KindDeadLetter, int64(c.Attempt))
 		s.Inv.OnDeadLetter(c)
 		return
 	}
+	backoff := s.backoff(c, base)
 	s.Redelivered.Inc()
 	c.State = function.StateQueued
+	readyAt := s.engine.Now() + backoff
+	if s.jrn != nil {
+		s.jrn.Append(journal.OpRetry, c, readyAt)
+	}
 	s.Trace.Record(c, trace.KindRetry, int64(backoff))
 	s.Inv.OnRetry(c)
-	q := s.queues[c.Spec.Name]
-	q.push(queued{call: c, readyAt: s.engine.Now() + backoff})
-	s.pending++
+	s.requeue(c, readyAt)
+}
+
+// backoff turns the function's base retry delay into the actual
+// redelivery delay: exponential in the attempt number, capped at
+// BackoffCap, with full jitter — a uniform draw over [0, window) — so
+// correlated failures (a shard outage expiring thousands of leases at
+// once) do not redeliver as one synchronized thundering herd. With a nil
+// rng source the base delay passes through unchanged (deterministic
+// fixed-timing unit rigs).
+func (s *Shard) backoff(c *function.Call, base time.Duration) time.Duration {
+	if base <= 0 || s.src == nil {
+		return base
+	}
+	window := base
+	for i := 1; i < c.Attempt && window < s.BackoffCap; i++ {
+		window <<= 1
+	}
+	if window > s.BackoffCap {
+		window = s.BackoffCap
+	}
+	return time.Duration(s.src.Float64() * float64(window))
+}
+
+// CrashHeld returns the number of calls that survive only in the durable
+// journal of a crashed shard: destroyed in memory, not yet requeued by
+// replay. The conservation closure counts them as held — they are owed
+// back to the platform and reappear during Restart's replay.
+func (s *Shard) CrashHeld() int { return s.crashHeld }
+
+// Recovering reports whether the shard is between Crash and the end of
+// Restart's replay.
+func (s *Shard) Recovering() bool { return s.crashed }
+
+// Crash models a process/host failure: all in-memory state — queues,
+// leases, lease timers — is destroyed instantly. With journaling on, the
+// unflushed journal tail is torn off and only calls whose every record
+// sits in that tail are truly lost; everything with a durable record is
+// recoverable by Restart. Without a journal every held call is lost. The
+// shard stays down (rejecting all requests) until Restart completes.
+func (s *Shard) Crash() {
+	s.Crashes.Inc()
+	s.down = true
+	s.crashed = true
+	s.replayTimer.Stop()
+	s.replayer = nil
+
+	// Snapshot what memory held, in deterministic order, before wiping.
+	var held []*function.Call
+	for _, name := range s.funcNames {
+		for _, it := range *s.queues[name] {
+			if len(s.tombstones) > 0 && s.tombstones[it.call.ID] {
+				continue // already settled; the heap entry is garbage
+			}
+			held = append(held, it.call)
+		}
+	}
+	leaseIDs := make([]uint64, 0, len(s.leases))
+	for id, l := range s.leases {
+		l.timer.Stop()
+		leaseIDs = append(leaseIDs, id)
+	}
+	slices.Sort(leaseIDs)
+	for _, id := range leaseIDs {
+		held = append(held, s.leases[id].call)
+	}
+
+	s.queues = make(map[string]*callHeap)
+	s.funcNames = nil
+	s.cursor = 0
+	s.leases = make(map[uint64]*lease)
+	s.freeLease = nil
+	s.pending = 0
+	s.recovered = nil
+	s.tombstones = nil
+	s.crashHeld = 0
+
+	if s.jrn == nil {
+		for _, c := range held {
+			s.lose(c)
+		}
+		s.Trace.Control("durableq.crash",
+			fmt.Sprintf("%v journal=off lost=%d", s.ID, len(held)))
+		return
+	}
+
+	torn := s.jrn.Crash()
+	s.replayLast = make(map[uint64]journal.Entry)
+	for _, e := range s.jrn.Entries() {
+		s.replayLast[e.Call.ID] = e // last durable record wins
+	}
+	for _, e := range s.replayLast {
+		if !e.Op.Terminal() {
+			s.crashHeld++
+		}
+	}
+	// A held call is lost only if the journal cannot resurrect it: no
+	// durable record, and no terminal record in the torn tail either (a
+	// torn terminal means the call settled before the crash — the client
+	// saw the ack — so it is not lost, merely unrecorded).
+	tornTerminal := make(map[uint64]bool)
+	for _, e := range torn {
+		if e.Op.Terminal() {
+			tornTerminal[e.Call.ID] = true
+		}
+	}
+	lost := 0
+	for _, c := range held {
+		if _, durable := s.replayLast[c.ID]; durable || tornTerminal[c.ID] {
+			continue
+		}
+		s.lose(c)
+		lost++
+	}
+	s.Trace.Control("durableq.crash",
+		fmt.Sprintf("%v journal=%d torn=%d lost=%d held=%d",
+			s.ID, s.jrn.Len(), len(torn), lost, s.crashHeld))
+}
+
+// lose records the destruction of a call that can never be recovered.
+func (s *Shard) lose(c *function.Call) {
+	s.LostOnCrash.Inc()
+	c.State = function.StateFailed
+	s.Trace.Record(c, trace.KindLost, 0)
+	s.Inv.OnLost(c)
+}
+
+// Restart brings a crashed shard back: after ReplayBase (process start,
+// log open) it replays the journal's durable prefix in ReplayBatch-sized
+// steps, each step costing ReplayPerEntry per record of virtual time.
+// Non-terminal calls are requeued — orphaned leases immediately, since
+// their outcome is unknown (the at-least-once redelivery) — and the
+// shard accepts requests again once the last batch lands.
+func (s *Shard) Restart() {
+	if !s.crashed {
+		s.down = false
+		return
+	}
+	if s.jrn == nil {
+		// Stateless restart: the shard returns empty after the base delay.
+		s.Trace.Control("durableq.replay-begin", fmt.Sprintf("%v entries=0", s.ID))
+		s.replayTimer = s.engine.Schedule(s.ReplayBase, func() { s.finishReplay(0) })
+		return
+	}
+	s.replayer = s.jrn.Replay()
+	s.Trace.Control("durableq.replay-begin",
+		fmt.Sprintf("%v entries=%d", s.ID, s.replayer.Total()))
+	s.replayTimer = s.engine.Schedule(s.ReplayBase, s.replayStep)
+}
+
+func (s *Shard) replayStep() {
+	batch := s.replayer.Next(s.ReplayBatch)
+	for _, e := range batch {
+		s.replayEntry(e)
+	}
+	cost := time.Duration(len(batch)) * s.ReplayPerEntry
+	if s.replayer.Remaining() > 0 {
+		s.replayTimer = s.engine.Schedule(cost, s.replayStep)
+		return
+	}
+	replayed := s.replayer.Total()
+	s.replayTimer = s.engine.Schedule(cost, func() { s.finishReplay(replayed) })
+}
+
+func (s *Shard) finishReplay(replayed int) {
+	s.down = false
+	s.crashed = false
+	s.crashHeld = 0
+	s.replayer = nil
+	s.replayLast = nil
+	s.Trace.Control("durableq.replay-end",
+		fmt.Sprintf("%v replayed=%d requeued=%d", s.ID, replayed, s.pending))
+}
+
+// replayEntry applies one durable journal record during recovery. Only a
+// call's last record matters; terminal records settle the call (nothing
+// to requeue), a Lease record means delivery was in flight with unknown
+// outcome — requeue now for immediate redelivery — and Enqueue/Retry
+// records requeue at their original ready time.
+func (s *Shard) replayEntry(e journal.Entry) {
+	last, ok := s.replayLast[e.Call.ID]
+	if !ok || last.Seq != e.Seq || e.Op.Terminal() {
+		return
+	}
+	c := e.Call
+	readyAt := e.ReadyAt
+	if e.Op == journal.OpLease {
+		readyAt = s.engine.Now()
+		s.Redelivered.Inc()
+	}
+	c.State = function.StateQueued
+	s.requeue(c, readyAt)
+	if s.recovered == nil {
+		s.recovered = make(map[uint64]*function.Call)
+	}
+	s.recovered[c.ID] = c
+	s.crashHeld--
+	s.Replayed.Inc()
+	s.Trace.Record(c, trace.KindRecovered, int64(e.Op))
+	s.Inv.OnRecoverRequeue(c)
 }
 
 // sortStrings is an insertion sort: funcNames grows one name at a time

@@ -10,7 +10,7 @@ import (
 )
 
 func newShard(e *sim.Engine) *Shard {
-	return NewShard(ShardID{Region: 0, Index: 0}, e)
+	return NewShard(ShardID{Region: 0, Index: 0}, e, nil)
 }
 
 func spec(name string, maxAttempts int) *function.Spec {

@@ -119,25 +119,34 @@ type centry struct {
 	fn      string
 }
 
-func packRef(region, worker int) int64 { return int64(region)<<32 | int64(uint32(worker)) }
+// packRef encodes a worker identity, biased by one region so that worker
+// (0,0) never collides with the zero value centry.worker uses as its
+// "no execution" sentinel.
+func packRef(region, worker int) int64 { return int64(region+1)<<32 | int64(uint32(worker)) }
 
 func refString(ref int64) string {
-	return fmt.Sprintf("w-%d-%d", ref>>32, int32(ref))
+	return fmt.Sprintf("w-%d-%d", ref>>32-1, int32(ref))
 }
 
 // Tally is a conservation snapshot: terminal outcomes plus the current
-// in-flight count. Submitted == Acked + DeadLettered + Dropped + InFlight
-// at every event boundary.
+// in-flight count. Submitted + Resurrected == Acked + DeadLettered +
+// Dropped + Lost + InFlight at every event boundary. Lost counts calls
+// destroyed by component crashes before settling (a journal's torn
+// tail, a submitter's unflushed batch); Resurrected counts settled
+// calls a journal replay legally re-delivered because their terminal
+// record was torn off (at-least-once overlap — the ack still stood).
 type Tally struct {
 	Submitted    uint64
 	Acked        uint64
 	DeadLettered uint64
 	Dropped      uint64
+	Lost         uint64
+	Resurrected  uint64
 	InFlight     int
 }
 
 type counts struct {
-	submitted, acked, dead, dropped uint64
+	submitted, acked, dead, dropped, lost, resurrected uint64
 }
 
 type probe struct {
@@ -169,6 +178,13 @@ type Checker struct {
 	lateEvents uint64
 	evals      uint64
 	note       string
+	// orphaned marks calls whose durable record diverged from a live copy
+	// a scheduler or worker may still hold: booked lost while leased or
+	// running (a crashed shard's torn tail), or replay-requeued while a
+	// pre-crash execution was still in flight. Later events on those IDs
+	// are at-least-once fallout — tolerated, never re-entered into the
+	// ledger. Bounded by the crash blast radius, not the call volume.
+	orphaned map[uint64]struct{}
 
 	probes []probe
 }
@@ -359,6 +375,13 @@ func (k *Checker) OnDispatch(c *function.Call, region, worker int) {
 	ref := packRef(region, worker)
 	e, ok := k.ledger[c.ID]
 	if !ok {
+		if _, orphan := k.orphaned[c.ID]; orphan {
+			// A scheduler dispatching its copy of a call whose durable
+			// record a crash destroyed or settled out from under it —
+			// at-least-once overlap, not a breach.
+			k.lateEvents++
+			return
+		}
 		k.violate("dispatch-unknown", c.ID, "dispatched a call the ledger never saw")
 		e = centry{region: int32(c.SourceRegion), fn: c.Spec.Name}
 	}
@@ -509,6 +532,86 @@ func (k *Checker) OnDeadLetter(c *function.Call) {
 	k.terminal(c.ID, e, func(t *counts) { t.dead++ })
 }
 
+// OnLost records a call destroyed by a component crash before settling —
+// a submitter's unflushed batch dying with the process, or the torn tail
+// of a shard's journal. A crash can catch a call in any live state, so
+// any non-terminal entry settles to the lost terminal without complaint.
+// An OnLost with no ledger entry is the durability breach this engine
+// exists to catch: every terminal call (acked, dead-lettered, dropped)
+// has left the ledger, so "lost an unknown call" means a component
+// destroyed work it had already settled — e.g. an acked call.
+func (k *Checker) OnLost(c *function.Call) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e, ok := k.ledger[c.ID]
+	if !ok {
+		k.violate("lost-settled", c.ID,
+			"component lost a call the ledger already settled (func %s)", c.Spec.Name)
+		return
+	}
+	switch e.state {
+	case stLeased, stRunning, stCompleted, stSettling:
+		// A live copy may outlive the durable record (a scheduler buffer,
+		// an execution already on a worker). Its later dispatch or
+		// completion is orphaned at-least-once fallout, not a breach.
+		k.markOrphaned(c.ID)
+	}
+	k.terminal(c.ID, e, func(t *counts) { t.lost++ })
+}
+
+// markOrphaned remembers an ID whose live copy may outlast its durable
+// record. Callers hold k.mu.
+func (k *Checker) markOrphaned(id uint64) {
+	if k.orphaned == nil {
+		k.orphaned = make(map[uint64]struct{})
+	}
+	k.orphaned[id] = struct{}{}
+}
+
+// OnRecoverRequeue records journal replay re-enqueueing a call after a
+// shard crash. The crash orphaned whatever state the call was in —
+// queued, leased, even running on a worker that never heard about the
+// crash — so any live state legally returns to queued; the worker ref
+// resets so the orphaned execution's eventual completion reads as
+// at-least-once overlap (a late event), not a breach. A requeue with no
+// ledger entry is a resurrection: the call settled but its terminal
+// record was in the journal's torn tail, so replay re-delivers it. The
+// ack that already reached the client still stands — this is legal
+// at-least-once duplication, booked under Resurrected so conservation
+// stays closed.
+func (k *Checker) OnRecoverRequeue(c *function.Call) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e, ok := k.ledger[c.ID]
+	if !ok {
+		e = centry{state: stQueued, region: int32(c.SourceRegion), fn: c.Spec.Name}
+		k.ledger[c.ID] = e
+		k.total.resurrected++
+		k.fcounts(e.fn).resurrected++
+		if int(e.region) < len(k.byRegion) {
+			k.byRegion[e.region].resurrected++
+		}
+		k.lateEvents++
+		return
+	}
+	switch e.state {
+	case stLeased, stRunning, stCompleted, stSettling:
+		// A pre-crash scheduler or worker still holds this call; its late
+		// completion can settle the replayed copy out from under the
+		// redelivery pipeline.
+		k.markOrphaned(c.ID)
+	}
+	e.state = stQueued
+	e.worker = 0
+	k.ledger[c.ID] = e
+}
+
 // evaluate runs every registered probe. Probes run outside the lock so
 // they can read the checker's accessors and the platform's components.
 func (k *Checker) evaluate(now sim.Time) {
@@ -589,6 +692,8 @@ func (k *Checker) Totals() Tally {
 		Acked:        k.total.acked,
 		DeadLettered: k.total.dead,
 		Dropped:      k.total.dropped,
+		Lost:         k.total.lost,
+		Resurrected:  k.total.resurrected,
 		InFlight:     len(k.ledger),
 	}
 }
@@ -617,6 +722,8 @@ func (k *Checker) EachFunc(fn func(name string, t Tally)) {
 			Acked:        c.acked,
 			DeadLettered: c.dead,
 			Dropped:      c.dropped,
+			Lost:         c.lost,
+			Resurrected:  c.resurrected,
 			InFlight:     inflight[name],
 		}
 	}
@@ -646,6 +753,8 @@ func (k *Checker) EachRegion(fn func(region int, t Tally)) {
 			Acked:        c.acked,
 			DeadLettered: c.dead,
 			Dropped:      c.dropped,
+			Lost:         c.lost,
+			Resurrected:  c.resurrected,
 			InFlight:     inflight[i],
 		}
 	}
@@ -656,8 +765,11 @@ func (k *Checker) EachRegion(fn func(region int, t Tally)) {
 }
 
 // Gap returns the conservation imbalance of a tally: zero when
-// submitted == acked + dead-lettered + dropped + in-flight.
+// submitted + resurrected == acked + dead-lettered + dropped + lost +
+// in-flight. The closure holds across crashes and restarts: a crash
+// moves calls to Lost (never silently off the books), and a torn-ack
+// replay adds a Resurrected source to balance the call's second life.
 func (t Tally) Gap() int64 {
-	return int64(t.Submitted) - int64(t.Acked) - int64(t.DeadLettered) -
-		int64(t.Dropped) - int64(t.InFlight)
+	return int64(t.Submitted) + int64(t.Resurrected) - int64(t.Acked) -
+		int64(t.DeadLettered) - int64(t.Dropped) - int64(t.Lost) - int64(t.InFlight)
 }

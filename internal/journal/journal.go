@@ -1,0 +1,262 @@
+// Package journal is a write-ahead log on the simulated clock, the
+// durability substrate under durableq (paper §4.3: DurableQ "stores
+// calls durably" — a shard process can die and hand its successor the
+// log). A Log is an ordered sequence of per-call records; records become
+// durable when the sync horizon passes them. With a zero flush lag every
+// append is synchronously durable; with a positive lag the horizon
+// advances on a periodic flush tick, so a crash loses the unflushed tail
+// — deterministic torn-tail truncation, the window the recovery
+// experiments measure lost calls against.
+//
+// The log itself is storage-shaped but policy-free: it does not know
+// what the records mean. The owner (a DurableQ shard) appends records at
+// its state transitions, calls Crash to truncate to the durable prefix,
+// and drives a bounded Replayer over the survivors to rebuild state.
+package journal
+
+import (
+	"time"
+
+	"xfaas/internal/function"
+	"xfaas/internal/sim"
+)
+
+// Op is the record type of one journal entry. Only state a successor
+// needs is logged: enqueue, lease (delivery in progress — uncertain
+// outcome after a crash), retry (requeued with a backoff horizon), and
+// the two terminal settlements. Renewals are deliberately not logged: a
+// crash orphans every outstanding lease regardless of its remaining
+// time, so replay treats any leased call as redeliverable immediately.
+type Op uint8
+
+const (
+	// OpEnqueue: the call was durably accepted.
+	OpEnqueue Op = iota
+	// OpLease: the call was offered to a scheduler.
+	OpLease
+	// OpRetry: the call was requeued (nack or lease expiry) with a
+	// ready-at horizon.
+	OpRetry
+	// OpAck: terminal success.
+	OpAck
+	// OpDeadLetter: terminal failure.
+	OpDeadLetter
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpEnqueue:
+		return "enqueue"
+	case OpLease:
+		return "lease"
+	case OpRetry:
+		return "retry"
+	case OpAck:
+		return "ack"
+	case OpDeadLetter:
+		return "dead-letter"
+	}
+	return "?"
+}
+
+// Terminal reports whether the op settles its call: a durable terminal
+// record means the call needs no recovery action.
+func (o Op) Terminal() bool { return o == OpAck || o == OpDeadLetter }
+
+// Entry is one journal record.
+type Entry struct {
+	// Seq is the record's position in the log, strictly increasing and
+	// never reused (compaction removes entries but does not renumber).
+	Seq uint64
+	// At is the virtual time the record was appended.
+	At sim.Time
+	// Op is the record type.
+	Op Op
+	// Call is the journaled call. The simulation shares the live object
+	// rather than serializing a copy; replay requeues it as-is.
+	Call *function.Call
+	// ReadyAt is the delivery horizon for OpEnqueue/OpRetry records
+	// (when the call becomes eligible again).
+	ReadyAt sim.Time
+}
+
+// Log is one component's write-ahead log.
+type Log struct {
+	engine   *sim.Engine
+	flushLag time.Duration
+	flusher  *sim.Ticker
+
+	entries []Entry
+	seq     uint64
+	// synced is the durable prefix length: entries[:synced] survive a
+	// crash, entries[synced:] are the torn tail.
+	synced int
+	// compactAt bounds retained entries: once the log exceeds it after a
+	// flush, records of durably-settled calls are dropped.
+	compactAt int
+
+	appends uint64
+	flushes uint64
+}
+
+// New returns an empty log. flushLag is the sync-horizon lag: 0 makes
+// every append synchronously durable; a positive lag advances the
+// horizon on a periodic tick, leaving an unflushed window a crash can
+// tear off.
+func New(engine *sim.Engine, flushLag time.Duration) *Log {
+	l := &Log{engine: engine, compactAt: 16384}
+	l.SetFlushLag(flushLag)
+	return l
+}
+
+// SetFlushLag changes the sync-horizon lag at the current virtual time
+// (chaos injection: a degraded journal device). Lowering it to zero
+// syncs immediately; raising it leaves already-durable entries durable.
+func (l *Log) SetFlushLag(lag time.Duration) {
+	if l.flusher != nil {
+		l.flusher.Stop()
+		l.flusher = nil
+	}
+	l.flushLag = lag
+	if lag <= 0 {
+		l.Sync()
+		return
+	}
+	l.flusher = l.engine.Every(lag, l.flush)
+}
+
+// FlushLag returns the current sync-horizon lag.
+func (l *Log) FlushLag() time.Duration { return l.flushLag }
+
+// Append adds one record and returns its sequence number. With a zero
+// flush lag the record is durable immediately; otherwise it sits in the
+// torn-tail window until the next flush tick.
+func (l *Log) Append(op Op, c *function.Call, readyAt sim.Time) uint64 {
+	l.seq++
+	l.entries = append(l.entries, Entry{
+		Seq:     l.seq,
+		At:      l.engine.Now(),
+		Op:      op,
+		Call:    c,
+		ReadyAt: readyAt,
+	})
+	l.appends++
+	if l.flushLag <= 0 {
+		l.synced = len(l.entries)
+	}
+	return l.seq
+}
+
+func (l *Log) flush() {
+	l.synced = len(l.entries)
+	l.flushes++
+	if len(l.entries) > l.compactAt {
+		l.compact()
+	}
+}
+
+// Sync forces the horizon to the end of the log (graceful shutdown).
+func (l *Log) Sync() {
+	l.synced = len(l.entries)
+	l.flushes++
+}
+
+// compact drops every record of calls whose terminal record is durable:
+// nothing in the log can resurrect them, so their history is dead
+// weight. Only the durable prefix is scanned — a call with an unsynced
+// terminal must keep its records, because a crash would tear the
+// terminal off and replay from what remains.
+func (l *Log) compact() {
+	settled := make(map[uint64]bool)
+	for _, e := range l.entries[:l.synced] {
+		if e.Op.Terminal() {
+			settled[e.Call.ID] = true
+		}
+	}
+	if len(settled) == 0 {
+		return
+	}
+	kept := l.entries[:0]
+	newSynced := 0
+	for i, e := range l.entries {
+		if settled[e.Call.ID] {
+			continue
+		}
+		kept = append(kept, e)
+		if i < l.synced {
+			newSynced = len(kept)
+		}
+	}
+	// Zero the freed tail so dropped calls are collectable.
+	for i := len(kept); i < len(l.entries); i++ {
+		l.entries[i] = Entry{}
+	}
+	l.entries = kept
+	l.synced = newSynced
+}
+
+// Crash truncates the log to its durable prefix and returns the torn
+// tail (most-recent last) for the owner to classify: calls whose only
+// records were torn are lost; calls with durable records merely lose
+// progress. The flush process stops; Restart (via SetFlushLag on a new
+// incarnation or reuse of this one) resumes it.
+func (l *Log) Crash() []Entry {
+	torn := append([]Entry(nil), l.entries[l.synced:]...)
+	for i := l.synced; i < len(l.entries); i++ {
+		l.entries[i] = Entry{}
+	}
+	l.entries = l.entries[:l.synced]
+	return torn
+}
+
+// Len returns the number of retained records.
+func (l *Log) Len() int { return len(l.entries) }
+
+// Synced returns the durable prefix length.
+func (l *Log) Synced() int { return l.synced }
+
+// Unsynced returns the torn-tail window size — records a crash right now
+// would lose.
+func (l *Log) Unsynced() int { return len(l.entries) - l.synced }
+
+// Appends returns the lifetime append count.
+func (l *Log) Appends() uint64 { return l.appends }
+
+// Entries exposes the retained records (crash-time classification).
+func (l *Log) Entries() []Entry { return l.entries }
+
+// Replay returns a bounded iterator over the durable prefix as it exists
+// now. The iterator holds its own snapshot: appends, flushes and
+// compactions after Replay is called do not disturb it — recovery
+// replays the log as of the crash, not a moving target.
+func (l *Log) Replay() *Replayer {
+	return &Replayer{entries: append([]Entry(nil), l.entries[:l.synced]...)}
+}
+
+// Replayer iterates a durable-prefix snapshot in append order, in
+// caller-sized batches, so a recovering owner can spread replay work
+// over virtual time instead of rebuilding in one instant.
+type Replayer struct {
+	entries []Entry
+	pos     int
+}
+
+// Next returns up to max entries (nil when exhausted).
+func (r *Replayer) Next(max int) []Entry {
+	if r.pos >= len(r.entries) || max <= 0 {
+		return nil
+	}
+	n := len(r.entries) - r.pos
+	if n > max {
+		n = max
+	}
+	batch := r.entries[r.pos : r.pos+n]
+	r.pos += n
+	return batch
+}
+
+// Remaining returns how many entries are left to visit.
+func (r *Replayer) Remaining() int { return len(r.entries) - r.pos }
+
+// Total returns the iterator's full span (for replay-delay sizing).
+func (r *Replayer) Total() int { return len(r.entries) }

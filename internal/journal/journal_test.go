@@ -1,0 +1,208 @@
+package journal
+
+import (
+	"testing"
+	"time"
+
+	"xfaas/internal/function"
+	"xfaas/internal/sim"
+)
+
+func call(id uint64) *function.Call {
+	return &function.Call{ID: id, Spec: &function.Spec{Name: "f"}}
+}
+
+func TestSynchronousDurability(t *testing.T) {
+	e := sim.NewEngine()
+	l := New(e, 0)
+	l.Append(OpEnqueue, call(1), 0)
+	l.Append(OpLease, call(1), 0)
+	if l.Synced() != 2 || l.Unsynced() != 0 {
+		t.Fatalf("zero flush lag must sync every append: synced=%d unsynced=%d", l.Synced(), l.Unsynced())
+	}
+	if torn := l.Crash(); len(torn) != 0 {
+		t.Fatalf("synchronous log lost %d entries on crash", len(torn))
+	}
+	if l.Len() != 2 {
+		t.Fatalf("durable prefix truncated: len=%d", l.Len())
+	}
+}
+
+func TestFlushLagTornTail(t *testing.T) {
+	e := sim.NewEngine()
+	l := New(e, 100*time.Millisecond)
+	l.Append(OpEnqueue, call(1), 0)
+	e.RunFor(150 * time.Millisecond) // one flush tick passes
+	l.Append(OpEnqueue, call(2), 0)
+	l.Append(OpEnqueue, call(3), 0)
+	if l.Synced() != 1 {
+		t.Fatalf("synced=%d, want 1 (only the pre-flush entry)", l.Synced())
+	}
+	torn := l.Crash()
+	if len(torn) != 2 || torn[0].Call.ID != 2 || torn[1].Call.ID != 3 {
+		t.Fatalf("torn tail = %v, want entries for calls 2,3", torn)
+	}
+	if l.Len() != 1 || l.Entries()[0].Call.ID != 1 {
+		t.Fatalf("durable prefix wrong after crash: %v", l.Entries())
+	}
+}
+
+func TestSeqStrictlyIncreasing(t *testing.T) {
+	e := sim.NewEngine()
+	l := New(e, 0)
+	var last uint64
+	for i := 1; i <= 10; i++ {
+		s := l.Append(OpEnqueue, call(uint64(i)), 0)
+		if s <= last {
+			t.Fatalf("seq %d not > %d", s, last)
+		}
+		last = s
+	}
+}
+
+func TestReplayerBoundedBatches(t *testing.T) {
+	e := sim.NewEngine()
+	l := New(e, 0)
+	for i := 1; i <= 10; i++ {
+		l.Append(OpEnqueue, call(uint64(i)), 0)
+	}
+	r := l.Replay()
+	if r.Total() != 10 {
+		t.Fatalf("Total=%d, want 10", r.Total())
+	}
+	var seen []uint64
+	for {
+		batch := r.Next(3)
+		if batch == nil {
+			break
+		}
+		if len(batch) > 3 {
+			t.Fatalf("batch of %d exceeds bound 3", len(batch))
+		}
+		for _, en := range batch {
+			seen = append(seen, en.Call.ID)
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("replayed %d entries, want 10", len(seen))
+	}
+	for i, id := range seen {
+		if id != uint64(i+1) {
+			t.Fatalf("replay out of order at %d: %d", i, id)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining=%d after exhaustion", r.Remaining())
+	}
+}
+
+func TestReplayerExcludesUnsynced(t *testing.T) {
+	e := sim.NewEngine()
+	l := New(e, time.Second)
+	l.Append(OpEnqueue, call(1), 0)
+	e.RunFor(time.Second + time.Millisecond)
+	l.Append(OpEnqueue, call(2), 0) // unsynced
+	r := l.Replay()
+	if r.Total() != 1 {
+		t.Fatalf("replayer covers %d entries, want only the durable 1", r.Total())
+	}
+}
+
+func TestReplayerSurvivesCompaction(t *testing.T) {
+	e := sim.NewEngine()
+	l := New(e, 0)
+	l.compactAt = 4
+	for i := 1; i <= 3; i++ {
+		l.Append(OpEnqueue, call(uint64(i)), 0)
+	}
+	r := l.Replay()
+	// Settle call 1 and force a compaction behind the replayer's back.
+	l.Append(OpAck, call(1), 0)
+	l.Append(OpEnqueue, call(4), 0)
+	l.flush()
+	var ids []uint64
+	for {
+		b := r.Next(8)
+		if b == nil {
+			break
+		}
+		for _, en := range b {
+			ids = append(ids, en.Call.ID)
+		}
+	}
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Fatalf("snapshot iterator disturbed by compaction: %v", ids)
+	}
+}
+
+func TestCompactDropsSettledCalls(t *testing.T) {
+	e := sim.NewEngine()
+	l := New(e, 0)
+	l.Append(OpEnqueue, call(1), 0)
+	l.Append(OpLease, call(1), 0)
+	l.Append(OpAck, call(1), 0)
+	l.Append(OpEnqueue, call(2), 0)
+	l.compact()
+	if l.Len() != 1 || l.Entries()[0].Call.ID != 2 {
+		t.Fatalf("compaction kept %d entries: %v", l.Len(), l.Entries())
+	}
+	if l.Synced() != 1 {
+		t.Fatalf("synced=%d after compaction, want 1", l.Synced())
+	}
+	// Seq continues, never renumbered.
+	if s := l.Append(OpLease, call(2), 0); s != 5 {
+		t.Fatalf("seq after compaction = %d, want 5", s)
+	}
+}
+
+func TestCompactKeepsUnsyncedTerminal(t *testing.T) {
+	e := sim.NewEngine()
+	l := New(e, time.Second)
+	l.Append(OpEnqueue, call(1), 0)
+	e.RunFor(time.Second + time.Millisecond) // call 1's enqueue is durable
+	l.Append(OpAck, call(1), 0)              // terminal sits in the torn window
+	l.compact()
+	if l.Len() != 2 {
+		t.Fatalf("compaction dropped records of a call whose terminal is not durable: len=%d", l.Len())
+	}
+	torn := l.Crash()
+	if len(torn) != 1 || torn[0].Op != OpAck {
+		t.Fatalf("torn tail = %v, want the unsynced ack", torn)
+	}
+	// The durable prefix still resurrects the call.
+	if l.Len() != 1 || l.Entries()[0].Op != OpEnqueue {
+		t.Fatalf("prefix after crash = %v", l.Entries())
+	}
+}
+
+func TestSetFlushLagToZeroSyncs(t *testing.T) {
+	e := sim.NewEngine()
+	l := New(e, time.Minute)
+	l.Append(OpEnqueue, call(1), 0)
+	if l.Unsynced() != 1 {
+		t.Fatalf("unsynced=%d, want 1", l.Unsynced())
+	}
+	l.SetFlushLag(0)
+	if l.Unsynced() != 0 {
+		t.Fatalf("dropping lag to 0 must sync: unsynced=%d", l.Unsynced())
+	}
+	l.Append(OpLease, call(1), 0)
+	if l.Unsynced() != 0 {
+		t.Fatalf("appends after lag 0 must be synchronous")
+	}
+}
+
+func TestRaisingFlushLagKeepsDurable(t *testing.T) {
+	e := sim.NewEngine()
+	l := New(e, 0)
+	l.Append(OpEnqueue, call(1), 0)
+	l.SetFlushLag(time.Minute)
+	l.Append(OpEnqueue, call(2), 0)
+	if l.Synced() != 1 {
+		t.Fatalf("synced=%d; raising the lag must not undo durability", l.Synced())
+	}
+	e.RunFor(time.Minute + time.Millisecond)
+	if l.Synced() != 2 {
+		t.Fatalf("flush tick did not advance the horizon: synced=%d", l.Synced())
+	}
+}

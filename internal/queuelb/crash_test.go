@@ -1,0 +1,47 @@
+package queuelb
+
+import (
+	"testing"
+
+	"xfaas/internal/config"
+	"xfaas/internal/function"
+	"xfaas/internal/rng"
+	"xfaas/internal/sim"
+)
+
+// TestDownLBFailsEveryRoute: a crashed QueueLB process routes nothing —
+// even with every shard healthy — until it is brought back.
+func TestDownLBFailsEveryRoute(t *testing.T) {
+	e := sim.NewEngine()
+	topo := topo3()
+	shards := shardsFor(e, topo)
+	store := config.NewStore(e)
+	store.Set(PolicyKey, LocalFirstPolicy(topo, 1))
+	lb := New(0, rng.New(1), shards, store)
+
+	if lb.Route(&function.Call{ID: 1, Spec: qlbSpec()}) == nil {
+		t.Fatal("healthy LB failed to route")
+	}
+
+	lb.SetDown(true)
+	if !lb.IsDown() {
+		t.Fatal("IsDown after SetDown(true)")
+	}
+	if lb.Route(&function.Call{ID: 2, Spec: qlbSpec()}) != nil {
+		t.Fatal("down LB routed a call")
+	}
+	if lb.Unroutable.Value() != 1 {
+		t.Fatalf("unroutable = %v", lb.Unroutable.Value())
+	}
+	if lb.Crashes.Value() != 1 {
+		t.Fatalf("crashes = %v", lb.Crashes.Value())
+	}
+
+	lb.SetDown(false)
+	if lb.Route(&function.Call{ID: 3, Spec: qlbSpec()}) == nil {
+		t.Fatal("restarted LB failed to route")
+	}
+	if lb.Routed.Value() != 2 {
+		t.Fatalf("routed = %v", lb.Routed.Value())
+	}
+}

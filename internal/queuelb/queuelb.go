@@ -85,14 +85,35 @@ type LB struct {
 	shards [][]*durableq.Shard // indexed by region
 	cache  *config.Cache
 
+	// down marks the window between Crash and Restart: the routing
+	// process is gone and every Route fails, so the submitter tier drops
+	// the flush (the client sees failed submissions) until it returns.
+	down bool
+
 	Routed      stats.Counter
 	CrossRegion stats.Counter
 	// Unroutable counts submissions dropped because no shard anywhere was
-	// available (total durable-queue outage).
+	// available (total durable-queue outage) or because the LB process
+	// itself is down.
 	Unroutable stats.Counter
+	// Crashes counts Crash invocations.
+	Crashes stats.Counter
 	// Trace, when set, records routing decisions for sampled calls.
 	Trace *trace.Recorder
 }
+
+// SetDown marks the LB process crashed (true) or recovered (false); the
+// LB is stateless (its policy lives in the config store), so recovery is
+// purely a restart delay — the chaos injector schedules it.
+func (lb *LB) SetDown(down bool) {
+	if down {
+		lb.Crashes.Inc()
+	}
+	lb.down = down
+}
+
+// IsDown reports whether the LB is crashed and not yet restarted.
+func (lb *LB) IsDown() bool { return lb.down }
 
 // New returns a QueueLB for region, routing over the per-region shard
 // pools, with the routing policy subscribed from store.
@@ -140,6 +161,10 @@ func (lb *LB) pickRegion() cluster.RegionID {
 // shard. It returns nil only when every shard everywhere is down (the
 // submitter reports the submission failure to the client).
 func (lb *LB) Route(c *function.Call) *durableq.Shard {
+	if lb.down {
+		lb.Unroutable.Inc()
+		return nil
+	}
 	dst := lb.pickRegion()
 	if shard := lb.pickShard(dst); shard != nil {
 		lb.finishRoute(c, shard, dst)

@@ -25,7 +25,7 @@ func shardsFor(e *sim.Engine, topo *cluster.Topology) [][]*durableq.Shard {
 	out := make([][]*durableq.Shard, topo.NumRegions())
 	for i, r := range topo.Regions() {
 		for k := 0; k < r.DurableQShards; k++ {
-			out[i] = append(out[i], durableq.NewShard(durableq.ShardID{Region: r.ID, Index: k}, e))
+			out[i] = append(out[i], durableq.NewShard(durableq.ShardID{Region: r.ID, Index: k}, e, nil))
 		}
 	}
 	return out

@@ -9,6 +9,7 @@
 package scheduler
 
 import (
+	"fmt"
 	"slices"
 	"sort"
 	"time"
@@ -113,6 +114,11 @@ type Scheduler struct {
 	inflight         map[uint64]*worker.Worker
 	inflightByWorker map[*worker.Worker]map[uint64]*function.Call
 
+	// down marks the window between Crash and Restart: the replica's
+	// process is gone, so ticks, lease renewal and completion callbacks
+	// all no-op until the restart delay elapses.
+	down bool
+
 	// AllowPull, when set, gates polling (the region circuit breaker);
 	// while it reports false the scheduler evacuates held work instead of
 	// pulling more.
@@ -145,6 +151,7 @@ type Scheduler struct {
 	Acked             stats.Counter
 	Nacked            stats.Counter
 	Evacuated         stats.Counter
+	Crashes           stats.Counter
 	CrossRegionPulls  stats.Counter
 	SLOMisses         stats.Counter
 	SchedulingDelay   *stats.Histogram // start-time→dispatch seconds, reserved calls
@@ -250,6 +257,9 @@ func (s *Scheduler) untrack(c *function.Call) (*worker.Worker, bool) {
 // renewLeases extends the lease of every call this scheduler still holds,
 // in deterministic (sorted) order.
 func (s *Scheduler) renewLeases() {
+	if s.down {
+		return
+	}
 	ids := s.idScratch[:0]
 	for id := range s.origin {
 		ids = append(ids, id)
@@ -271,6 +281,55 @@ func (s *Scheduler) Stop() {
 	}
 }
 
+// Crash models a scheduler process failure: every in-memory structure —
+// FuncBuffers, RunQ, origin map, in-flight tracking — is destroyed. The
+// DurableQ leases those calls held are orphaned (nobody renews them) and
+// expire after LeaseTimeout, redelivering the calls to surviving
+// replicas: the statelessness claim under test. Concurrency slots held
+// for RunQ and in-flight calls are returned to the shared congestion
+// manager (its view of a dead replica times out). Executions already on
+// workers keep running; their completion callbacks hit the cleared
+// tracking maps and are ignored, exactly like a callback to a dead
+// process.
+func (s *Scheduler) Crash() {
+	s.Crashes.Inc()
+	s.down = true
+	for i := s.runHead; i < len(s.runQ); i++ {
+		if c := s.runQ[i]; c != nil {
+			s.cong.OnComplete(c.Spec)
+		}
+	}
+	for _, byW := range s.inflightByWorker {
+		for _, c := range byW {
+			s.cong.OnComplete(c.Spec)
+		}
+	}
+	s.runQ = s.runQ[:0]
+	s.runHead = 0
+	s.runLen = 0
+	s.buffers = make(map[string]*FuncBuffer)
+	s.names = s.names[:0]
+	s.stale = false
+	s.origin = make(map[uint64]*durableq.Shard)
+	s.inflight = make(map[uint64]*worker.Worker)
+	s.inflightByWorker = make(map[*worker.Worker]map[uint64]*function.Call)
+	s.Trace.Control("scheduler.crash", fmt.Sprintf("r%d", s.region))
+}
+
+// Restart brings a crashed replica back after delay (process start plus
+// state warm-up). The scheduler is stateless: it resumes by polling the
+// DurableQs, so recovery time is the restart delay plus however long
+// redelivery of its orphaned leases takes.
+func (s *Scheduler) Restart(delay time.Duration) {
+	s.engine.Schedule(delay, func() {
+		s.down = false
+		s.Trace.Control("scheduler.restart", fmt.Sprintf("r%d", s.region))
+	})
+}
+
+// IsDown reports whether the replica is crashed and not yet restarted.
+func (s *Scheduler) IsDown() bool { return s.down }
+
 // IsolationChecker exposes the flow checker for inspection.
 func (s *Scheduler) IsolationChecker() *isolation.Checker { return s.check }
 
@@ -287,6 +346,9 @@ func (s *Scheduler) Buffered() int {
 func (s *Scheduler) RunQLen() int { return s.runLen }
 
 func (s *Scheduler) tick() {
+	if s.down {
+		return
+	}
 	if s.AllowPull != nil && !s.AllowPull() {
 		// Region circuit breaker open: hand held work back to the
 		// DurableQs so other regions execute it, and stop pulling until

@@ -38,7 +38,7 @@ type rig struct {
 func newRig(workers int, workerMIPS float64) *rig {
 	r := &rig{engine: sim.NewEngine()}
 	r.store = config.NewStore(r.engine)
-	r.shard = durableq.NewShard(durableq.ShardID{}, r.engine)
+	r.shard = durableq.NewShard(durableq.ShardID{}, r.engine, nil)
 	r.shards = [][]*durableq.Shard{{r.shard}}
 	src := rng.New(7)
 	wp := worker.DefaultParams()
@@ -318,8 +318,8 @@ func TestCrossRegionPullsViaMatrix(t *testing.T) {
 	// region 1 pulls half from region 0.
 	engine := sim.NewEngine()
 	store := config.NewStore(engine)
-	shard0 := durableq.NewShard(durableq.ShardID{Region: 0}, engine)
-	shard1 := durableq.NewShard(durableq.ShardID{Region: 1}, engine)
+	shard0 := durableq.NewShard(durableq.ShardID{Region: 0}, engine, nil)
+	shard1 := durableq.NewShard(durableq.ShardID{Region: 1}, engine, nil)
 	shards := [][]*durableq.Shard{{shard0}, {shard1}}
 	src := rng.New(5)
 	wp := worker.DefaultParams()

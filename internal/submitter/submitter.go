@@ -25,6 +25,10 @@ import (
 // policy (an unnegotiated spiky client on the normal pool).
 var ErrThrottled = errors.New("submitter: client throttled")
 
+// ErrDown is returned while the submitter process is crashed and has not
+// restarted yet; the client must retry (or hit another pool member).
+var ErrDown = errors.New("submitter: down")
+
 // Pool distinguishes the two submitter sets per region.
 type Pool int
 
@@ -75,6 +79,9 @@ type Submitter struct {
 	batch   []*function.Call
 	idSeq   *uint64
 	clients map[string]*clientState
+	// down marks the window between Crash and Restart's rebuild; all
+	// submissions fail with ErrDown and the ticker's flushes no-op.
+	down bool
 
 	// Trace, when set, samples submitted calls for per-call tracing.
 	// Throttled submissions never get an ID and so cannot be traced
@@ -91,6 +98,12 @@ type Submitter struct {
 	// RouteFailed counts calls the QueueLB could not persist anywhere
 	// (total durable-queue outage); the client sees a failed submission.
 	RouteFailed stats.Counter
+	// Crashes counts Crash invocations; LostOnCrash counts accepted calls
+	// destroyed with the in-memory batch buffer — the flush window is the
+	// submitter's only state, so a crash loses at most FlushInterval (or
+	// BatchSize) worth of accepted-but-unpersisted calls.
+	Crashes     stats.Counter
+	LostOnCrash stats.Counter
 }
 
 type clientState struct {
@@ -139,6 +152,9 @@ func New(engine *sim.Engine, region cluster.RegionID, pool Pool, params Params, 
 // assigned an ID, stamped with submit time and absolute deadline, and
 // buffered for the next batched DurableQ write.
 func (s *Submitter) Submit(client string, c *function.Call) error {
+	if s.down {
+		return ErrDown
+	}
 	now := s.engine.Now()
 	if s.pool == PoolNormal && !s.clientAllowed(client, now) {
 		s.Throttled.Inc()
@@ -185,7 +201,7 @@ func (s *Submitter) clientAllowed(client string, now sim.Time) bool {
 }
 
 func (s *Submitter) flush() {
-	if len(s.batch) == 0 {
+	if s.down || len(s.batch) == 0 {
 		return
 	}
 	for _, c := range s.batch {
@@ -201,6 +217,38 @@ func (s *Submitter) flush() {
 
 // Flush forces out any buffered calls (tests and shutdown).
 func (s *Submitter) Flush() { s.flush() }
+
+// Crash models a submitter process failure: the in-memory batch buffer —
+// calls accepted from clients but not yet flushed to a DurableQ — dies
+// with the process. Those calls are terminally lost (the client got an
+// accept, the platform will never run them); everything already flushed
+// is safe in the shards. The submitter rejects submissions until Restart.
+func (s *Submitter) Crash() {
+	s.Crashes.Inc()
+	s.down = true
+	lost := len(s.batch)
+	for _, c := range s.batch {
+		s.LostOnCrash.Inc()
+		c.State = function.StateFailed
+		s.Trace.Record(c, trace.KindLost, 0)
+		s.Inv.OnLost(c)
+	}
+	s.batch = s.batch[:0]
+	s.Trace.Control("submitter.crash",
+		fmt.Sprintf("r%d pool=%d lost=%d", s.region, s.pool, lost))
+}
+
+// Restart brings a crashed submitter back after delay (process start;
+// the tier is stateless beyond its flush buffer, so nothing replays).
+func (s *Submitter) Restart(delay time.Duration) {
+	s.engine.Schedule(delay, func() {
+		s.down = false
+		s.Trace.Control("submitter.restart", fmt.Sprintf("r%d pool=%d", s.region, s.pool))
+	})
+}
+
+// IsDown reports whether the submitter is crashed and not yet restarted.
+func (s *Submitter) IsDown() bool { return s.down }
 
 // BatchLen returns the number of calls buffered for the next flush —
 // accepted but not yet durably persisted, the first in-flight stage of

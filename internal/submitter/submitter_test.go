@@ -25,7 +25,7 @@ type fixture struct {
 
 func newFixture(pool Pool, params Params) *fixture {
 	f := &fixture{engine: sim.NewEngine(), store: kv.NewStore(4)}
-	f.shard = durableq.NewShard(durableq.ShardID{}, f.engine)
+	f.shard = durableq.NewShard(durableq.ShardID{}, f.engine, nil)
 	topoShards := [][]*durableq.Shard{{f.shard}}
 	cstore := config.NewStore(f.engine)
 	qlb := queuelb.New(0, rng.New(1), topoShards, cstore)

@@ -85,6 +85,12 @@ const (
 	// KindDropped: terminal — never persisted anywhere (total DurableQ
 	// outage at submission).
 	KindDropped
+	// KindLost: terminal — destroyed by a component crash before
+	// settling (a journal's torn tail, a submitter's unflushed batch).
+	KindLost
+	// KindRecovered: requeued by journal replay after a shard crash
+	// (arg: the journal op the call was recovered from).
+	KindRecovered
 
 	numKinds
 )
@@ -94,7 +100,7 @@ var kindNames = [numKinds]string{
 	"quota-denied", "congestion-denied", "isolation-denied", "dispatch",
 	"exec-start", "exec-end", "downstream-retry", "backpressure",
 	"slo-miss", "evacuated", "nack", "retry", "ack", "dead-letter",
-	"dropped",
+	"dropped", "lost", "recovered",
 }
 
 func (k Kind) String() string {
@@ -106,7 +112,7 @@ func (k Kind) String() string {
 
 // Terminal reports whether the kind ends a call's trace.
 func (k Kind) Terminal() bool {
-	return k == KindAck || k == KindDeadLetter || k == KindDropped
+	return k == KindAck || k == KindDeadLetter || k == KindDropped || k == KindLost
 }
 
 // Ref packs a (region, index) component identity into an event arg.

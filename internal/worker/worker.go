@@ -252,6 +252,13 @@ func (w *Worker) CanAccept(c *function.Call) bool {
 	if w.failed {
 		return false
 	}
+	if _, dup := w.running[c.ID]; dup {
+		// This invocation is already executing here: an at-least-once
+		// redelivery racing its own orphaned pre-crash execution. One
+		// worker holds one context per request ID, so the duplicate must
+		// land elsewhere (or wait out the original).
+		return false
+	}
 	if len(w.running) >= w.params.MaxConcurrency {
 		w.RejectThreads.Inc()
 		return false
