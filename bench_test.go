@@ -125,13 +125,24 @@ func BenchmarkPlatformSmallTraced(b *testing.B) {
 	})
 }
 
+// BenchmarkPlatformSmallOverload is PlatformSmall with the full
+// overload-resilience stack on: retry budgets, queue-delay shedding and
+// deadline expiry sweeping all enabled on a healthy fleet.
+func BenchmarkPlatformSmallOverload(b *testing.B) {
+	benchPlatformThroughput(b, 3, 12, 10, func(cfg *xfaas.Config) {
+		cfg.Resilience = cfg.Resilience.EnableAll()
+	})
+}
+
 // Hot-path micro-benchmark: a single worker executing back-to-back calls
-// through the public API types.
+// through the public API types. Resilience is enabled: the budget and
+// expiry bookkeeping must not add an allocation to the submit path.
 func BenchmarkSubmitPath(b *testing.B) {
 	cfg := xfaas.DefaultConfig()
 	cfg.Cluster.Regions = 1
 	cfg.Cluster.TotalWorkers = 4
 	cfg.CodePushInterval = 0
+	cfg.Resilience = cfg.Resilience.EnableAll()
 	reg := xfaas.NewRegistry()
 	spec := &xfaas.FunctionSpec{
 		Name: "bench-fn", Namespace: "main", Runtime: "php",

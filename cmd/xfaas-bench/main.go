@@ -89,6 +89,12 @@ func main() {
 	run("PlatformSmall/invariants", benchPlatform(3, 12, 10, func(cfg *xfaas.Config) {
 		cfg.Invariants.Enabled = true
 	}))
+	// Full overload-resilience stack on (retry budgets, queue-delay
+	// shedding, expiry sweeping): measures the resilience layer's
+	// steady-state overhead on a healthy fleet.
+	run("PlatformSmall/overload", benchPlatform(3, 12, 10, func(cfg *xfaas.Config) {
+		cfg.Resilience = cfg.Resilience.EnableAll()
+	}))
 	if !*quick {
 		run("PlatformLarge", benchPlatform(12, 48, 40, nil))
 	}
@@ -211,6 +217,9 @@ func benchSubmitPath(n int) Result {
 	cfg.Cluster.Regions = 1
 	cfg.Cluster.TotalWorkers = 4
 	cfg.CodePushInterval = 0
+	// Resilience on: the budget/expiry bookkeeping must not add an
+	// allocation to the submit hot path (the 1 alloc/op is the Call).
+	cfg.Resilience = cfg.Resilience.EnableAll()
 	reg := xfaas.NewRegistry()
 	spec := &xfaas.FunctionSpec{
 		Name: "bench-fn", Namespace: "main", Runtime: "php",

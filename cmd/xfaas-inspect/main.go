@@ -33,10 +33,11 @@ import (
 
 func main() {
 	var (
+		list      = flag.Bool("list", false, "list chaos scenarios and workload presets, then exit")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		minutes   = flag.Int("minutes", 30, "simulated minutes to run")
 		sample    = flag.Uint64("sample", 1, "trace 1 in N calls (1 = every call)")
-		chaosFlag = flag.String("chaos", "", "fault scenario: gray, partition, correlated, dq, shardcrash, submittercrash, schedcrash")
+		chaosFlag = flag.String("chaos", "", "fault scenario: gray, partition, correlated, dq, shardcrash, submittercrash, schedcrash, retrystorm (see -list)")
 		top       = flag.Int("top", 5, "slowest calls to print as critical paths")
 		events    = flag.Int("events", 40, "control-plane events to print")
 		rps       = flag.Float64("rps", 10, "workload mean RPS")
@@ -45,6 +46,22 @@ func main() {
 		inv       = flag.Bool("invariants", false, "check platform invariants; print violations with critical paths and exit 1 on any")
 	)
 	flag.Parse()
+
+	if *list {
+		fmt.Println("Chaos scenario library (* = runnable here with -chaos; the rest via xfaas-sim -chaos):")
+		for _, c := range chaos.Library() {
+			mark := " "
+			if c.Inspect {
+				mark = "*"
+			}
+			fmt.Printf(" %s %-15s %s\n", mark, c.Name, c.Description)
+		}
+		fmt.Println("\nAdversarial workload presets (see xfaas-sim -list for the Table 2 presets):")
+		for _, a := range workload.AdversarialPresets() {
+			fmt.Printf("   %-18s %s\n", a.Name, a.Description)
+		}
+		return
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
@@ -58,12 +75,20 @@ func main() {
 	// everything. The journal is a passive observer until a crash, so
 	// non-crash runs are byte-identical with or without it.
 	cfg.Durability.JournalEnabled = true
+	// A downstream dependency for part of the population, so traces carry
+	// a retry component and the retrystorm scenario has something to
+	// break. Failed invocations occupy the worker for their full duration.
+	cfg.Downstreams = []core.DownstreamSpec{{Name: "backend", CapacityRPS: 5000}}
+	cfg.Worker.FailureSlowdown = 1.0
+	cfg.Resilience = cfg.Resilience.EnableAll()
 
 	pcfg := workload.DefaultPopulationConfig()
 	pcfg.Functions = *funcs
 	pcfg.TotalRPS = *rps
 	pcfg.SpikyFunctions = 0
 	pcfg.MidnightSpikeFrac = 0
+	pcfg.DownstreamFrac = 0.25
+	pcfg.Downstreams = []string{"backend"}
 	pop := workload.NewPopulation(pcfg, rng.New(cfg.Seed+100))
 	cfg.Cluster.TotalWorkers = core.ProvisionWorkers(cfg.Worker,
 		pop.ExpectedMIPS()*1.4, pop.ExpectedConcurrentMemMB(cfg.Worker.CoreMIPS)*1.4,
@@ -76,7 +101,7 @@ func main() {
 	dur := time.Duration(*minutes) * time.Minute
 	if *chaosFlag != "" {
 		if !scheduleChaos(p, *chaosFlag, cfg.Seed, dur) {
-			fmt.Fprintf(os.Stderr, "unknown chaos scenario %q (want gray, partition, correlated, dq, shardcrash, submittercrash, schedcrash)\n", *chaosFlag)
+			fmt.Fprintf(os.Stderr, "unknown chaos scenario %q (want gray, partition, correlated, dq, shardcrash, submittercrash, schedcrash, retrystorm; see -list)\n", *chaosFlag)
 			os.Exit(2)
 		}
 	}
@@ -277,6 +302,13 @@ func scheduleChaos(p *core.Platform, name string, seed uint64, dur time.Duration
 		p.Engine.Schedule(at(0.6), func() { inj.CrashSubmitter(reg, true) })
 	case "schedcrash":
 		p.Engine.Schedule(at(0.3), func() { inj.CrashScheduler(reg, 0) })
+	case "retrystorm":
+		// The backend fails every call for the middle of the run; retry
+		// budgets dead-letter the doomed work and the traces show where
+		// retry time went.
+		p.Engine.Schedule(at(0.25), func() {
+			inj.BuggyFor("backend", 1.0, time.Duration(float64(dur)*0.4))
+		})
 	default:
 		return false
 	}

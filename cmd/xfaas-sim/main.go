@@ -20,14 +20,16 @@ import (
 	"strings"
 	"time"
 
+	"xfaas/internal/chaos"
 	"xfaas/internal/experiment"
+	"xfaas/internal/workload"
 )
 
 func main() {
 	var (
 		list      = flag.Bool("list", false, "list available experiments and exit")
 		run       = flag.String("run", "", "experiment id to run, or \"all\"")
-		chaosFlag = flag.String("chaos", "", "chaos scenario to run (gray, partition, correlated, dq, shardcrash, submittercrash, schedcrash); output is fully deterministic")
+		chaosFlag = flag.String("chaos", "", "chaos scenario to run (see -list: gray, partition, correlated, dq, shardcrash, submittercrash, schedcrash, retrystorm, midnightspike, spikyclient, zipfneighbor); output is fully deterministic")
 		full      = flag.Bool("full", false, "paper-scale runs (full simulated day) instead of quick")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		charts    = flag.Bool("charts", true, "render ASCII charts of result series")
@@ -76,6 +78,19 @@ func main() {
 		fmt.Println("Available experiments (paper artifact → id):")
 		for _, e := range experiment.All() {
 			fmt.Printf("  %-18s %s\n", e.ID, e.Title)
+		}
+		fmt.Println("\nChaos scenario library (use -chaos <name>):")
+		for _, c := range chaos.Library() {
+			fmt.Printf("  %-15s %s\n", c.Name, c.Description)
+		}
+		fmt.Println("\nWorkload presets (Table 2, used by the capacity experiments):")
+		for _, w := range workload.NamedWorkloads() {
+			fmt.Printf("  %-15s %d functions, %.1f RPS/function, %s quota\n",
+				w.Name, w.Functions, w.MeanRPSPerFunc, w.Quota)
+		}
+		fmt.Println("\nAdversarial workload presets (behind the overload chaos scenarios):")
+		for _, a := range workload.AdversarialPresets() {
+			fmt.Printf("  %-18s %s\n", a.Name, a.Description)
 		}
 		if *run == "" && !*list {
 			fmt.Println("\nuse -run <id> or -run all")

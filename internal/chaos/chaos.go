@@ -313,6 +313,31 @@ func (inj *Injector) BrownoutFor(name string, frac float64, d time.Duration) {
 	inj.p.Engine.Schedule(d, restore)
 }
 
+// Buggy makes a downstream service fail a fraction of its requests with
+// plain (retryable) errors — the §5.5 incident's buggy release. Unlike a
+// brownout's back-pressure, which workers honor immediately without
+// retrying, plain failures are retried downstream and platform-wide,
+// amplifying load: the retry-storm trigger. Returns a repair function
+// restoring the healthy service; panics on an unknown name.
+func (inj *Injector) Buggy(name string, rate float64) (restore func()) {
+	svc, ok := inj.p.Downstreams.Get(name)
+	if !ok {
+		panic("chaos: unknown downstream " + name)
+	}
+	svc.SetBugRate(rate)
+	inj.record("buggy", "%s bug rate %.2f", name, rate)
+	return func() {
+		svc.SetBugRate(0)
+		inj.record("buggy-heal", "%s bug rate restored to 0", name)
+	}
+}
+
+// BuggyFor injects the bug now and schedules the fixed release after d.
+func (inj *Injector) BuggyFor(name string, rate float64, d time.Duration) {
+	restore := inj.Buggy(name, rate)
+	inj.p.Engine.Schedule(d, restore)
+}
+
 // Downstream returns the named service for assertions (nil if absent).
 func (inj *Injector) Downstream(name string) *downstream.Service {
 	svc, _ := inj.p.Downstreams.Get(name)

@@ -1,0 +1,92 @@
+package config
+
+import "time"
+
+// Resilience is the platform's overload-resilience configuration section:
+// retry budgets that bound retry amplification, CoDel-style queue-delay
+// shedding, and deadline expiry sweeping (paper §5.5's metastable-failure
+// defenses: back-pressure, criticality ordering, and TTLs bound the work a
+// retry storm can amplify into). All three mechanisms ship disabled by
+// default — the submit path stays allocation-free and existing runs behave
+// exactly as before — and the adversarial scenarios turn them on.
+type Resilience struct {
+	// RetryBudgetEnabled gives every DurableQ shard a per-function retry
+	// token bucket: redeliveries spend a token, first-attempt successes
+	// earn RetryBudgetRatio tokens, and an empty bucket sends the call
+	// straight to dead-letter with the `budget` disposition. Total retry
+	// work is thereby bounded at (1 + ratio) times first-attempt work.
+	RetryBudgetEnabled bool
+	// RetryBudgetRatio (β) is the fraction of a token earned per
+	// first-attempt success; it is the configured retry-amplification
+	// bound above 1.
+	RetryBudgetRatio float64
+	// RetryBudgetBurst is each function's initial (and per-shard) token
+	// balance, so cold functions can retry before earning anything.
+	RetryBudgetBurst float64
+
+	// ShedEnabled turns on CoDel-style queue-delay shedding in the
+	// scheduler: when a function's head-of-buffer queue delay stays above
+	// its criticality's target for a full ShedInterval, the scheduler
+	// sheds sheddable (opportunistic, below-high-criticality) calls until
+	// delay drops back under target.
+	ShedEnabled bool
+	// ShedInterval is the sliding observation window: delay must stay
+	// above target this long before shedding starts (hysteresis against
+	// transient spikes).
+	ShedInterval time.Duration
+	// ShedTargetLow/Normal/High are the per-criticality queue-delay
+	// targets. Low-criticality, time-shiftable work tolerates the least
+	// sitting in an overloaded buffer; high-criticality work is never
+	// shed but its target still gates the shed-state bookkeeping.
+	ShedTargetLow    time.Duration
+	ShedTargetNormal time.Duration
+	ShedTargetHigh   time.Duration
+
+	// ExpirySweep sweeps calls past their absolute deadline to dead-letter
+	// with the `expired` disposition at poll, dispatch, and redelivery
+	// time, instead of letting doomed work occupy workers. It also makes
+	// workers skip downstream retries that cannot finish before the
+	// call's deadline.
+	ExpirySweep bool
+}
+
+// DefaultResilience returns the recommended parameterization with every
+// mechanism disabled: β = 0.2 (at most 20% extra attempts) with a burst
+// of 10 tokens, a 30-second shed observation window with 2 m / 5 m / 15 m
+// delay targets for low/normal/high criticality, and expiry sweeping off.
+func DefaultResilience() Resilience {
+	return Resilience{
+		RetryBudgetEnabled: false,
+		RetryBudgetRatio:   0.2,
+		RetryBudgetBurst:   10,
+		ShedEnabled:        false,
+		ShedInterval:       30 * time.Second,
+		ShedTargetLow:      2 * time.Minute,
+		ShedTargetNormal:   5 * time.Minute,
+		ShedTargetHigh:     15 * time.Minute,
+		ExpirySweep:        false,
+	}
+}
+
+// EnableAll returns a copy with all three mechanisms switched on —
+// the adversarial scenarios' "defended" configuration.
+func (r Resilience) EnableAll() Resilience {
+	r.RetryBudgetEnabled = true
+	r.ShedEnabled = true
+	r.ExpirySweep = true
+	return r
+}
+
+// ShedTarget returns the queue-delay target for a criticality level,
+// indexed 0 (low), 1 (normal), 2 (high); out-of-range levels use the
+// high target.
+func (r Resilience) ShedTarget(level int) time.Duration {
+	switch level {
+	case 0:
+		return r.ShedTargetLow
+	case 1:
+		return r.ShedTargetNormal
+	default:
+		return r.ShedTargetHigh
+	}
+}

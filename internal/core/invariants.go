@@ -135,6 +135,70 @@ func (p *Platform) registerInvariantProbes() {
 		return out
 	})
 
+	// Dead-letter disposition closure: the ledger's per-reason terms must
+	// sum to its dead-letter total, and each must equal the shards'
+	// independent per-reason counters — a dead-lettered call has exactly
+	// one disposition, surfaced consistently in both views.
+	p.Inv.RegisterProbe("deadletter-reasons", func(now sim.Time) []string {
+		var out []string
+		t := p.Inv.Totals()
+		if sum := t.Exhausted + t.Expired + t.BudgetDenied + t.Shed; sum != t.DeadLettered {
+			out = append(out, fmt.Sprintf(
+				"reasons sum %d != dead-lettered %d (exhausted=%d expired=%d budget=%d shed=%d)",
+				sum, t.DeadLettered, t.Exhausted, t.Expired, t.BudgetDenied, t.Shed))
+		}
+		var exhausted, expired, budget, shed float64
+		for _, reg := range p.regions {
+			for _, sh := range reg.Shards {
+				exhausted += sh.DeadExhausted.Value()
+				expired += sh.DeadExpired.Value()
+				budget += sh.DeadBudget.Value()
+				shed += sh.DeadShed.Value()
+			}
+		}
+		if uint64(exhausted) != t.Exhausted {
+			out = append(out, fmt.Sprintf("shards report %.0f exhausted, ledger %d", exhausted, t.Exhausted))
+		}
+		if uint64(expired) != t.Expired {
+			out = append(out, fmt.Sprintf("shards report %.0f expired, ledger %d", expired, t.Expired))
+		}
+		if uint64(budget) != t.BudgetDenied {
+			out = append(out, fmt.Sprintf("shards report %.0f budget-denied, ledger %d", budget, t.BudgetDenied))
+		}
+		if uint64(shed) != t.Shed {
+			out = append(out, fmt.Sprintf("shards report %.0f shed, ledger %d", shed, t.Shed))
+		}
+		return out
+	})
+
+	// Retry amplification: with budgets on, the tokens the shards spent
+	// can never exceed what first-attempt successes earned plus each
+	// function's per-shard burst — redelivered work is bounded at
+	// β × first-attempt work plus a constant, the configured
+	// amplification bound of 1+β.
+	if p.cfg.Resilience.RetryBudgetEnabled {
+		p.Inv.RegisterProbe("retry-amplification", func(now sim.Time) []string {
+			var spent, firstAcks float64
+			shardCount := 0
+			for _, reg := range p.regions {
+				for _, sh := range reg.Shards {
+					spent += sh.BudgetSpent.Value()
+					firstAcks += sh.FirstAcks.Value()
+					shardCount++
+				}
+			}
+			res := p.cfg.Resilience
+			burstCap := res.RetryBudgetBurst * float64(shardCount*p.Registry.Len())
+			bound := res.RetryBudgetRatio*firstAcks + burstCap
+			if spent > bound+1e-6 {
+				return []string{fmt.Sprintf(
+					"retry budget spent %.0f exceeds bound %.0f (β=%.2f firstAcks=%.0f burst=%.0f)",
+					spent, bound, res.RetryBudgetRatio, firstAcks, burstCap)}
+			}
+			return nil
+		})
+	}
+
 	// Quota ceilings: each function's measured global RPS must stay under
 	// the largest limit the Central could have legitimately admitted since
 	// the last probe (its high-watermark limit plus the burst allowance

@@ -103,6 +103,10 @@ type Config struct {
 	// default), replay pacing, retry-backoff cap, and the stateless
 	// tiers' restart delays.
 	Durability config.Durability
+	// Resilience is the overload-resilience model: retry budgets,
+	// queue-delay shedding and deadline expiry sweeping (all off by
+	// default).
+	Resilience config.Resilience
 	// Trace configures per-call tracing (disabled by default: the
 	// recorder still exists and collects control-plane events, but no
 	// call is sampled and the hot path pays one boolean load).
@@ -149,6 +153,7 @@ func DefaultConfig() Config {
 		PrewarmJIT:          true,
 		Chaos:               config.DefaultChaos(),
 		Durability:          config.DefaultDurability(),
+		Resilience:          config.DefaultResilience(),
 		Trace:               trace.DefaultParams(),
 		Invariants:          invariant.DefaultParams(),
 	}
@@ -303,6 +308,11 @@ func New(cfg Config, registry *function.Registry) *Platform {
 	}
 	p.Tracer = trace.NewRecorder(engine, cfg.Seed, cfg.Trace)
 	p.Inv = invariant.NewChecker(engine, cfg.Invariants, p.Topo.NumRegions())
+	if p.Inv != nil && cfg.Resilience.ExpirySweep {
+		// With sweeping on, an expired call reaching a worker is a breach
+		// of the sweeps' promise, not an SLO miss.
+		p.Inv.ExpiryDispatchCheck = true
+	}
 	p.E2ELatency = p.Metrics.Histogram("e2e_latency_seconds")
 	// Prebuild the per-(region, quota, criticality) completion counter
 	// handles so the completion path never joins label strings.
@@ -351,6 +361,10 @@ func New(cfg Config, registry *function.Registry) *Platform {
 			sh.ReplayBase = cfg.Durability.ReplayBase
 			sh.ReplayPerEntry = cfg.Durability.ReplayPerEntry
 			sh.ReplayBatch = cfg.Durability.ReplayBatch
+			sh.BudgetEnabled = cfg.Resilience.RetryBudgetEnabled
+			sh.BudgetRatio = cfg.Resilience.RetryBudgetRatio
+			sh.BudgetBurst = cfg.Resilience.RetryBudgetBurst
+			sh.SweepExpired = cfg.Resilience.ExpirySweep
 			if cfg.Durability.JournalEnabled {
 				sh.EnableJournal(cfg.Durability.FlushLag)
 			}
@@ -372,8 +386,10 @@ func New(cfg Config, registry *function.Registry) *Platform {
 			UtilSeries: p.Metrics.SeriesVec("region_utilization", time.Minute, stats.ModeMean, "region").With(regLabel),
 			MemSeries:  p.Metrics.SeriesVec("region_memory_mb", time.Minute, stats.ModeMean, "region").With(regLabel),
 		}
+		wparams := cfg.Worker
+		wparams.DeadlineRetryCut = wparams.DeadlineRetryCut || cfg.Resilience.ExpirySweep
 		for w := 0; w < r.Workers; w++ {
-			wk := worker.New(worker.ID{Region: r.ID, Index: w}, engine, cfg.Worker, src.Split(), p.Downstreams)
+			wk := worker.New(worker.ID{Region: r.ID, Index: w}, engine, wparams, src.Split(), p.Downstreams)
 			if cfg.PrewarmJIT {
 				wk.Runtime.Prewarm(registry.Names())
 			}
@@ -403,8 +419,10 @@ func New(cfg Config, registry *function.Registry) *Platform {
 			nSched = 1
 		}
 		from := r.ID
+		sparams := cfg.Scheduler
+		sparams.Resilience = cfg.Resilience
 		for k := 0; k < nSched; k++ {
-			sc := scheduler.New(engine, src.Split(), r.ID, cfg.Scheduler, allShards, reg.LB, p.Central, p.Cong, p.Store)
+			sc := scheduler.New(engine, src.Split(), r.ID, sparams, allShards, reg.LB, p.Central, p.Cong, p.Store)
 			sc.Trace = p.Tracer
 			sc.Inv = p.Inv
 			sc.OnExecuted = p.onExecuted
@@ -451,6 +469,9 @@ func (p *Platform) Region(id cluster.RegionID) *Region { return p.regions[id] }
 // Durability exposes the platform's crash-recovery configuration (chaos
 // injectors read rebuild delays from it).
 func (p *Platform) Durability() config.Durability { return p.cfg.Durability }
+
+// Resilience exposes the platform's overload-resilience configuration.
+func (p *Platform) Resilience() config.Resilience { return p.cfg.Resilience }
 
 // Submit enters one call into the platform through the submitter tier of
 // the given region, selecting the spiky pool for negotiated spiky

@@ -29,6 +29,38 @@ type ShardID struct {
 
 func (s ShardID) String() string { return fmt.Sprintf("dq-%d-%d", s.Region, s.Index) }
 
+// DeadReason classifies why a call was dead-lettered. The reasons are
+// disjoint: every dead-lettered call has exactly one, and the per-reason
+// counters sum to DeadLetters.
+type DeadReason int
+
+const (
+	// ReasonExhausted: the retry policy's MaxAttempts ran out.
+	ReasonExhausted DeadReason = iota
+	// ReasonExpired: the call passed its absolute deadline and was swept
+	// before occupying a worker.
+	ReasonExpired
+	// ReasonBudget: the function's retry budget was empty at redelivery.
+	ReasonBudget
+	// ReasonShed: queue-delay shedding dropped the call under overload.
+	ReasonShed
+)
+
+func (r DeadReason) String() string {
+	switch r {
+	case ReasonExhausted:
+		return "exhausted"
+	case ReasonExpired:
+		return "expired"
+	case ReasonBudget:
+		return "budget"
+	case ReasonShed:
+		return "shed"
+	default:
+		return fmt.Sprintf("reason(%d)", int(r))
+	}
+}
+
 // lease records one outstanding delivery. Lease objects are pooled per
 // shard: every offered call needs one, and recycling them (plus their
 // prebuilt expiry closure) keeps the offer path allocation-free in
@@ -60,6 +92,20 @@ type Shard struct {
 	ReplayPerEntry time.Duration
 	ReplayBatch    int
 
+	// BudgetEnabled turns on the per-function retry budget: redelivery
+	// spends one token, a first-attempt ack earns BudgetRatio tokens, and
+	// an empty bucket dead-letters the call (ReasonBudget) instead of
+	// requeueing it, bounding retry amplification to 1 + BudgetRatio.
+	BudgetEnabled bool
+	// BudgetRatio (β) is the tokens earned per first-attempt success.
+	BudgetRatio float64
+	// BudgetBurst is a function's initial token balance on this shard.
+	BudgetBurst float64
+	// SweepExpired dead-letters calls past their absolute deadline
+	// (ReasonExpired) at poll and redelivery time instead of offering
+	// doomed work to schedulers.
+	SweepExpired bool
+
 	queues    map[string]*callHeap
 	funcNames []string // sorted; parallel index for deterministic polling
 	cursor    int      // round-robin position for fairness across functions
@@ -90,6 +136,14 @@ type Shard struct {
 	// tombstones marks queued entries to discard lazily at poll time
 	// (heaps do not support removal).
 	tombstones map[uint64]bool
+	// budgets is each function's retry-token balance (created lazily; a
+	// missing entry means the full BudgetBurst). Accessed by key only —
+	// never iterated — so determinism is unaffected.
+	budgets map[string]float64
+	// budgetDry marks functions whose bucket is currently empty, so the
+	// "budget.exhausted" control event fires once per dry spell, not once
+	// per rejected redelivery.
+	budgetDry map[string]bool
 
 	// Metrics.
 	Enqueued    stats.Counter
@@ -98,6 +152,15 @@ type Shard struct {
 	Redelivered stats.Counter
 	DeadLetters stats.Counter
 	Expired     stats.Counter
+	// Per-reason dead-letter dispositions; they sum to DeadLetters.
+	DeadExhausted stats.Counter
+	DeadExpired   stats.Counter
+	DeadBudget    stats.Counter
+	DeadShed      stats.Counter
+	// FirstAcks counts first-attempt successes (the budget's earn events);
+	// BudgetSpent counts redeliveries that consumed a retry token.
+	FirstAcks   stats.Counter
+	BudgetSpent stats.Counter
 	// Crashes counts Crash invocations; LostOnCrash counts calls
 	// destroyed by them (torn journal tail, or everything when
 	// unjournaled); Replayed counts calls requeued by journal replay;
@@ -244,6 +307,18 @@ func (s *Shard) PollInto(dst []*function.Call, max int, filter func(*function.Ca
 				q.pop()
 				continue
 			}
+			if s.SweepExpired && top.call.IsExpired(now) {
+				// Doomed work: past its deadline, sweep to dead-letter
+				// instead of offering it. Continue — an expired head must
+				// not hide ready live calls behind it.
+				q.pop()
+				s.pending--
+				if len(s.recovered) > 0 {
+					delete(s.recovered, top.call.ID)
+				}
+				s.deadLetter(top.call, ReasonExpired)
+				continue
+			}
 			if top.readyAt > now {
 				break
 			}
@@ -358,6 +433,10 @@ func (s *Shard) Ack(id uint64) bool {
 	s.Inv.OnAck(c)
 	s.putLease(l)
 	s.Acked.Inc()
+	if c.Attempt == 1 {
+		s.FirstAcks.Inc()
+		s.earnBudget(c.Spec.Name)
+	}
 	return true
 }
 
@@ -381,6 +460,10 @@ func (s *Shard) suppressDuplicate(id uint64) bool {
 	}
 	s.DupSuppressed.Inc()
 	s.Acked.Inc()
+	if c.Attempt == 1 {
+		s.FirstAcks.Inc()
+		s.earnBudget(c.Spec.Name)
+	}
 	s.Trace.Record(c, trace.KindAck, 1)
 	s.Inv.OnAck(c)
 	return true
@@ -406,13 +489,17 @@ func (s *Shard) Nack(id uint64) bool {
 
 func (s *Shard) retryOrDrop(c *function.Call, base time.Duration) {
 	if c.Attempt >= c.Spec.Retry.MaxAttempts {
-		c.State = function.StateFailed
-		s.DeadLetters.Inc()
-		if s.jrn != nil {
-			s.jrn.Append(journal.OpDeadLetter, c, 0)
-		}
-		s.Trace.Record(c, trace.KindDeadLetter, int64(c.Attempt))
-		s.Inv.OnDeadLetter(c)
+		s.deadLetter(c, ReasonExhausted)
+		return
+	}
+	if s.SweepExpired && c.IsExpired(s.engine.Now()) {
+		// A redelivery could never finish before the deadline; settle now
+		// instead of burning a worker on doomed work.
+		s.deadLetter(c, ReasonExpired)
+		return
+	}
+	if !s.spendBudget(c.Spec.Name) {
+		s.deadLetter(c, ReasonBudget)
 		return
 	}
 	backoff := s.backoff(c, base)
@@ -425,6 +512,117 @@ func (s *Shard) retryOrDrop(c *function.Call, base time.Duration) {
 	s.Trace.Record(c, trace.KindRetry, int64(backoff))
 	s.Inv.OnRetry(c)
 	s.requeue(c, readyAt)
+}
+
+// deadLetter terminally settles a call with an explicit disposition,
+// shared by retry exhaustion, budget exhaustion, expiry sweeping, and
+// scheduler-initiated shedding. Every path journals OpDeadLetter (a
+// terminal record, so crash replay never resurrects the call), bumps the
+// aggregate and per-reason counters, and feeds the matching trace kind
+// and ledger hook.
+func (s *Shard) deadLetter(c *function.Call, reason DeadReason) {
+	c.State = function.StateFailed
+	s.DeadLetters.Inc()
+	if s.jrn != nil {
+		s.jrn.Append(journal.OpDeadLetter, c, 0)
+	}
+	switch reason {
+	case ReasonExpired:
+		s.DeadExpired.Inc()
+		s.Trace.Record(c, trace.KindExpired, int64(c.Attempt))
+		s.Inv.OnExpiredCall(c)
+	case ReasonBudget:
+		s.DeadBudget.Inc()
+		s.Trace.Record(c, trace.KindBudgetExhausted, int64(c.Attempt))
+		s.Inv.OnBudgetExhausted(c)
+	case ReasonShed:
+		s.DeadShed.Inc()
+		s.Trace.Record(c, trace.KindShed, int64(s.engine.Now()-c.QueuedAt))
+		s.Inv.OnShed(c)
+	default:
+		s.DeadExhausted.Inc()
+		s.Trace.Record(c, trace.KindDeadLetter, int64(c.Attempt))
+		s.Inv.OnDeadLetter(c)
+	}
+}
+
+// Terminate settles a currently leased call to dead-letter with the given
+// disposition — the scheduler's path for sweeping an expired call at
+// dispatch time or shedding an over-delayed one. It reports whether the
+// lease was still held.
+func (s *Shard) Terminate(id uint64, reason DeadReason) bool {
+	l, ok := s.leases[id]
+	if s.down || !ok {
+		return false
+	}
+	l.timer.Stop()
+	delete(s.leases, id)
+	c := l.call
+	s.putLease(l)
+	s.deadLetter(c, reason)
+	return true
+}
+
+// earnBudget credits a function's retry bucket for a first-attempt
+// success. Buckets start at BudgetBurst and grow without cap: the
+// amplification bound is global (spent ≤ β·firstAcks + burst), not
+// windowed.
+func (s *Shard) earnBudget(name string) {
+	if !s.BudgetEnabled {
+		return
+	}
+	if s.budgets == nil {
+		s.budgets = make(map[string]float64)
+	}
+	b, ok := s.budgets[name]
+	if !ok {
+		b = s.BudgetBurst
+	}
+	b += s.BudgetRatio
+	s.budgets[name] = b
+	if b >= 1 && s.budgetDry[name] {
+		delete(s.budgetDry, name)
+		s.Trace.Control("budget.recovered", fmt.Sprintf("%v %s", s.ID, name))
+	}
+}
+
+// spendBudget consumes one retry token for a redelivery, reporting false
+// when the bucket is empty (the caller dead-letters the call). With the
+// budget disabled it always allows.
+func (s *Shard) spendBudget(name string) bool {
+	if !s.BudgetEnabled {
+		return true
+	}
+	if s.budgets == nil {
+		s.budgets = make(map[string]float64)
+	}
+	b, ok := s.budgets[name]
+	if !ok {
+		b = s.BudgetBurst
+	}
+	if b < 1 {
+		s.budgets[name] = b
+		if !s.budgetDry[name] {
+			if s.budgetDry == nil {
+				s.budgetDry = make(map[string]bool)
+			}
+			s.budgetDry[name] = true
+			s.Trace.Control("budget.exhausted", fmt.Sprintf("%v %s", s.ID, name))
+		}
+		return false
+	}
+	s.budgets[name] = b - 1
+	s.BudgetSpent.Inc()
+	return true
+}
+
+// BudgetBalance returns a function's current retry-token balance on this
+// shard (the full burst when the function has never spent or earned).
+func (s *Shard) BudgetBalance(name string) float64 {
+	if b, ok := s.budgets[name]; ok {
+		return b
+	}
+	return s.BudgetBurst
 }
 
 // backoff turns the function's base retry delay into the actual

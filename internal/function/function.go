@@ -316,3 +316,21 @@ func (c *Call) Criticality() Criticality { return c.Spec.Criticality }
 func (c *Call) Expired(now sim.Time) bool {
 	return c.Deadline > 0 && now > c.Deadline
 }
+
+// IsExpired is Expired under its conventional name: a call is expired
+// strictly after its absolute deadline (a call whose deadline is exactly
+// now is still live), and calls without a deadline never expire.
+func (c *Call) IsExpired(now sim.Time) bool { return c.Expired(now) }
+
+// Remaining returns the time left until the call's deadline at now, or 0
+// when the deadline has passed. Calls without a deadline report a
+// negative duration, meaning "unbounded".
+func (c *Call) Remaining(now sim.Time) time.Duration {
+	if c.Deadline <= 0 {
+		return -1
+	}
+	if now >= c.Deadline {
+		return 0
+	}
+	return time.Duration(c.Deadline - now)
+}

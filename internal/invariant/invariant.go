@@ -143,10 +143,17 @@ type Tally struct {
 	Lost         uint64
 	Resurrected  uint64
 	InFlight     int
+	// Dead-letter dispositions: Exhausted + Expired + BudgetDenied + Shed
+	// == DeadLettered. They refine the terminal, so Gap() is unchanged.
+	Exhausted    uint64
+	Expired      uint64
+	BudgetDenied uint64
+	Shed         uint64
 }
 
 type counts struct {
 	submitted, acked, dead, dropped, lost, resurrected uint64
+	exhausted, expired, budgetDenied, shed             uint64
 }
 
 type probe struct {
@@ -167,6 +174,13 @@ type Checker struct {
 	// placement is legal. It runs under the checker's lock and must not
 	// call back into the checker.
 	LocalityCheck func(c *function.Call, region, worker int) string
+
+	// ExpiryDispatchCheck, when set (by core, iff expiry sweeping is on),
+	// makes dispatching a call past its deadline a violation: the sweeps
+	// promise expired calls never reach a worker. Off by default because
+	// without sweeping, dispatching an expired call is the platform's
+	// normal behavior (it completes as an SLO miss).
+	ExpiryDispatchCheck bool
 
 	mu         sync.Mutex
 	ledger     map[uint64]centry
@@ -399,6 +413,11 @@ func (k *Checker) OnDispatch(c *function.Call, region, worker int) {
 			k.violate("locality", c.ID, "%s", msg)
 		}
 	}
+	if k.ExpiryDispatchCheck && c.IsExpired(k.engine.Now()) {
+		k.violate("expired-dispatched", c.ID,
+			"func %s dispatched %s past its deadline",
+			c.Spec.Name, k.engine.Now()-c.Deadline)
+	}
 	e.state = stRunning
 	e.worker = ref
 	k.ledger[c.ID] = e
@@ -529,7 +548,79 @@ func (k *Checker) OnDeadLetter(c *function.Call) {
 	if e.state != stSettling {
 		k.violate("deadletter-from-"+stateName(e.state), c.ID, "func %s", e.fn)
 	}
-	k.terminal(c.ID, e, func(t *counts) { t.dead++ })
+	k.terminal(c.ID, e, func(t *counts) { t.dead++; t.exhausted++ })
+}
+
+// OnBudgetExhausted records a redelivery refused by an empty retry
+// budget — a dead-letter with the `budget` disposition. Like retry
+// exhaustion it is only legal from the settling state (the call was
+// nacked or its lease expired, and the shard chose not to requeue it).
+func (k *Checker) OnBudgetExhausted(c *function.Call) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e, ok := k.ledger[c.ID]
+	if !ok {
+		k.lateEvents++
+		return
+	}
+	if e.state != stSettling {
+		k.violate("budget-deadletter-from-"+stateName(e.state), c.ID, "func %s", e.fn)
+	}
+	k.terminal(c.ID, e, func(t *counts) { t.dead++; t.budgetDenied++ })
+}
+
+// OnExpiredCall records a deadline-expiry sweep dead-lettering a call.
+// Sweeps legally catch a call queued (poll-time sweep), leased (the
+// scheduler's dispatch-time sweep terminating its own lease), or
+// settling (redelivery refused because the deadline passed) — but never
+// running: an expired call on a worker means the sweeps failed.
+func (k *Checker) OnExpiredCall(c *function.Call) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e, ok := k.ledger[c.ID]
+	if !ok {
+		k.lateEvents++
+		return
+	}
+	switch e.state {
+	case stQueued, stLeased, stSettling:
+	default:
+		k.violate("expire-sweep-from-"+stateName(e.state), c.ID, "func %s", e.fn)
+	}
+	k.terminal(c.ID, e, func(t *counts) { t.dead++; t.expired++ })
+}
+
+// OnShed records queue-delay shedding dead-lettering a call. Shedding
+// only targets leased calls sitting in a scheduler buffer; shedding a
+// call the ledger has already settled is the "no call both executed to
+// success and shed" breach (unless the ID was orphaned by a crash, which
+// is at-least-once fallout).
+func (k *Checker) OnShed(c *function.Call) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e, ok := k.ledger[c.ID]
+	if !ok {
+		if _, orphan := k.orphaned[c.ID]; orphan {
+			k.lateEvents++
+			return
+		}
+		k.violate("shed-after-terminal", c.ID,
+			"shed a call the ledger already settled (func %s)", c.Spec.Name)
+		return
+	}
+	if e.state != stLeased {
+		k.violate("shed-from-"+stateName(e.state), c.ID, "func %s", e.fn)
+	}
+	k.terminal(c.ID, e, func(t *counts) { t.dead++; t.shed++ })
 }
 
 // OnLost records a call destroyed by a component crash before settling —
@@ -687,14 +778,25 @@ func (k *Checker) Totals() Tally {
 	}
 	k.mu.Lock()
 	defer k.mu.Unlock()
+	t := tally(k.total)
+	t.InFlight = len(k.ledger)
+	return t
+}
+
+// tally converts an internal counts record into the exported snapshot
+// (InFlight is the caller's to fill).
+func tally(c counts) Tally {
 	return Tally{
-		Submitted:    k.total.submitted,
-		Acked:        k.total.acked,
-		DeadLettered: k.total.dead,
-		Dropped:      k.total.dropped,
-		Lost:         k.total.lost,
-		Resurrected:  k.total.resurrected,
-		InFlight:     len(k.ledger),
+		Submitted:    c.submitted,
+		Acked:        c.acked,
+		DeadLettered: c.dead,
+		Dropped:      c.dropped,
+		Lost:         c.lost,
+		Resurrected:  c.resurrected,
+		Exhausted:    c.exhausted,
+		Expired:      c.expired,
+		BudgetDenied: c.budgetDenied,
+		Shed:         c.shed,
 	}
 }
 
@@ -716,16 +818,8 @@ func (k *Checker) EachFunc(fn func(name string, t Tally)) {
 	sort.Strings(names)
 	tallies := make([]Tally, len(names))
 	for i, name := range names {
-		c := k.byFunc[name]
-		tallies[i] = Tally{
-			Submitted:    c.submitted,
-			Acked:        c.acked,
-			DeadLettered: c.dead,
-			Dropped:      c.dropped,
-			Lost:         c.lost,
-			Resurrected:  c.resurrected,
-			InFlight:     inflight[name],
-		}
+		tallies[i] = tally(*k.byFunc[name])
+		tallies[i].InFlight = inflight[name]
 	}
 	k.mu.Unlock()
 	for i, name := range names {
@@ -748,15 +842,8 @@ func (k *Checker) EachRegion(fn func(region int, t Tally)) {
 	}
 	tallies := make([]Tally, len(k.byRegion))
 	for i, c := range k.byRegion {
-		tallies[i] = Tally{
-			Submitted:    c.submitted,
-			Acked:        c.acked,
-			DeadLettered: c.dead,
-			Dropped:      c.dropped,
-			Lost:         c.lost,
-			Resurrected:  c.resurrected,
-			InFlight:     inflight[i],
-		}
+		tallies[i] = tally(c)
+		tallies[i].InFlight = inflight[i]
 	}
 	k.mu.Unlock()
 	for i := range tallies {

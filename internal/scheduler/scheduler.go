@@ -56,6 +56,9 @@ type Params struct {
 	// leases of calls it still holds (buffered, queued or running), so
 	// only a crashed scheduler's calls are redelivered.
 	LeaseRenewInterval time.Duration
+	// Resilience configures queue-delay shedding and deadline expiry
+	// sweeping (both off by default; see config.Resilience).
+	Resilience config.Resilience
 }
 
 // DefaultParams suit the simulation scale. The RunQ is a short staging
@@ -71,7 +74,17 @@ func DefaultParams() Params {
 		DispatchBatch:      4096,
 		ShardsPerPoll:      4,
 		LeaseRenewInterval: 4 * time.Minute,
+		Resilience:         config.DefaultResilience(),
 	}
+}
+
+// shedState is the per-function CoDel bookkeeping: when the function's
+// head-of-buffer queue delay first crossed its criticality target, and
+// whether the function is currently in a shedding spell.
+type shedState struct {
+	above      bool
+	firstAbove sim.Time
+	shedding   bool
 }
 
 // Scheduler is one stateless scheduler replica. The paper runs many per
@@ -98,6 +111,9 @@ type Scheduler struct {
 	runHead int
 	runLen  int // live (non-nil, unread) entries
 	origin  map[uint64]*durableq.Shard
+	// shedStates holds the CoDel delay bookkeeping per backlogged
+	// function (created lazily, only while shedding is enabled).
+	shedStates map[string]*shedState
 
 	// Hot-path scratch, reused every tick so the poll/schedule/dispatch
 	// loop does not allocate in steady state.
@@ -142,18 +158,22 @@ type Scheduler struct {
 	Inv *invariant.Checker
 
 	// Metrics.
-	Polled            stats.Counter
-	Scheduled         stats.Counter
-	Dispatched        stats.Counter
-	QuotaThrottled    stats.Counter
-	CongestionDenied  stats.Counter
-	IsolationDenied   stats.Counter
-	Acked             stats.Counter
-	Nacked            stats.Counter
-	Evacuated         stats.Counter
-	Crashes           stats.Counter
-	CrossRegionPulls  stats.Counter
-	SLOMisses         stats.Counter
+	Polled           stats.Counter
+	Scheduled        stats.Counter
+	Dispatched       stats.Counter
+	QuotaThrottled   stats.Counter
+	CongestionDenied stats.Counter
+	IsolationDenied  stats.Counter
+	Acked            stats.Counter
+	Nacked           stats.Counter
+	Evacuated        stats.Counter
+	Crashes          stats.Counter
+	CrossRegionPulls stats.Counter
+	SLOMisses        stats.Counter
+	// ShedCalls counts calls dead-lettered by queue-delay shedding;
+	// ExpiredSwept counts expired calls terminated at dispatch time.
+	ShedCalls         stats.Counter
+	ExpiredSwept      stats.Counter
 	SchedulingDelay   *stats.Histogram // start-time→dispatch seconds, reserved calls
 	OpportunistDelay  *stats.Histogram // start-time→dispatch seconds, opportunistic
 	ExecutedSeries    *stats.TimeSeries
@@ -313,6 +333,7 @@ func (s *Scheduler) Crash() {
 	s.origin = make(map[uint64]*durableq.Shard)
 	s.inflight = make(map[uint64]*worker.Worker)
 	s.inflightByWorker = make(map[*worker.Worker]map[uint64]*function.Call)
+	s.shedStates = nil
 	s.Trace.Control("scheduler.crash", fmt.Sprintf("r%d", s.region))
 }
 
@@ -364,8 +385,91 @@ func (s *Scheduler) tick() {
 		return
 	}
 	s.poll()
+	if s.params.Resilience.ShedEnabled {
+		s.shedSweep()
+	}
 	s.schedule()
 	s.dispatch()
+}
+
+// shedSweep is the CoDel-style overload valve, run every tick between
+// polling and scheduling (deliberately not inside schedule(): RunQ flow
+// control skips scheduling exactly when workers are behind, which is
+// when shedding matters most). Per backlogged function it compares the
+// head-of-buffer queue delay against the function's criticality target;
+// delay above target for a full ShedInterval starts a shedding spell
+// that dead-letters sheddable calls (opportunistic quota, below high
+// criticality — the paper's time-shifted work) until the head's delay
+// drops back under target or the buffer empties.
+func (s *Scheduler) shedSweep() {
+	if s.stale {
+		sort.Strings(s.names)
+		s.stale = false
+	}
+	res := &s.params.Resilience
+	now := s.engine.Now()
+	for _, name := range s.names {
+		b := s.buffers[name]
+		st := s.shedStates[name]
+		if b.Len() == 0 {
+			if st != nil && (st.above || st.shedding) {
+				if st.shedding {
+					s.Trace.Control("shed.stop", fmt.Sprintf("r%d %s drained", s.region, name))
+				}
+				*st = shedState{}
+			}
+			continue
+		}
+		spec := b.Spec()
+		target := res.ShedTarget(int(spec.Criticality))
+		// Delay-tolerant work (the paper's time-shifted pipelines) is
+		// deferred by the utilization controller and may legitimately sit
+		// queued for hours before polling; scale its target with the
+		// deadline so deferral is not mistaken for overload.
+		if d := spec.Deadline / 4; d > target {
+			target = d
+		}
+		delay := now - b.Peek().QueuedAt
+		if delay <= target {
+			if st != nil && (st.above || st.shedding) {
+				if st.shedding {
+					s.Trace.Control("shed.stop", fmt.Sprintf("r%d %s delay=%s", s.region, name, delay))
+				}
+				*st = shedState{}
+			}
+			continue
+		}
+		if st == nil {
+			st = &shedState{}
+			if s.shedStates == nil {
+				s.shedStates = make(map[string]*shedState)
+			}
+			s.shedStates[name] = st
+		}
+		if !st.above {
+			st.above = true
+			st.firstAbove = now
+		}
+		if !st.shedding && now-st.firstAbove < res.ShedInterval {
+			continue // hysteresis: a transient spike must outlast the window
+		}
+		if !st.shedding {
+			st.shedding = true
+			s.Trace.Control("shed.start", fmt.Sprintf("r%d %s delay=%s target=%s",
+				s.region, name, delay, target))
+		}
+		if spec.Quota != function.QuotaOpportunistic || spec.Criticality >= function.CritHigh {
+			continue // never shed reserved or high-criticality work
+		}
+		for b.Len() > 0 && now-b.Peek().QueuedAt > target {
+			c := b.Pop()
+			if shard := s.origin[c.ID]; shard != nil {
+				delete(s.origin, c.ID)
+				shard.Terminate(c.ID, durableq.ReasonShed)
+			}
+			s.ShedCalls.Inc()
+		}
+	}
 }
 
 // evacuate NACKs every held call (RunQ and FuncBuffers) for redelivery
@@ -610,12 +714,28 @@ func (s *Scheduler) scheduleLevel(cands []*FuncBuffer, space int) int {
 func (s *Scheduler) dispatch() {
 	const maxConsecutiveRejects = 16
 	rejects, dispatched := 0, 0
+	now := s.engine.Now()
+	sweep := s.params.Resilience.ExpirySweep
 	for i := s.runHead; i < len(s.runQ) && dispatched < s.params.DispatchBatch; i++ {
 		c := s.runQ[i]
 		if c == nil {
 			continue
 		}
-		c.DispatchAt = s.engine.Now()
+		if sweep && c.IsExpired(now) {
+			// The deadline passed while the call waited in the RunQ; it
+			// must never reach a worker. Release its concurrency slot and
+			// settle it to dead-letter at its owning shard.
+			s.runQ[i] = nil
+			s.runLen--
+			s.cong.OnComplete(c.Spec)
+			if shard := s.origin[c.ID]; shard != nil {
+				delete(s.origin, c.ID)
+				shard.Terminate(c.ID, durableq.ReasonExpired)
+			}
+			s.ExpiredSwept.Inc()
+			continue
+		}
+		c.DispatchAt = now
 		w, ok := s.lb.DispatchTo(c, s.completeFn)
 		if !ok {
 			rejects++

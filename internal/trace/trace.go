@@ -91,6 +91,15 @@ const (
 	// KindRecovered: requeued by journal replay after a shard crash
 	// (arg: the journal op the call was recovered from).
 	KindRecovered
+	// KindExpired: terminal — swept to dead-letter past its deadline
+	// (arg: attempts).
+	KindExpired
+	// KindShed: terminal — dead-lettered by queue-delay shedding
+	// (arg: queue delay in nanoseconds).
+	KindShed
+	// KindBudgetExhausted: terminal — the function's retry budget was
+	// empty at redelivery time (arg: attempts).
+	KindBudgetExhausted
 
 	numKinds
 )
@@ -100,7 +109,7 @@ var kindNames = [numKinds]string{
 	"quota-denied", "congestion-denied", "isolation-denied", "dispatch",
 	"exec-start", "exec-end", "downstream-retry", "backpressure",
 	"slo-miss", "evacuated", "nack", "retry", "ack", "dead-letter",
-	"dropped", "lost", "recovered",
+	"dropped", "lost", "recovered", "expired", "shed", "budget-exhausted",
 }
 
 func (k Kind) String() string {
@@ -112,7 +121,9 @@ func (k Kind) String() string {
 
 // Terminal reports whether the kind ends a call's trace.
 func (k Kind) Terminal() bool {
-	return k == KindAck || k == KindDeadLetter || k == KindDropped || k == KindLost
+	return k == KindAck || k == KindDeadLetter || k == KindDropped ||
+		k == KindLost || k == KindExpired || k == KindShed ||
+		k == KindBudgetExhausted
 }
 
 // Ref packs a (region, index) component identity into an event arg.

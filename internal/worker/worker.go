@@ -55,6 +55,11 @@ type Params struct {
 	// FailureSlowdown scales how much of the nominal duration a failed
 	// invocation still occupies the worker (exceptions surface quickly).
 	FailureSlowdown float64
+	// DeadlineRetryCut, when set, propagates the call's remaining
+	// deadline into the downstream retry loop: a call that can no longer
+	// finish before its deadline gets no downstream retries, so doomed
+	// work stops amplifying load on a struggling service.
+	DeadlineRetryCut bool
 }
 
 // DefaultParams return a paper-plausible worker: 64 GB, high core count.
@@ -329,7 +334,13 @@ func (w *Worker) TryExecute(c *function.Call, done DoneFunc) bool {
 
 	// Downstream interaction happens during execution; resolve the
 	// outcome now, deterministically per call.
-	retries, err := w.callDownstream(c)
+	maxRetries := w.params.DownstreamRetries
+	if w.params.DeadlineRetryCut {
+		if rem := c.Remaining(now); rem >= 0 && rem < duration {
+			maxRetries = 0 // doomed: no deadline budget left for retries
+		}
+	}
+	retries, err := w.callDownstream(c, maxRetries)
 	if retries > 0 {
 		w.Trace.Record(c, trace.KindDownstreamRetry, int64(retries))
 	}
@@ -488,12 +499,13 @@ func (w *Worker) finish(rc *runningCall) {
 	done(c, err)
 }
 
-// callDownstream performs the invocation's downstream sub-call with
-// bounded retries, returning how many retries (extra attempts beyond the
-// first) were consumed and the final error. Back-pressure fails the
-// invocation immediately (no retry — the exception is the signal); plain
-// failures retry, amplifying load on the struggling service.
-func (w *Worker) callDownstream(c *function.Call) (int, error) {
+// callDownstream performs the invocation's downstream sub-call with up
+// to maxRetries retries, returning how many retries (extra attempts
+// beyond the first) were consumed and the final error. Back-pressure
+// fails the invocation immediately (no retry — the exception is the
+// signal); plain failures retry, amplifying load on the struggling
+// service.
+func (w *Worker) callDownstream(c *function.Call, maxRetries int) (int, error) {
 	name := c.Spec.Downstream
 	if name == "" || w.downstreams == nil {
 		return 0, nil
@@ -503,7 +515,7 @@ func (w *Worker) callDownstream(c *function.Call) (int, error) {
 		return 0, nil
 	}
 	var err error
-	for attempt := 0; attempt <= w.params.DownstreamRetries; attempt++ {
+	for attempt := 0; attempt <= maxRetries; attempt++ {
 		err = svc.Invoke()
 		if err == nil {
 			return attempt, nil
@@ -513,7 +525,7 @@ func (w *Worker) callDownstream(c *function.Call) (int, error) {
 			return attempt, err
 		}
 	}
-	return w.params.DownstreamRetries, err
+	return maxRetries, err
 }
 
 // loadCode ensures the function's code and JIT cache are resident,

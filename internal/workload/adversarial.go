@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"xfaas/internal/function"
+	"xfaas/internal/isolation"
+	"xfaas/internal/rng"
+)
+
+// AdversarialPreset names one overload pattern from the adversarial
+// scenario library. The presets that need bespoke function mixes have
+// builders below (BuildStormMix, BuildNoisyNeighbor); the midnight-spike
+// and spiky-client patterns are PopulationConfig knobs
+// (MidnightSpikeFrac, SpikyFunctions).
+type AdversarialPreset struct {
+	Name        string
+	Description string
+}
+
+// AdversarialPresets enumerates the overload workload patterns, in the
+// order the scenario library lists them.
+func AdversarialPresets() []AdversarialPreset {
+	return []AdversarialPreset{
+		{
+			Name:        "storm-mix",
+			Description: "critical functions hammering a failing downstream alongside a clean cohort sharing the worker fleet (retry-storm victim/aggressor mix)",
+		},
+		{
+			Name:        "midnight-pipeline",
+			Description: "every opportunistic function rides the midnight big-data-pipeline spike (Fig. 2) on a tightly provisioned fleet",
+		},
+		{
+			Name:        "spiky-client",
+			Description: "one client submits its entire day of calls in a 15-minute burst (Fig. 4, the 20M-calls-in-15-minutes pattern, scaled)",
+		},
+		{
+			Name:        "noisy-neighbor",
+			Description: "a Zipf-dominant tenant's opportunistic function floods far beyond fleet capacity while small reserved tenants keep steady traffic",
+		},
+	}
+}
+
+// StormMixConfig shapes the retry-storm workload: an aggressor cohort of
+// high-criticality functions that call a (scripted-to-fail) downstream on
+// every invocation, sharing the worker fleet with a clean reserved cohort
+// that never touches the downstream. The aggressors are deliberately
+// reserved and high-criticality — the paper's point is that retry
+// amplification from important work tramples everyone, which is why the
+// retry budget binds regardless of quota class.
+type StormMixConfig struct {
+	// StormFunctions aggressors each offer StormRPSPerFunc against
+	// Downstream, with a generous retry policy (the storm fuel).
+	StormFunctions  int
+	StormRPSPerFunc float64
+	Downstream      string
+	// StormRetry is the aggressors' redelivery policy; a high attempt
+	// count with a short base backoff is what makes the storm build.
+	StormRetry function.RetryPolicy
+	// StormDeadline bounds each aggressor call's useful life.
+	StormDeadline time.Duration
+	// CleanFunctions victims each offer CleanRPSPerFunc of ordinary
+	// reserved work with no downstream dependency.
+	CleanFunctions  int
+	CleanRPSPerFunc float64
+	// ExecSecs is the nominal execution time of every call in the mix
+	// (failures occupy workers for the full duration under
+	// FailureSlowdown=1, so this sets the storm's cost per delivery).
+	ExecSecs float64
+}
+
+// DefaultStormMix returns the scenario-library storm mix against the
+// named downstream.
+func DefaultStormMix(downstream string) StormMixConfig {
+	return StormMixConfig{
+		StormFunctions:  8,
+		StormRPSPerFunc: 0.5,
+		Downstream:      downstream,
+		StormRetry:      function.RetryPolicy{MaxAttempts: 50, Backoff: 2 * time.Second},
+		StormDeadline:   20 * time.Minute,
+		CleanFunctions:  8,
+		CleanRPSPerFunc: 0.5,
+		ExecSecs:        2.0,
+	}
+}
+
+// BuildStormMix instantiates the storm mix into pop. Aggressors are named
+// storm-NN, victims clean-NN.
+func BuildStormMix(pop *Population, cfg StormMixConfig, src *rng.Source) {
+	mk := func(name, team string, crit function.Criticality, deadline time.Duration,
+		retry function.RetryPolicy, downstream string, rps float64) {
+		spec := &function.Spec{
+			Name:        name,
+			Namespace:   "main",
+			Runtime:     "php",
+			Team:        team,
+			Trigger:     function.TriggerQueue,
+			Criticality: crit,
+			Quota:       function.QuotaReserved,
+			QuotaMIPS:   1e9, // quota is not the mechanism under test
+			Deadline:    deadline,
+			Retry:       retry,
+			Zone:        isolation.NewZone(isolation.Internal),
+			Downstream:  downstream,
+			Resources: function.ResourceModel{
+				CPUMu: math.Log(10), CPUSigma: 0.2,
+				MemMu: math.Log(8), MemSigma: 0.2,
+				TimeMu: math.Log(cfg.ExecSecs), TimeSigma: 0.1,
+				CodeMB: 8, JITCodeMB: 4,
+			},
+		}
+		pop.Registry.MustRegister(spec)
+		pop.TeamOf[name] = team
+		pop.Models = append(pop.Models, NewModel(spec, rps, team, src.Split()))
+	}
+	for i := 0; i < cfg.StormFunctions; i++ {
+		mk(fmt.Sprintf("storm-%02d", i), "team-storm", function.CritHigh,
+			cfg.StormDeadline, cfg.StormRetry, cfg.Downstream, cfg.StormRPSPerFunc)
+	}
+	for i := 0; i < cfg.CleanFunctions; i++ {
+		mk(fmt.Sprintf("clean-%02d", i), fmt.Sprintf("team-clean-%02d", i),
+			function.CritNormal, 10*time.Minute, function.DefaultRetry, "", cfg.CleanRPSPerFunc)
+	}
+}
+
+// NoisyNeighborConfig shapes the multi-tenant noisy-neighbor workload:
+// small reserved tenants with steady traffic, plus one Zipf-dominant
+// tenant whose opportunistic function floods during a window.
+type NoisyNeighborConfig struct {
+	// Victims reserved tenants each offer VictimRPSPerFunc steadily.
+	Victims          int
+	VictimRPSPerFunc float64
+	// FloodStart/FloodLen/FloodRPS shape the noisy tenant's burst.
+	FloodStart time.Duration
+	FloodLen   time.Duration
+	FloodRPS   float64
+	// NoisyDeadline is the flood calls' deadline (sets the shed target
+	// via deadline/4).
+	NoisyDeadline time.Duration
+	// ExecSecs is the nominal execution time across the mix.
+	ExecSecs float64
+}
+
+// DefaultNoisyNeighbor returns the scenario-library noisy-neighbor mix.
+func DefaultNoisyNeighbor() NoisyNeighborConfig {
+	return NoisyNeighborConfig{
+		Victims:          6,
+		VictimRPSPerFunc: 1.0,
+		FloodStart:       20 * time.Minute,
+		FloodLen:         40 * time.Minute,
+		FloodRPS:         60,
+		NoisyDeadline:    20 * time.Minute,
+		ExecSecs:         1.0,
+	}
+}
+
+// BuildNoisyNeighbor instantiates the noisy-neighbor mix into pop. The
+// noisy tenant's function is named noisy-00; victims victim-NN.
+func BuildNoisyNeighbor(pop *Population, cfg NoisyNeighborConfig, src *rng.Source) {
+	res := function.ResourceModel{
+		CPUMu: math.Log(10), CPUSigma: 0.2,
+		MemMu: math.Log(8), MemSigma: 0.2,
+		TimeMu: math.Log(cfg.ExecSecs), TimeSigma: 0.1,
+		CodeMB: 8, JITCodeMB: 4,
+	}
+	for i := 0; i < cfg.Victims; i++ {
+		name := fmt.Sprintf("victim-%02d", i)
+		team := fmt.Sprintf("team-victim-%02d", i)
+		spec := &function.Spec{
+			Name:        name,
+			Namespace:   "main",
+			Runtime:     "php",
+			Team:        team,
+			Trigger:     function.TriggerQueue,
+			Criticality: function.CritNormal,
+			Quota:       function.QuotaReserved,
+			QuotaMIPS:   1e9,
+			Deadline:    10 * time.Minute,
+			Retry:       function.DefaultRetry,
+			Zone:        isolation.NewZone(isolation.Internal),
+			Resources:   res,
+		}
+		pop.Registry.MustRegister(spec)
+		pop.TeamOf[name] = team
+		pop.Models = append(pop.Models, NewModel(spec, cfg.VictimRPSPerFunc, team, src.Split()))
+	}
+	spec := &function.Spec{
+		Name:        "noisy-00",
+		Namespace:   "main",
+		Runtime:     "php",
+		Team:        "team-noisy",
+		Trigger:     function.TriggerQueue,
+		Criticality: function.CritLow,
+		Quota:       function.QuotaOpportunistic,
+		QuotaMIPS:   cfg.FloodRPS * 10 * 2, // loose: quota is not the valve under test
+		Deadline:    cfg.NoisyDeadline,
+		Retry:       function.DefaultRetry,
+		Zone:        isolation.NewZone(isolation.Internal),
+		Resources:   res,
+	}
+	pop.Registry.MustRegister(spec)
+	pop.TeamOf[spec.Name] = spec.Team
+	pop.Models = append(pop.Models, &FuncModel{
+		Spec:   spec,
+		Client: spec.Team,
+		Burst: &Burst{
+			Every:  1000 * time.Hour, // one-shot within any experiment window
+			Offset: 1000*time.Hour - cfg.FloodStart,
+			Len:    cfg.FloodLen,
+			RPS:    cfg.FloodRPS,
+		},
+		draw: src.Split(),
+	})
+}
