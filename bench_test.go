@@ -134,6 +134,51 @@ func BenchmarkPlatformSmallOverload(b *testing.B) {
 	})
 }
 
+// BenchmarkPlatformHuge is the partitioned-platform benchmark: 20 regions
+// and 100k workers split across 20 partition platforms running under the
+// parallel engine group. Each iteration verifies the parallel run against
+// the single-goroutine reference scheduler — the reports must be
+// byte-identical — and reports both throughput and the parallel speedup
+// (reference wall time / parallel wall time; ≥1 needs multiple cores).
+func BenchmarkPlatformHuge(b *testing.B) {
+	opts := xfaas.DefaultParallelOptions()
+	opts.Parts = 20
+	opts.Regions = 20
+	opts.TotalWorkers = 100000
+	opts.Functions = 240
+	opts.RPS = 2400
+	opts.CrossFrac = 0.1
+	opts.Minutes = 2
+	opts.Prewarm = false
+	b.ReportAllocs()
+	b.ResetTimer()
+	var generated, seqSecs, parSecs float64
+	for i := 0; i < b.N; i++ {
+		opts.Seed = uint64(i + 1)
+
+		opts.Seq = true
+		seqStart := time.Now()
+		ref := xfaas.NewParallel(opts).Run()
+		seqSecs += time.Since(seqStart).Seconds()
+
+		opts.Seq = false
+		parStart := time.Now()
+		r := xfaas.NewParallel(opts)
+		got := r.Run()
+		parSecs += time.Since(parStart).Seconds()
+
+		if got != ref {
+			b.Fatalf("parallel report diverged from the sequential reference:\n--- seq ---\n%s--- parallel ---\n%s", ref, got)
+		}
+		for _, p := range r.Parts {
+			generated += p.Generator.Generated.Value()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(generated/parSecs, "simcalls/s")
+	b.ReportMetric(seqSecs/parSecs, "speedup")
+}
+
 // Hot-path micro-benchmark: a single worker executing back-to-back calls
 // through the public API types. Resilience is enabled: the budget and
 // expiry bookkeeping must not add an allocation to the submit path.

@@ -30,22 +30,30 @@ import (
 
 // Result is one benchmark's measurements. SimCallsPerSec is zero for
 // micro-benchmarks that do not drive the whole platform.
+// ParallelSpeedup is set only by PlatformHuge: wall time of the
+// single-goroutine reference schedule divided by wall time of the
+// multi-goroutine run of the same partitioned simulation (≈1 on a
+// single-core runner, approaching min(cores, partitions) beyond it).
 type Result struct {
-	Iterations     int     `json:"iterations"`
-	NsPerOp        float64 `json:"ns_per_op"`
-	BytesPerOp     int64   `json:"bytes_per_op"`
-	AllocsPerOp    int64   `json:"allocs_per_op"`
-	SimCallsPerSec float64 `json:"simcalls_per_sec,omitempty"`
+	Iterations      int     `json:"iterations"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	SimCallsPerSec  float64 `json:"simcalls_per_sec,omitempty"`
+	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
 }
 
 // Report is the BENCH_<date>.json document.
 type Report struct {
-	Schema     string            `json:"schema"`
-	Date       string            `json:"date"`
-	Quick      bool              `json:"quick"`
-	GoVersion  string            `json:"go"`
-	GOOS       string            `json:"goos"`
-	GOARCH     string            `json:"goarch"`
+	Schema    string `json:"schema"`
+	Date      string `json:"date"`
+	Quick     bool   `json:"quick"`
+	GoVersion string `json:"go"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// CPUs is the runner's core count (runtime.NumCPU) — the context a
+	// parallel_speedup point must be read against.
+	CPUs       int               `json:"cpus"`
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
@@ -65,6 +73,7 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
 		Benchmarks: map[string]Result{},
 	}
 
@@ -104,6 +113,7 @@ func main() {
 	}
 	run("SubmitPath", benchSubmitPath(submitN))
 	run("EngineScheduleRun", benchEngine())
+	run("PlatformHuge", benchPlatformHuge(*quick))
 
 	path := *out
 	if path == "" {
@@ -132,11 +142,53 @@ func fatal(format string, args ...any) {
 	os.Exit(1)
 }
 
-// checkRegression gates the two headline numbers: end-to-end simulation
-// throughput (PlatformSmall simcalls/s — lower is a regression) and
-// submit-path allocation count (SubmitPath allocs/op — higher is a
-// regression). Both use a fractional tolerance so runner-to-runner
-// hardware variance does not flap the gate.
+// gate is one regression check the baseline comparison applies.
+type gate struct {
+	name  string
+	check func(cur, bas Result, tol float64) error
+}
+
+// gates are the headline regression checks. Every gated name must exist
+// in BOTH the fresh report and the baseline: a benchmark that gets
+// renamed or dropped makes the comparison fail loudly instead of the
+// gate silently matching nothing and passing forever.
+var gates = []gate{
+	{"PlatformSmall", func(cur, bas Result, tol float64) error {
+		// End-to-end simulation throughput; lower is a regression, with a
+		// fractional tolerance so runner-to-runner hardware variance does
+		// not flap the gate.
+		floor := bas.SimCallsPerSec * (1 - tol)
+		if bas.SimCallsPerSec > 0 && cur.SimCallsPerSec < floor {
+			return fmt.Errorf("simcalls/s %.0f < %.0f (baseline %.0f - %.0f%%)",
+				cur.SimCallsPerSec, floor, bas.SimCallsPerSec, tol*100)
+		}
+		return nil
+	}},
+	{"PlatformHuge", func(cur, bas Result, tol float64) error {
+		// The parallel sharded simulation at fleet scale, same tolerance.
+		floor := bas.SimCallsPerSec * (1 - tol)
+		if bas.SimCallsPerSec > 0 && cur.SimCallsPerSec < floor {
+			return fmt.Errorf("simcalls/s %.0f < %.0f (baseline %.0f - %.0f%%)",
+				cur.SimCallsPerSec, floor, bas.SimCallsPerSec, tol*100)
+		}
+		return nil
+	}},
+	{"SubmitPath", func(cur, bas Result, _ float64) error {
+		// Allocation counts are hardware-independent, so this gate is
+		// strict: any extra allocation on the tracing-disabled submit hot
+		// path is a regression (the tracing layer's zero-alloc-when-off
+		// contract).
+		if bas.AllocsPerOp > 0 && cur.AllocsPerOp > bas.AllocsPerOp {
+			return fmt.Errorf("allocs/op %d > baseline %d (strict gate: the disabled trace path must not allocate)",
+				cur.AllocsPerOp, bas.AllocsPerOp)
+		}
+		return nil
+	}},
+}
+
+// checkRegression compares the fresh report against the baseline over
+// every gate. A gated benchmark missing from either side is an error in
+// itself — never a silent skip.
 func checkRegression(rep Report, baselinePath string, tol float64) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -146,26 +198,17 @@ func checkRegression(rep Report, baselinePath string, tol float64) error {
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("parse baseline: %w", err)
 	}
-
-	cur, ok := rep.Benchmarks["PlatformSmall"]
-	bas, bok := base.Benchmarks["PlatformSmall"]
-	if ok && bok && bas.SimCallsPerSec > 0 {
-		floor := bas.SimCallsPerSec * (1 - tol)
-		if cur.SimCallsPerSec < floor {
-			return fmt.Errorf("PlatformSmall simcalls/s %.0f < %.0f (baseline %.0f - %.0f%%)",
-				cur.SimCallsPerSec, floor, bas.SimCallsPerSec, tol*100)
+	for _, g := range gates {
+		cur, ok := rep.Benchmarks[g.name]
+		if !ok {
+			return fmt.Errorf("gated benchmark %q is not in this run's report: it was renamed or dropped — update the gates table and bench_baseline.json together", g.name)
 		}
-	}
-	cur, ok = rep.Benchmarks["SubmitPath"]
-	bas, bok = base.Benchmarks["SubmitPath"]
-	if ok && bok && bas.AllocsPerOp > 0 {
-		// Allocation counts are hardware-independent, so this gate is
-		// strict: any extra allocation on the tracing-disabled submit hot
-		// path is a regression (the tracing layer's zero-alloc-when-off
-		// contract).
-		if cur.AllocsPerOp > bas.AllocsPerOp {
-			return fmt.Errorf("SubmitPath allocs/op %d > baseline %d (strict gate: the disabled trace path must not allocate)",
-				cur.AllocsPerOp, bas.AllocsPerOp)
+		bas, ok := base.Benchmarks[g.name]
+		if !ok {
+			return fmt.Errorf("gated benchmark %q is not in baseline %s: regenerate the baseline (xfaas-bench -quick -out bench_baseline.json)", g.name, baselinePath)
+		}
+		if err := g.check(cur, bas, tol); err != nil {
+			return fmt.Errorf("%s: %w", g.name, err)
 		}
 	}
 	return nil
@@ -265,6 +308,55 @@ func benchSubmitPath(n int) Result {
 		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
 		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(n),
 		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(n),
+	}
+}
+
+// benchPlatformHuge measures the parallel sharded simulation at fleet
+// scale: a 20-region, 100k-worker platform partitioned 20 ways. It runs
+// the identical simulation twice — once on the single-goroutine
+// reference scheduler, once on one goroutine per partition — verifies
+// the outputs are byte-identical (the determinism contract, enforced
+// even in a benchmark), and reports the parallel run's throughput plus
+// the seq/parallel wall-time ratio as ParallelSpeedup.
+func benchPlatformHuge(quick bool) Result {
+	opts := xfaas.DefaultParallelOptions()
+	opts.Parts = 20
+	opts.Regions = 20
+	opts.TotalWorkers = 100000
+	opts.Functions = 240
+	opts.RPS = 2400
+	opts.CrossFrac = 0.1
+	opts.Minutes = 3
+	opts.Prewarm = false // prewarming 100k workers dominates setup
+	if quick {
+		opts.Minutes = 2
+		opts.RPS = 1200
+	}
+
+	opts.Seq = true
+	seqStart := time.Now()
+	seqReport := xfaas.NewParallel(opts).Run()
+	seqWall := time.Since(seqStart)
+
+	opts.Seq = false
+	parStart := time.Now()
+	r := xfaas.NewParallel(opts)
+	parReport := r.Run()
+	parWall := time.Since(parStart)
+
+	if parReport != seqReport {
+		fatal("PlatformHuge parallel run diverged from the sequential reference:\n--- seq ---\n%s--- parallel ---\n%s", seqReport, parReport)
+	}
+
+	generated := 0.0
+	for _, part := range r.Parts {
+		generated += part.Generator.Generated.Value()
+	}
+	return Result{
+		Iterations:      1,
+		NsPerOp:         float64(parWall.Nanoseconds()),
+		SimCallsPerSec:  generated / parWall.Seconds(),
+		ParallelSpeedup: seqWall.Seconds() / parWall.Seconds(),
 	}
 }
 

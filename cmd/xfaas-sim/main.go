@@ -22,6 +22,7 @@ import (
 
 	"xfaas/internal/chaos"
 	"xfaas/internal/experiment"
+	"xfaas/internal/psim"
 	"xfaas/internal/workload"
 )
 
@@ -36,10 +37,42 @@ func main() {
 		out       = flag.String("out", "", "directory to write per-series CSV files")
 		md        = flag.Bool("markdown", false, "emit Markdown sections (EXPERIMENTS.md format) instead of terminal output")
 		inv       = flag.Bool("invariants", false, "run the platform invariant checker on every experiment and fail on violations")
+
+		parallel = flag.Int("parallel", 0, "run the partitioned platform simulation with this many partitions (0 = off); output is deterministic and byte-identical to -seq")
+		seq      = flag.Bool("seq", false, "with -parallel: run the same partitions on the single-goroutine reference scheduler")
+		minutes  = flag.Int("minutes", 10, "with -parallel: virtual minutes to simulate")
+		pchaos   = flag.Bool("pchaos", false, "with -parallel: inject the deterministic per-partition fault schedule")
+		traced   = flag.Bool("traced", false, "with -parallel: sample per-call traces")
 	)
 	flag.Parse()
 	if *inv {
 		experiment.SetInvariants(true)
+	}
+
+	if *parallel > 0 {
+		opts := psim.DefaultOptions()
+		opts.Parts = *parallel
+		opts.Seq = *seq
+		opts.Minutes = *minutes
+		opts.Seed = *seed
+		opts.Chaos = *pchaos
+		opts.Traced = *traced
+		opts.Invariants = *inv
+		if opts.Parts > opts.Regions {
+			fmt.Fprintf(os.Stderr, "-parallel=%d exceeds the %d-region topology\n", opts.Parts, opts.Regions)
+			os.Exit(2)
+		}
+		r := psim.New(opts)
+		fmt.Print(r.Run())
+		if *inv {
+			if v := r.Violations(); len(v) > 0 {
+				for _, x := range v {
+					fmt.Fprintf(os.Stderr, "invariant violation: %v\n", x)
+				}
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	if *chaosFlag != "" {

@@ -129,6 +129,29 @@ func NewTopology(regions []Region, intra, crossPerUnit time.Duration) *Topology 
 	return &Topology{regions: cp, intraLatency: intra, crossLatencyPerUnit: crossPerUnit}
 }
 
+// Subset returns a renumbered topology containing only the given regions
+// (in the given order). Coordinates are preserved, so latencies between
+// two retained regions equal their latencies in the parent topology —
+// which is what lets a partitioned simulation derive fabric lookaheads
+// from the parent's latency model. Names are preserved too, so reports
+// keep the global region names.
+func (t *Topology) Subset(ids []RegionID) *Topology {
+	if len(ids) == 0 {
+		panic("cluster: Subset of no regions")
+	}
+	regs := make([]Region, len(ids))
+	for i, id := range ids {
+		r := t.regions[id]
+		r.ID = RegionID(i)
+		regs[i] = r
+	}
+	return &Topology{
+		regions:             regs,
+		intraLatency:        t.intraLatency,
+		crossLatencyPerUnit: t.crossLatencyPerUnit,
+	}
+}
+
 // Regions returns the regions (callers must not mutate).
 func (t *Topology) Regions() []Region { return t.regions }
 

@@ -150,3 +150,37 @@ func TestGenerateDefaultsFillZeroParams(t *testing.T) {
 		}
 	}
 }
+
+func TestSubsetPreservesLatencies(t *testing.T) {
+	topo := Generate(DefaultConfig(), rng.New(7))
+	ids := []RegionID{2, 5, 9}
+	sub := topo.Subset(ids)
+	if sub.NumRegions() != 3 {
+		t.Fatalf("subset has %d regions, want 3", sub.NumRegions())
+	}
+	for i, gi := range ids {
+		r := sub.Region(RegionID(i))
+		if r.ID != RegionID(i) {
+			t.Errorf("subset region %d renumbered to %d", i, r.ID)
+		}
+		parent := topo.Region(gi)
+		if r.Name != parent.Name || r.Workers != parent.Workers ||
+			r.DurableQShards != parent.DurableQShards || r.Coord != parent.Coord {
+			t.Errorf("subset region %d does not match parent %d: %+v vs %+v", i, gi, r, parent)
+		}
+		for j, gj := range ids {
+			if got, want := sub.Latency(RegionID(i), RegionID(j)), topo.Latency(gi, gj); got != want {
+				t.Errorf("latency subset(%d,%d)=%v, parent(%d,%d)=%v", i, j, got, gi, gj, want)
+			}
+		}
+	}
+}
+
+func TestSubsetPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty Subset should panic")
+		}
+	}()
+	Generate(DefaultConfig(), rng.New(7)).Subset(nil)
+}

@@ -131,3 +131,54 @@ func TestSubscribeWhileDownNoBootstrap(t *testing.T) {
 		t.Fatalf("post-recovery delivery = %v %v", v, ok)
 	}
 }
+
+func TestDefaultSections(t *testing.T) {
+	c := DefaultChaos()
+	if got, want := c.DetectionLag(), c.HeartbeatInterval*time.Duration(c.MissedThreshold); got != want {
+		t.Fatalf("DetectionLag = %v, want %v", got, want)
+	}
+
+	d := DefaultDurability()
+	if d.JournalEnabled {
+		t.Fatal("journaling must be opt-in")
+	}
+	if got, want := d.ReplayDelay(100), d.ReplayBase+100*d.ReplayPerEntry; got != want {
+		t.Fatalf("ReplayDelay(100) = %v, want %v", got, want)
+	}
+
+	r := DefaultResilience()
+	if r.RetryBudgetEnabled || r.ShedEnabled || r.ExpirySweep {
+		t.Fatal("resilience mechanisms must default off")
+	}
+	on := r.EnableAll()
+	if !on.RetryBudgetEnabled || !on.ShedEnabled || !on.ExpirySweep {
+		t.Fatal("EnableAll must switch every mechanism on")
+	}
+	if r.RetryBudgetEnabled {
+		t.Fatal("EnableAll must not mutate the receiver")
+	}
+	targets := []time.Duration{r.ShedTargetLow, r.ShedTargetNormal, r.ShedTargetHigh, r.ShedTargetHigh}
+	for level, want := range targets {
+		if got := r.ShedTarget(level); got != want {
+			t.Fatalf("ShedTarget(%d) = %v, want %v", level, got, want)
+		}
+	}
+}
+
+func TestStoreDownFlag(t *testing.T) {
+	s := NewStore(sim.NewEngine())
+	if s.Down() {
+		t.Fatal("store must start up")
+	}
+	s.SetDown(true)
+	if !s.Down() {
+		t.Fatal("SetDown(true) not observed")
+	}
+	if s.Set("k", 1) {
+		t.Fatal("Set must be rejected while down")
+	}
+	s.SetDown(false)
+	if s.Down() {
+		t.Fatal("SetDown(false) not observed")
+	}
+}

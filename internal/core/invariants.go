@@ -73,9 +73,19 @@ func (p *Platform) registerInvariantProbes() {
 			out = append(out, fmt.Sprintf("submitter counters say %.0f submitted, ledger %d",
 				submitted, t.Submitted))
 		}
-		if uint64(dropped) != t.Dropped {
-			out = append(out, fmt.Sprintf("submitter counters say %.0f dropped, ledger %d",
-				dropped, t.Dropped))
+		// Fabric handoffs that found no live shard in the destination
+		// partition are dropped there, not at a submitter.
+		if uint64(dropped+p.MigratedDropped.Value()) != t.Dropped {
+			out = append(out, fmt.Sprintf("submitter+fabric counters say %.0f dropped, ledger %d",
+				dropped+p.MigratedDropped.Value(), t.Dropped))
+		}
+		if uint64(p.MigratedOut.Value()) != t.MigratedOut {
+			out = append(out, fmt.Sprintf("fabric counter says %.0f migrated out, ledger %d",
+				p.MigratedOut.Value(), t.MigratedOut))
+		}
+		if uint64(p.MigratedIn.Value()) != t.MigratedIn {
+			out = append(out, fmt.Sprintf("fabric counter says %.0f migrated in, ledger %d",
+				p.MigratedIn.Value(), t.MigratedIn))
 		}
 		if uint64(acked) != t.Acked {
 			out = append(out, fmt.Sprintf("shard counters say %.0f acked, ledger %d",

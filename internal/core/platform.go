@@ -48,7 +48,21 @@ type DownstreamSpec struct {
 
 // Config assembles a platform.
 type Config struct {
-	Seed      uint64
+	Seed uint64
+	// Engine, when set, runs the platform on an existing engine — one
+	// partition of a sim.Group in a parallel run — instead of a fresh
+	// standalone engine. Every component schedules only on this engine;
+	// cross-partition interaction must flow through the fabric hooks
+	// (queuelb.LB.Remote), never shared memory.
+	Engine *sim.Engine
+	// Topo, when set, overrides synthetic topology generation (a
+	// partitioned run carves one global topology into per-partition
+	// subsets so latencies stay consistent with the fabric lookaheads).
+	Topo *cluster.Topology
+	// IDBase offsets every call ID this platform assigns. Partitioned
+	// runs give each partition a disjoint high-bits namespace so migrated
+	// calls can never collide with locally assigned IDs.
+	IDBase    uint64
 	Cluster   cluster.Config
 	Scheduler scheduler.Params
 	Worker    worker.Params
@@ -268,6 +282,13 @@ type Platform struct {
 	// counter handles so onExecuted never does a label lookup on the hot
 	// path; they are children of Metrics' completions_total family.
 	completionCtr [][][]*stats.Counter
+	// MigratedOut/MigratedIn/MigratedDropped count cross-partition fabric
+	// handoffs in a partitioned run (see internal/psim): calls this
+	// partition forwarded elsewhere, calls that arrived here, and arrived
+	// calls that found no live shard anywhere in the partition.
+	MigratedOut     stats.Counter
+	MigratedIn      stats.Counter
+	MigratedDropped stats.Counter
 	// OnExecutedHook, when set, observes every successful completion
 	// (experiment instrumentation).
 	OnExecutedHook func(*function.Call)
@@ -286,10 +307,20 @@ func (p *Platform) AddOnExecuted(fn func(*function.Call)) {
 // New builds and starts a platform for the given function registry.
 func New(cfg Config, registry *function.Registry) *Platform {
 	src := rng.New(cfg.Seed)
-	engine := sim.NewEngine()
+	engine := cfg.Engine
+	if engine == nil {
+		engine = sim.NewEngine()
+	}
+	topo := cfg.Topo
+	if topo == nil {
+		// The Split happens unconditionally on the legacy path so adding
+		// the Topo override leaves every existing seed-keyed stream — and
+		// therefore all golden outputs — untouched.
+		topo = cluster.Generate(cfg.Cluster, src.Split())
+	}
 	p := &Platform{
 		Engine:           engine,
-		Topo:             cluster.Generate(cfg.Cluster, src.Split()),
+		Topo:             topo,
 		Store:            config.NewStore(engine),
 		KV:               kv.NewStore(64),
 		Central:          ratelimit.NewCentral(engine),
@@ -297,6 +328,7 @@ func New(cfg Config, registry *function.Registry) *Platform {
 		Registry:         registry,
 		cfg:              cfg,
 		src:              src,
+		idSeq:            cfg.IDBase,
 		spiky:            make(map[string]bool),
 		avgCostM:         100,
 		lastShed:         1,

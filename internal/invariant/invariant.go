@@ -149,11 +149,19 @@ type Tally struct {
 	Expired      uint64
 	BudgetDenied uint64
 	Shed         uint64
+	// MigratedOut/MigratedIn book cross-partition fabric handoffs in a
+	// partitioned run: a call leaving this platform instance is a
+	// terminal here (MigratedOut) and a source on the destination
+	// (MigratedIn), so each partition's ledger closes independently while
+	// the fabric's Σout ≥ Σin closure holds globally.
+	MigratedOut uint64
+	MigratedIn  uint64
 }
 
 type counts struct {
 	submitted, acked, dead, dropped, lost, resurrected uint64
 	exhausted, expired, budgetDenied, shed             uint64
+	migratedOut, migratedIn                            uint64
 }
 
 type probe struct {
@@ -308,6 +316,52 @@ func (k *Checker) OnSubmit(c *function.Call) {
 	k.fcounts(e.fn).submitted++
 	if int(e.region) < len(k.byRegion) {
 		k.byRegion[e.region].submitted++
+	}
+}
+
+// OnMigrateOut records a call handed to another platform partition over
+// the parallel fabric. Migration happens at routing time, so it is only
+// legal from the submitted state (before durable persistence); the call
+// becomes the destination partition's responsibility and leaves this
+// ledger as a terminal.
+func (k *Checker) OnMigrateOut(c *function.Call) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e, ok := k.ledger[c.ID]
+	if !ok {
+		k.violate("migrate-unknown", c.ID, "migrated a call the ledger never saw")
+		return
+	}
+	if e.state != stSubmitted {
+		k.violate("migrate-from-"+stateName(e.state), c.ID,
+			"migrated after durable persistence (func %s)", e.fn)
+	}
+	k.terminal(c.ID, e, func(t *counts) { t.migratedOut++ })
+}
+
+// OnMigrateIn records a call arriving from another platform partition:
+// like a submission, it enters the ledger in the submitted state (the
+// fabric delivers to this partition's routing layer, which persists it),
+// but it is booked as a MigratedIn source so conservation distinguishes
+// locally born work from immigrated work.
+func (k *Checker) OnMigrateIn(c *function.Call) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, dup := k.ledger[c.ID]; dup {
+		k.violate("duplicate-call-id", c.ID, "migrated-in id already live (func %s)", c.Spec.Name)
+	}
+	e := centry{state: stSubmitted, region: int32(c.SourceRegion), fn: c.Spec.Name}
+	k.ledger[c.ID] = e
+	k.total.migratedIn++
+	k.fcounts(e.fn).migratedIn++
+	if int(e.region) < len(k.byRegion) {
+		k.byRegion[e.region].migratedIn++
 	}
 }
 
@@ -797,6 +851,8 @@ func tally(c counts) Tally {
 		Expired:      c.expired,
 		BudgetDenied: c.budgetDenied,
 		Shed:         c.shed,
+		MigratedOut:  c.migratedOut,
+		MigratedIn:   c.migratedIn,
 	}
 }
 
@@ -852,11 +908,14 @@ func (k *Checker) EachRegion(fn func(region int, t Tally)) {
 }
 
 // Gap returns the conservation imbalance of a tally: zero when
-// submitted + resurrected == acked + dead-lettered + dropped + lost +
-// in-flight. The closure holds across crashes and restarts: a crash
-// moves calls to Lost (never silently off the books), and a torn-ack
-// replay adds a Resurrected source to balance the call's second life.
+// submitted + resurrected + migrated-in == acked + dead-lettered +
+// dropped + lost + migrated-out + in-flight. The closure holds across
+// crashes and restarts: a crash moves calls to Lost (never silently off
+// the books), a torn-ack replay adds a Resurrected source to balance the
+// call's second life, and a partitioned run's fabric handoffs appear as
+// a matched MigratedOut terminal here and MigratedIn source there.
 func (t Tally) Gap() int64 {
-	return int64(t.Submitted) + int64(t.Resurrected) - int64(t.Acked) -
-		int64(t.DeadLettered) - int64(t.Dropped) - int64(t.Lost) - int64(t.InFlight)
+	return int64(t.Submitted) + int64(t.Resurrected) + int64(t.MigratedIn) -
+		int64(t.Acked) - int64(t.DeadLettered) - int64(t.Dropped) -
+		int64(t.Lost) - int64(t.MigratedOut) - int64(t.InFlight)
 }

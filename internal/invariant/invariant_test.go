@@ -341,3 +341,85 @@ func TestViolationStringFormat(t *testing.T) {
 		}
 	}
 }
+
+func TestMigrateOutFromSubmittedIsClean(t *testing.T) {
+	_, k := newTestChecker(t)
+	c := call(1, "f", 0)
+	k.OnSubmit(c)
+	k.OnMigrateOut(c)
+	wantClean(t, k)
+	tt := k.Totals()
+	if tt.MigratedOut != 1 || tt.InFlight != 0 {
+		t.Fatalf("totals after migrate-out: %+v", tt)
+	}
+	if tt.Gap() != 0 {
+		t.Fatalf("gap %+d after clean migrate-out", tt.Gap())
+	}
+}
+
+func TestMigrateInEntersLikeSubmission(t *testing.T) {
+	_, k := newTestChecker(t)
+	c := call(7, "f", 1)
+	k.OnMigrateIn(c)
+	drive2 := func() {
+		k.OnEnqueue(c)
+		c.Attempt++
+		k.OnLease(c)
+		k.OnDispatch(c, 0, 0)
+		k.OnComplete(c, 0, 0)
+		k.OnAck(c)
+	}
+	drive2()
+	wantClean(t, k)
+	tt := k.Totals()
+	if tt.MigratedIn != 1 || tt.Acked != 1 || tt.Submitted != 0 {
+		t.Fatalf("totals after migrate-in lifecycle: %+v", tt)
+	}
+	if tt.Gap() != 0 {
+		t.Fatalf("gap %+d after migrated call settled", tt.Gap())
+	}
+}
+
+func TestMigrateOutAfterPersistenceViolates(t *testing.T) {
+	_, k := newTestChecker(t)
+	c := call(2, "f", 0)
+	drive(k, c, "queued")
+	k.OnMigrateOut(c)
+	wantViolation(t, k, "migrate-from-queued")
+}
+
+func TestMigrateOutUnknownViolates(t *testing.T) {
+	_, k := newTestChecker(t)
+	k.OnMigrateOut(call(3, "f", 0))
+	wantViolation(t, k, "migrate-unknown")
+}
+
+func TestMigrateInDuplicateViolates(t *testing.T) {
+	_, k := newTestChecker(t)
+	c := call(4, "f", 0)
+	k.OnSubmit(c)
+	k.OnMigrateIn(c)
+	wantViolation(t, k, "duplicate-call-id")
+}
+
+func TestMigrateNilCheckerIsSafe(t *testing.T) {
+	var k *Checker
+	c := call(5, "f", 0)
+	k.OnMigrateOut(c)
+	k.OnMigrateIn(c)
+	if k.Totals() != (Tally{}) {
+		t.Fatal("nil checker has totals")
+	}
+}
+
+func TestMigratedInCanBeDropped(t *testing.T) {
+	_, k := newTestChecker(t)
+	c := call(6, "f", 0)
+	k.OnMigrateIn(c)
+	k.OnDropped(c)
+	wantClean(t, k)
+	tt := k.Totals()
+	if tt.MigratedIn != 1 || tt.Dropped != 1 || tt.Gap() != 0 {
+		t.Fatalf("totals after migrate-in drop: %+v (gap %+d)", tt, tt.Gap())
+	}
+}

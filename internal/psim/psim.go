@@ -1,0 +1,460 @@
+// Package psim runs a partitioned XFaaS simulation: P self-contained
+// platform instances (each with its own engine partition, rate limiter,
+// congestion manager, tracer, invariant checker and ID namespace) over
+// contiguous region groups of ONE global topology, coupled only through
+// the sim.Group fabric. Cross-partition traffic is handed off at routing
+// time (queuelb.LB.Remote) and travels with the real inter-region
+// latency, which is always at least the fabric lookahead — the condition
+// conservative parallel simulation needs.
+//
+// The partition count P is a model parameter: a run with P=4 simulates a
+// different (sharded) platform than P=1 and produces different numbers.
+// What IS guaranteed, and what CI gates on, is execution determinism for
+// a fixed P:
+//
+//   - run-twice: two runs with identical Options are byte-identical;
+//   - parallel-vs-seq: Options.Seq=true runs the same P partitions on a
+//     single goroutine (sim.Group.RunUntilSeq) and yields byte-identical
+//     output to the multi-goroutine run;
+//   - GOMAXPROCS invariance: the schedule is fixed by virtual time and
+//     the (at, origin, seq) event key, never by OS scheduling.
+package psim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"xfaas/internal/chaos"
+	"xfaas/internal/cluster"
+	"xfaas/internal/core"
+	"xfaas/internal/function"
+	"xfaas/internal/invariant"
+	"xfaas/internal/rng"
+	"xfaas/internal/sim"
+	"xfaas/internal/trace"
+	"xfaas/internal/workload"
+)
+
+// Options configure a partitioned run. The zero value is not runnable;
+// use DefaultOptions as a base.
+type Options struct {
+	// Parts is the partition count P. Regions are split into P contiguous
+	// groups (the first Regions%P groups get one extra region), so Parts
+	// must not exceed Regions.
+	Parts int
+	// Seq runs the same P partitions on the single-goroutine reference
+	// scheduler instead of P goroutines. Output must be byte-identical.
+	Seq bool
+	// Minutes of virtual time to simulate.
+	Minutes int
+	// Seed keys every stream: topology, population, per-partition
+	// platforms, generators, fabric and chaos.
+	Seed uint64
+	// Regions and TotalWorkers size the global topology.
+	Regions      int
+	TotalWorkers int
+	// Functions and RPS size the global population; models are dealt
+	// round-robin to partitions, so each partition carries ~1/P of the
+	// arrival rate.
+	Functions int
+	RPS       float64
+	// CrossFrac is the fraction of submissions each QueueLB offers to the
+	// fabric for migration to a remote partition.
+	CrossFrac float64
+	// Chaos injects a deterministic per-partition fault schedule (gray
+	// worker, rack crash, shard outage, shard crash, submitter crash).
+	Chaos bool
+	// Traced enables per-call trace sampling.
+	Traced bool
+	// Invariants enables the ledger and platform probes in every
+	// partition.
+	Invariants bool
+	// Prewarm starts workers with all functions JIT-compiled. Disable for
+	// very large fleets (PlatformHuge) where prewarming dominates setup.
+	Prewarm bool
+}
+
+// DefaultOptions is a small partitioned run suitable for CI gates.
+func DefaultOptions() Options {
+	return Options{
+		Parts:        2,
+		Minutes:      10,
+		Seed:         1,
+		Regions:      8,
+		TotalWorkers: 64,
+		Functions:    96,
+		RPS:          120,
+		CrossFrac:    0.15,
+		Prewarm:      true,
+	}
+}
+
+// Partition is one platform shard plus its harness.
+type Partition struct {
+	// GlobalRegions lists this partition's regions in global IDs; local
+	// region i of the sub-platform is GlobalRegions[i].
+	GlobalRegions []cluster.RegionID
+	Platform      *core.Platform
+	Generator     *workload.Generator
+	Injector      *chaos.Injector
+}
+
+// Runner owns a partitioned simulation.
+type Runner struct {
+	Opts  Options
+	Topo  *cluster.Topology // the global topology
+	Group *sim.Group
+	Parts []*Partition
+	Pop   *workload.Population
+
+	// partOfRegion maps a global region ID to its partition index;
+	// localOfRegion to its ID inside that partition's sub-topology.
+	partOfRegion  []int
+	localOfRegion []cluster.RegionID
+}
+
+// remoteTarget is one candidate destination for a fabric handoff.
+type remoteTarget struct {
+	part   int
+	local  cluster.RegionID
+	global cluster.RegionID
+	weight float64
+}
+
+// partitionRegions splits n regions into p contiguous groups, the first
+// n%p groups one larger.
+func partitionRegions(n, p int) [][]cluster.RegionID {
+	if p <= 0 || p > n {
+		panic(fmt.Sprintf("psim: %d partitions over %d regions", p, n))
+	}
+	out := make([][]cluster.RegionID, p)
+	base, extra := n/p, n%p
+	next := 0
+	for i := 0; i < p; i++ {
+		k := base
+		if i < extra {
+			k++
+		}
+		for j := 0; j < k; j++ {
+			out[i] = append(out[i], cluster.RegionID(next))
+			next++
+		}
+	}
+	return out
+}
+
+// New builds the partitioned platform. Everything is constructed on the
+// calling goroutine; nothing runs until Run.
+func New(opts Options) *Runner {
+	if opts.Parts <= 0 {
+		panic("psim: Parts must be positive")
+	}
+	root := rng.New(opts.Seed)
+	topo := cluster.Generate(cluster.Config{
+		Regions:            opts.Regions,
+		TotalWorkers:       opts.TotalWorkers,
+		ShardsPerRegionMin: 2,
+		Skew:               0.8,
+	}, root.Split())
+
+	popCfg := workload.DefaultPopulationConfig()
+	popCfg.Functions = opts.Functions
+	popCfg.TotalRPS = opts.RPS
+	// The default burst rate is sized for the paper-scale experiments;
+	// keep spiky functions proportionate to this run's platform.
+	popCfg.SpikeBurstRPS = opts.RPS
+	pop := workload.NewPopulation(popCfg, root.Split())
+
+	groups := partitionRegions(topo.NumRegions(), opts.Parts)
+	partOf := make([]int, topo.NumRegions())
+	localOf := make([]cluster.RegionID, topo.NumRegions())
+	for p, ids := range groups {
+		for j, id := range ids {
+			partOf[id] = p
+			localOf[id] = cluster.RegionID(j)
+		}
+	}
+
+	// Fabric lookahead between two partitions is the smallest latency any
+	// cross-pair of their regions can have: every handoff travels with
+	// its actual pair latency, so no message can undercut the lookahead.
+	group := sim.NewGroup(opts.Parts, func(src, dst int) time.Duration {
+		min := time.Duration(0)
+		for _, a := range groups[src] {
+			for _, b := range groups[dst] {
+				if l := topo.Latency(a, b); min == 0 || l < min {
+					min = l
+				}
+			}
+		}
+		return min
+	})
+
+	r := &Runner{
+		Opts: opts, Topo: topo, Group: group, Pop: pop,
+		partOfRegion: partOf, localOfRegion: localOf,
+	}
+
+	for p := 0; p < opts.Parts; p++ {
+		partSeed := opts.Seed ^ (uint64(p+1) * 0x9E3779B97F4A7C15)
+		cfg := core.DefaultConfig()
+		cfg.Seed = partSeed
+		cfg.Engine = group.Part(p)
+		cfg.Topo = topo.Subset(groups[p])
+		cfg.IDBase = uint64(p+1) << 48
+		cfg.PrewarmJIT = opts.Prewarm
+		cfg.Trace.Enabled = opts.Traced
+		cfg.Invariants.Enabled = opts.Invariants
+		plat := core.New(cfg, pop.Registry)
+
+		// This partition's share of the population: every P-th model.
+		var models []*workload.FuncModel
+		for i := p; i < len(pop.Models); i += opts.Parts {
+			models = append(models, pop.Models[i])
+		}
+		sub := &workload.Population{Models: models, Registry: pop.Registry, TeamOf: pop.TeamOf}
+		gen := workload.NewGenerator(group.Part(p), sub, cfg.Topo.CapacityShare(),
+			plat.SubmitFunc(), rng.New(partSeed+1000))
+
+		part := &Partition{GlobalRegions: groups[p], Platform: plat, Generator: gen}
+		if opts.Chaos {
+			part.Injector = chaos.NewInjector(plat, rng.New(partSeed+9000))
+		}
+		r.Parts = append(r.Parts, part)
+	}
+
+	if opts.Parts > 1 && opts.CrossFrac > 0 {
+		r.wireFabric()
+	}
+	return r
+}
+
+// wireFabric installs the Remote hook on every QueueLB: a CrossFrac
+// slice of each region's submissions migrates to a worker-capacity-
+// weighted remote region, travelling with the global pair latency.
+func (r *Runner) wireFabric() {
+	for p, part := range r.Parts {
+		p := p
+		srcPlat := part.Platform
+		fabricSrc := rng.New(r.Opts.Seed ^ (uint64(p+1) * 0x9E3779B97F4A7C15) + 2000)
+		// Candidate destinations: every region outside this partition.
+		var targets []remoteTarget
+		total := 0.0
+		for _, reg := range r.Topo.Regions() {
+			if r.partOfRegion[reg.ID] == p {
+				continue
+			}
+			w := float64(reg.Workers)
+			targets = append(targets, remoteTarget{
+				part:   r.partOfRegion[reg.ID],
+				local:  r.localOfRegion[reg.ID],
+				global: reg.ID,
+				weight: w,
+			})
+			total += w
+		}
+		if len(targets) == 0 {
+			continue
+		}
+		for _, globalID := range part.GlobalRegions {
+			srcGlobal := globalID
+			lb := srcPlat.Region(r.localOfRegion[globalID]).QueueLB
+			src := fabricSrc.Split()
+			lb.RemoteFrac = r.Opts.CrossFrac
+			lb.Remote = func(c *function.Call) bool {
+				u := src.Float64() * total
+				tgt := targets[len(targets)-1]
+				for _, t := range targets {
+					if u < t.weight {
+						tgt = t
+						break
+					}
+					u -= t.weight
+				}
+				dstPlat := r.Parts[tgt.part].Platform
+				dstLocal := tgt.local
+				srcPlat.MigratedOut.Inc()
+				srcPlat.Inv.OnMigrateOut(c)
+				if c.Sampled {
+					// The call leaves this partition's trace universe;
+					// the destination does not re-sample it (trace
+					// sampling is a submission-time decision).
+					srcPlat.Tracer.Record(c, trace.KindMigrated, int64(tgt.part))
+					c.Sampled = false
+				}
+				srcPlat.Engine.Send(tgt.part, r.Topo.Latency(srcGlobal, tgt.global), func() {
+					deliver(dstPlat, dstLocal, c)
+				})
+				return true
+			}
+		}
+	}
+}
+
+// deliver lands a migrated call in the destination partition: it enters
+// the ledger as migrated-in and persists into the first available shard,
+// preferring the destination region and falling back across the
+// partition in region order. With every shard down it is dropped there —
+// the same client-visible outcome as a total DurableQ outage at home.
+func deliver(p *core.Platform, dst cluster.RegionID, c *function.Call) {
+	c.SourceRegion = dst
+	p.MigratedIn.Inc()
+	p.Inv.OnMigrateIn(c)
+	regions := p.Regions()
+	for off := 0; off < len(regions); off++ {
+		reg := regions[(int(dst)+off)%len(regions)]
+		for _, sh := range reg.Shards {
+			if sh.Enqueue(c) {
+				return
+			}
+		}
+	}
+	p.MigratedDropped.Inc()
+	p.Inv.OnDropped(c)
+}
+
+// scheduleChaos installs each partition's deterministic fault schedule,
+// expressed as fractions of the run so short CI runs still exercise
+// every fault class.
+func (r *Runner) scheduleChaos(deadline sim.Time) {
+	for _, part := range r.Parts {
+		inj := part.Injector
+		plat := part.Platform
+		at := func(frac float64) time.Duration {
+			return time.Duration(float64(deadline) * frac)
+		}
+		eng := plat.Engine
+		eng.Schedule(at(0.2), func() { inj.GrayWorker(0, 0, 8) })
+		eng.Schedule(at(0.6), func() { inj.ClearGray(0, 0) })
+		eng.Schedule(at(0.3), func() {
+			picked := inj.CorrelatedCrash(0, 0.25, true)
+			eng.Schedule(at(0.2), func() {
+				for _, i := range picked {
+					inj.RestartWorker(0, i)
+				}
+			})
+		})
+		last := cluster.RegionID(len(plat.Regions()) - 1)
+		eng.Schedule(at(0.4), func() { inj.ShardOutage(last, 0, at(0.1)) })
+		eng.Schedule(at(0.5), func() { inj.CrashSubmitter(0, false) })
+	}
+}
+
+// Run starts the generators, runs the group to the virtual deadline and
+// returns the deterministic report.
+func (r *Runner) Run() string {
+	deadline := sim.Time(r.Opts.Minutes) * sim.Time(time.Minute)
+	for _, part := range r.Parts {
+		part.Generator.Start()
+	}
+	if r.Opts.Chaos {
+		r.scheduleChaos(deadline)
+	}
+	if r.Opts.Seq {
+		r.Group.RunUntilSeq(deadline)
+	} else {
+		r.Group.RunUntil(deadline)
+	}
+	return r.Report()
+}
+
+// partStats is one partition's deterministic counter snapshot.
+type partStats struct {
+	generated, submitted, acked, completions      float64
+	dropped, lost, sloMisses                      float64
+	migratedOut, migratedIn, migratedDropped      float64
+	remoteForwarded                               float64
+	violations, ctrlEvents, sampled, traceDropped uint64
+	gap                                           int64
+}
+
+func (r *Runner) stats(part *Partition) partStats {
+	p := part.Platform
+	s := partStats{
+		generated:       part.Generator.Generated.Value(),
+		acked:           p.Acked(),
+		completions:     p.Completions.Value(),
+		sloMisses:       p.SLOMisses(),
+		migratedOut:     p.MigratedOut.Value(),
+		migratedIn:      p.MigratedIn.Value(),
+		migratedDropped: p.MigratedDropped.Value(),
+		ctrlEvents:      p.Tracer.ControlCount(),
+	}
+	for _, reg := range p.Regions() {
+		s.submitted += reg.Normal.Submitted.Value() + reg.Spiky.Submitted.Value()
+		s.dropped += reg.Normal.RouteFailed.Value() + reg.Spiky.RouteFailed.Value()
+		s.lost += reg.Normal.LostOnCrash.Value() + reg.Spiky.LostOnCrash.Value()
+		s.remoteForwarded += reg.QueueLB.RemoteForwarded.Value()
+		for _, sh := range reg.Shards {
+			s.lost += sh.LostOnCrash.Value()
+		}
+	}
+	if p.Inv.Enabled() {
+		s.violations = p.Inv.TotalViolations()
+		s.gap = p.Inv.Totals().Gap()
+	}
+	if r.Opts.Traced {
+		sampled, _, dropped := p.Tracer.Stats()
+		s.sampled, s.traceDropped = sampled, dropped
+	}
+	return s
+}
+
+// Report renders the run's counters as deterministic text: virtual-time
+// quantities and seeded-stream counters only, no wall-clock, no map
+// iteration. Byte-identical across reruns, Seq mode and GOMAXPROCS.
+func (r *Runner) Report() string {
+	var b strings.Builder
+	o := r.Opts
+	fmt.Fprintf(&b, "psim parts=%d regions=%d workers=%d funcs=%d rps=%.0f minutes=%d seed=%d cross=%.2f chaos=%v traced=%v invariants=%v\n",
+		o.Parts, o.Regions, o.TotalWorkers, o.Functions, o.RPS, o.Minutes, o.Seed, o.CrossFrac, o.Chaos, o.Traced, o.Invariants)
+	var tot partStats
+	for i, part := range r.Parts {
+		s := r.stats(part)
+		fmt.Fprintf(&b, "part %d: regions=%d gen=%.0f sub=%.0f acked=%.0f done=%.0f slo=%.0f drop=%.0f lost=%.0f out=%.0f in=%.0f indrop=%.0f fwd=%.0f ctrl=%d",
+			i, len(part.GlobalRegions), s.generated, s.submitted, s.acked, s.completions,
+			s.sloMisses, s.dropped, s.lost, s.migratedOut, s.migratedIn, s.migratedDropped,
+			s.remoteForwarded, s.ctrlEvents)
+		if o.Invariants {
+			fmt.Fprintf(&b, " viol=%d gap=%+d", s.violations, s.gap)
+		}
+		if o.Traced {
+			fmt.Fprintf(&b, " sampled=%d tdrop=%d", s.sampled, s.traceDropped)
+		}
+		fmt.Fprintln(&b)
+		tot.generated += s.generated
+		tot.submitted += s.submitted
+		tot.acked += s.acked
+		tot.completions += s.completions
+		tot.sloMisses += s.sloMisses
+		tot.dropped += s.dropped
+		tot.lost += s.lost
+		tot.migratedOut += s.migratedOut
+		tot.migratedIn += s.migratedIn
+		tot.migratedDropped += s.migratedDropped
+		tot.remoteForwarded += s.remoteForwarded
+		tot.violations += s.violations
+	}
+	fmt.Fprintf(&b, "total: gen=%.0f sub=%.0f acked=%.0f done=%.0f slo=%.0f drop=%.0f lost=%.0f out=%.0f in=%.0f indrop=%.0f fwd=%.0f events=%d",
+		tot.generated, tot.submitted, tot.acked, tot.completions, tot.sloMisses,
+		tot.dropped, tot.lost, tot.migratedOut, tot.migratedIn, tot.migratedDropped,
+		tot.remoteForwarded, r.Group.Processed())
+	if o.Invariants {
+		fmt.Fprintf(&b, " viol=%d", tot.violations)
+	}
+	fmt.Fprintln(&b)
+	return b.String()
+}
+
+// Violations collects every partition's invariant violations (final
+// checks included) for test assertions.
+func (r *Runner) Violations() []invariant.Violation {
+	var out []invariant.Violation
+	for _, part := range r.Parts {
+		if part.Platform.Inv.Enabled() {
+			out = append(out, part.Platform.Inv.Final()...)
+		}
+	}
+	return out
+}

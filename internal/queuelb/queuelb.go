@@ -100,6 +100,18 @@ type LB struct {
 	Crashes stats.Counter
 	// Trace, when set, records routing decisions for sampled calls.
 	Trace *trace.Recorder
+
+	// Remote, when set, may hand a call off to another platform partition
+	// over the parallel-simulation fabric instead of persisting it here.
+	// RouteOK consults it for RemoteFrac of submissions; returning true
+	// means the callback took ownership of the call, false falls through
+	// to normal local routing. When Remote is nil (every single-platform
+	// run) RouteOK makes exactly the same RNG draws as Route, so legacy
+	// seed-keyed outputs are unchanged.
+	Remote     func(*function.Call) bool
+	RemoteFrac float64
+	// RemoteForwarded counts calls handed to another partition.
+	RemoteForwarded stats.Counter
 }
 
 // SetDown marks the LB process crashed (true) or recovered (false); the
@@ -154,6 +166,20 @@ func (lb *LB) pickRegion() cluster.RegionID {
 		}
 	}
 	return lb.region
+}
+
+// RouteOK routes the call like Route, but first gives the Remote fabric
+// hook (when configured) a RemoteFrac chance to hand the call to another
+// platform partition. It reports whether the call found a home — locally
+// persisted or handed off.
+func (lb *LB) RouteOK(c *function.Call) bool {
+	if lb.Remote != nil && !lb.down && lb.RemoteFrac > 0 && lb.src.Float64() < lb.RemoteFrac {
+		if lb.Remote(c) {
+			lb.RemoteForwarded.Inc()
+			return true
+		}
+	}
+	return lb.Route(c) != nil
 }
 
 // Route persists the call into a DurableQ shard chosen per policy,

@@ -217,3 +217,127 @@ func TestRouteUnroutableWhenEverythingDown(t *testing.T) {
 		t.Fatal("route did not find the recovered shard")
 	}
 }
+
+// TestRouteOKWithoutRemoteMatchesRoute pins the RNG-draw parity contract:
+// with no Remote hook, RouteOK must make exactly the draws Route makes,
+// so wiring submitters through RouteOK changed no seeded output.
+func TestRouteOKWithoutRemoteMatchesRoute(t *testing.T) {
+	e := sim.NewEngine()
+	topo := topo3()
+	store := config.NewStore(e)
+	store.Set(PolicyKey, LocalFirstPolicy(topo, 0.5))
+
+	shardsA := shardsFor(e, topo)
+	lbA := New(0, rng.New(42), shardsA, store)
+	shardsB := shardsFor(e, topo)
+	lbB := New(0, rng.New(42), shardsB, store)
+
+	var id uint64
+	for i := 0; i < 500; i++ {
+		id++
+		a := lbA.Route(&function.Call{ID: id, Spec: qlbSpec()})
+		ok := lbB.RouteOK(&function.Call{ID: id, Spec: qlbSpec()})
+		if (a != nil) != ok {
+			t.Fatalf("call %d: Route=%v RouteOK=%v", id, a != nil, ok)
+		}
+	}
+	for r := range shardsA {
+		for k := range shardsA[r] {
+			if shardsA[r][k].Pending() != shardsB[r][k].Pending() {
+				t.Fatalf("shard r%d/%d: Route stream %d pending, RouteOK stream %d",
+					r, k, shardsA[r][k].Pending(), shardsB[r][k].Pending())
+			}
+		}
+	}
+}
+
+// TestRouteOKRemoteFraction checks the fabric hook sees about RemoteFrac
+// of traffic, that forwarded calls bypass local routing entirely, and
+// that the rest still lands in shards.
+func TestRouteOKRemoteFraction(t *testing.T) {
+	e := sim.NewEngine()
+	topo := topo3()
+	shards := shardsFor(e, topo)
+	store := config.NewStore(e)
+	store.Set(PolicyKey, LocalFirstPolicy(topo, 1))
+	lb := New(0, rng.New(5), shards, store)
+	lb.RemoteFrac = 0.3
+	taken := 0
+	lb.Remote = func(c *function.Call) bool {
+		taken++
+		return true
+	}
+	var id uint64
+	const n = 4000
+	for i := 0; i < n; i++ {
+		id++
+		if !lb.RouteOK(&function.Call{ID: id, Spec: qlbSpec()}) {
+			t.Fatalf("call %d found no home", id)
+		}
+	}
+	frac := float64(taken) / n
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("remote fraction %v, want ≈0.3", frac)
+	}
+	if int(lb.RemoteForwarded.Value()) != taken {
+		t.Fatalf("RemoteForwarded=%v, hook took %d", lb.RemoteForwarded.Value(), taken)
+	}
+	local := 0
+	for r := range shards {
+		for _, sh := range shards[r] {
+			local += sh.Pending()
+		}
+	}
+	if local != n-taken {
+		t.Fatalf("%d locally persisted + %d forwarded != %d submitted", local, taken, n)
+	}
+}
+
+// TestRouteOKRemoteDeclineFallsThrough checks a declining Remote hook
+// leaves the call on the normal local path.
+func TestRouteOKRemoteDeclineFallsThrough(t *testing.T) {
+	e := sim.NewEngine()
+	topo := topo3()
+	shards := shardsFor(e, topo)
+	store := config.NewStore(e)
+	store.Set(PolicyKey, LocalFirstPolicy(topo, 1))
+	lb := New(0, rng.New(6), shards, store)
+	lb.RemoteFrac = 1 // every call offered
+	lb.Remote = func(c *function.Call) bool { return false }
+	var id uint64
+	for i := 0; i < 200; i++ {
+		id++
+		if !lb.RouteOK(&function.Call{ID: id, Spec: qlbSpec()}) {
+			t.Fatalf("declined call %d found no home", id)
+		}
+	}
+	if lb.RemoteForwarded.Value() != 0 {
+		t.Fatal("declined handoffs counted as forwarded")
+	}
+	local := 0
+	for _, sh := range shards[0] {
+		local += sh.Pending()
+	}
+	if local != 200 {
+		t.Fatalf("%d/200 declined calls persisted locally", local)
+	}
+}
+
+// TestRouteOKDownLBSkipsRemote checks a crashed LB never offers calls to
+// the fabric: the process that would forward them is gone.
+func TestRouteOKDownLBSkipsRemote(t *testing.T) {
+	e := sim.NewEngine()
+	topo := topo3()
+	shards := shardsFor(e, topo)
+	store := config.NewStore(e)
+	lb := New(0, rng.New(7), shards, store)
+	lb.RemoteFrac = 1
+	lb.Remote = func(c *function.Call) bool {
+		t.Fatal("down LB offered a call to the fabric")
+		return true
+	}
+	lb.SetDown(true)
+	if lb.RouteOK(&function.Call{ID: 1, Spec: qlbSpec()}) {
+		t.Fatal("down LB routed a call")
+	}
+}

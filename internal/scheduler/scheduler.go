@@ -486,7 +486,16 @@ func (s *Scheduler) evacuate() {
 	s.runQ = s.runQ[:0]
 	s.runHead = 0
 	s.runLen = 0
-	for _, b := range s.buffers {
+	// NACK in sorted buffer order: each NACK with a positive retry
+	// backoff consumes one RNG draw on the owning shard and schedules a
+	// redelivery timer, so iterating the map directly would leak Go map
+	// order into the simulation.
+	if s.stale {
+		sort.Strings(s.names)
+		s.stale = false
+	}
+	for _, name := range s.names {
+		b := s.buffers[name]
 		for b.Len() > 0 {
 			c := b.Pop()
 			s.Trace.Record(c, trace.KindEvacuated, 0)

@@ -16,6 +16,7 @@ import (
 	"xfaas/internal/ratelimit"
 	"xfaas/internal/rng"
 	"xfaas/internal/sim"
+	"xfaas/internal/trace"
 	"xfaas/internal/worker"
 	"xfaas/internal/workerlb"
 )
@@ -479,5 +480,94 @@ func TestAllowPullGateStopsPolling(t *testing.T) {
 	r.engine.RunFor(5 * time.Minute)
 	if got := r.sched.Acked.Value(); got != 50 {
 		t.Fatalf("acked = %v after breaker closed, want 50", got)
+	}
+}
+
+// TestEvacuateSweepsBuffersInSortedOrder pins the evacuation NACK order.
+// Each NACK of a call with a positive retry backoff consumes exactly one
+// draw from the owning shard's RNG, so with a known seed the i-th
+// evacuated call must carry the i-th draw as its recorded retry backoff.
+// evacuate() must therefore empty its FuncBuffers in sorted function-name
+// order (each buffer in its deterministic heap order) — iterating the
+// buffer map directly would permute the draw assignment per run and leak
+// Go map order into an otherwise seed-determined simulation (caught
+// originally as run-to-run diffs in the partitioned-platform chaos gate).
+func TestEvacuateSweepsBuffersInSortedOrder(t *testing.T) {
+	engine := sim.NewEngine()
+	store := config.NewStore(engine)
+	shard := durableq.NewShard(durableq.ShardID{}, engine, rng.New(99))
+	rec := trace.NewRecorder(engine, 1, trace.Params{
+		Enabled: true, SampleEvery: 1, RingSize: 256,
+		MaxEventsPerCall: 32, ControlLog: 16,
+	})
+	shard.Trace = rec
+	src := rng.New(7)
+	wp := worker.DefaultParams()
+	pool := []*worker.Worker{worker.New(worker.ID{Index: 0}, engine, wp, src.Split(), nil)}
+	lb := workerlb.New(src.Split(), pool)
+	cen := ratelimit.NewCentral(engine)
+	cong := congestion.NewManager(engine, congestion.DefaultAIMDParams(), congestion.DefaultSlowStartParams())
+	sched := New(engine, src.Split(), 0, DefaultParams(), [][]*durableq.Shard{{shard}}, lb, cen, cong, store)
+
+	// Unsorted creation order, so sorted output can't happen by accident.
+	names := []string{"zeta", "alpha", "mid", "beta", "omega", "gamma"}
+	backoff := 10 * time.Second
+	var calls []*function.Call
+	id := uint64(0)
+	for _, name := range names {
+		spec := rigSpec(name, function.CritNormal)
+		spec.Retry = function.RetryPolicy{MaxAttempts: 10, Backoff: backoff}
+		for j := 0; j < 3; j++ {
+			id++
+			c := &function.Call{
+				ID: id, Spec: spec,
+				// Distinct deadlines fix each buffer's internal pop order.
+				Deadline: sim.Time(time.Hour) + sim.Time(id)*sim.Time(time.Minute),
+				CPUWorkM: 1, MemMB: 1, ExecSecs: 0.1,
+			}
+			shard.Enqueue(c)
+			rec.OnSubmit(c)
+			calls = append(calls, c)
+		}
+	}
+	// Lease everything into the scheduler's FuncBuffers (the engine never
+	// runs, so no tick interferes), then evacuate directly.
+	for _, c := range shard.Poll(len(calls), nil) {
+		sched.admit(c, shard)
+	}
+	if got := sched.Buffered(); got != len(calls) {
+		t.Fatalf("buffered = %d, want %d", got, len(calls))
+	}
+	sched.evacuate()
+	if got := int(sched.Evacuated.Value()); got != len(calls) {
+		t.Fatalf("evacuated = %d, want %d", got, len(calls))
+	}
+
+	// Expected order: buffers in sorted name order, each drained in its
+	// (criticality, deadline, ID) heap order — here ascending ID.
+	expected := append([]*function.Call(nil), calls...)
+	sort.Slice(expected, func(i, j int) bool {
+		if expected[i].Spec.Name != expected[j].Spec.Name {
+			return expected[i].Spec.Name < expected[j].Spec.Name
+		}
+		return expected[i].ID < expected[j].ID
+	})
+	draws := rng.New(99) // replica of the shard's backoff source
+	for i, c := range expected {
+		want := time.Duration(draws.Float64() * float64(backoff))
+		tr := rec.Find(c.ID)
+		if tr == nil {
+			t.Fatalf("no trace for call %d", c.ID)
+		}
+		got := time.Duration(-1)
+		for _, ev := range tr.Events {
+			if ev.Kind == trace.KindRetry {
+				got = time.Duration(ev.Arg)
+			}
+		}
+		if got != want {
+			t.Fatalf("call %d (func %s, evacuation position %d): retry backoff %v, want draw %v — evacuation is not in sorted buffer order",
+				c.ID, c.Spec.Name, i, got, want)
+		}
 	}
 }

@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"xfaas/internal/rng"
+)
+
+// The property harness generates random event programs — trees of events
+// where each fired node schedules local children and sends cross-
+// partition children — entirely up front, so the same immutable program
+// can be executed three ways: on a Group's parallel loops, on the
+// Group's sequential reference loop, and on a from-the-spec serial
+// oracle that implements the (time, origin, seq) merge directly over a
+// flat list. All three must fire the same events at the same virtual
+// times in the same per-partition order.
+
+type pnode struct {
+	id    int
+	dst   int  // partition the node fires on
+	delay Time // from the parent's fire time (roots: absolute)
+	kids  []*pnode
+}
+
+type program struct {
+	parts int
+	la    time.Duration
+	roots []*pnode
+	count int
+}
+
+type fireRec struct {
+	id int
+	at Time
+}
+
+func genProgram(seed uint64) *program {
+	src := rng.New(seed)
+	p := &program{
+		parts: 2 + src.Intn(4),
+		la:    time.Duration(1+src.Intn(4)) * time.Millisecond,
+	}
+	var grow func(parent *pnode, depth int)
+	grow = func(parent *pnode, depth int) {
+		if depth >= 4 {
+			return
+		}
+		for k := src.Intn(3); k > 0; k-- {
+			n := &pnode{id: p.count}
+			p.count++
+			if src.Float64() < 0.45 && p.parts > 1 {
+				// Cross-partition send: delay ≥ lookahead, sometimes
+				// exactly at the boundary.
+				n.dst = (parent.dst + 1 + src.Intn(p.parts-1)) % p.parts
+				n.delay = p.la + time.Duration(src.Intn(3))*p.la/2
+			} else {
+				n.dst = parent.dst
+				n.delay = time.Duration(src.Intn(5000)) * time.Microsecond
+			}
+			parent.kids = append(parent.kids, n)
+			grow(n, depth+1)
+		}
+	}
+	for part := 0; part < p.parts; part++ {
+		for r := 0; r < 3; r++ {
+			n := &pnode{id: p.count, dst: part, delay: Time(src.Intn(10)) * time.Millisecond}
+			p.count++
+			p.roots = append(p.roots, n)
+			grow(n, 0)
+		}
+	}
+	return p
+}
+
+// runOnGroup executes the program on a fresh Group and returns the
+// per-partition fire logs in fire order.
+func runOnGroup(p *program, deadline Time, seq bool) [][]fireRec {
+	g := NewGroup(p.parts, mesh(p.la))
+	logs := make([][]fireRec, p.parts)
+	var fire func(n *pnode) func()
+	fire = func(n *pnode) func() {
+		e := g.Part(n.dst)
+		return func() {
+			logs[n.dst] = append(logs[n.dst], fireRec{id: n.id, at: e.Now()})
+			for _, k := range n.kids {
+				if k.dst == n.dst {
+					e.Schedule(k.delay, fire(k))
+				} else {
+					e.Send(k.dst, k.delay, fire(k))
+				}
+			}
+		}
+	}
+	for _, r := range p.roots {
+		g.Part(r.dst).At(r.delay, fire(r))
+	}
+	if seq {
+		g.RunUntilSeq(deadline)
+	} else {
+		g.RunUntil(deadline)
+	}
+	return logs
+}
+
+// runOracle executes the program on a serial from-the-spec
+// implementation: per-origin sequence counters assigned in program
+// order, a flat pending list per partition, and the next event chosen as
+// each partition's (at, origin, seq) minimum, globally ordered by (at,
+// partition).
+func runOracle(p *program, deadline Time) [][]fireRec {
+	type refEv struct {
+		at     Time
+		origin int
+		seq    uint64
+		n      *pnode
+	}
+	refLess := func(a, b refEv) bool {
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.origin != b.origin {
+			return a.origin < b.origin
+		}
+		return a.seq < b.seq
+	}
+	logs := make([][]fireRec, p.parts)
+	pending := make([][]refEv, p.parts)
+	seqs := make([]uint64, p.parts)
+	for _, r := range p.roots {
+		seqs[r.dst]++
+		pending[r.dst] = append(pending[r.dst], refEv{at: r.delay, origin: r.dst, seq: seqs[r.dst], n: r})
+	}
+	for {
+		bestPart, bestIdx := -1, -1
+		var best refEv
+		for part := 0; part < p.parts; part++ {
+			mi := -1
+			for i, ev := range pending[part] {
+				if mi < 0 || refLess(ev, pending[part][mi]) {
+					mi = i
+				}
+			}
+			if mi < 0 || pending[part][mi].at > deadline {
+				continue
+			}
+			if bestPart < 0 || pending[part][mi].at < best.at {
+				bestPart, bestIdx, best = part, mi, pending[part][mi]
+			}
+		}
+		if bestPart < 0 {
+			return logs
+		}
+		pending[bestPart] = append(pending[bestPart][:bestIdx], pending[bestPart][bestIdx+1:]...)
+		logs[bestPart] = append(logs[bestPart], fireRec{id: best.n.id, at: best.at})
+		for _, k := range best.n.kids {
+			seqs[bestPart]++ // sends and schedules share the sender's counter
+			pending[k.dst] = append(pending[k.dst], refEv{at: best.at + k.delay, origin: bestPart, seq: seqs[bestPart], n: k})
+		}
+	}
+}
+
+// TestParallelMergeOrderEquivalence is the partition-boundary
+// order-equivalence property: on random cross-partition event streams,
+// the parallel merge, the sequential reference loop, and the serial
+// oracle fire identical per-partition sequences — including with a
+// deadline that truncates the program mid-flight.
+func TestParallelMergeOrderEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		p := genProgram(seed)
+		deadline := time.Second
+		if seed%2 == 0 {
+			deadline = 12 * time.Millisecond // truncate mid-program
+		}
+		par := runOnGroup(p, deadline, false)
+		sq := runOnGroup(p, deadline, true)
+		oracle := runOracle(p, deadline)
+		for part := 0; part < p.parts; part++ {
+			if fmt.Sprint(par[part]) != fmt.Sprint(sq[part]) {
+				t.Fatalf("seed %d part %d: parallel %v != sequential %v", seed, part, par[part], sq[part])
+			}
+			if fmt.Sprint(par[part]) != fmt.Sprint(oracle[part]) {
+				t.Fatalf("seed %d part %d: parallel %v != oracle %v", seed, part, par[part], oracle[part])
+			}
+		}
+	}
+}
+
+// TestParallelRunTwiceIdentical re-runs the same program on two
+// independent Groups under the parallel loop; goroutine interleaving
+// must not leak into the fire order.
+func TestParallelRunTwiceIdentical(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		p := genProgram(seed)
+		a := runOnGroup(p, time.Second, false)
+		b := runOnGroup(p, time.Second, false)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("seed %d: two parallel runs diverged:\n%v\n%v", seed, a, b)
+		}
+	}
+}
+
+// TestLookaheadSafety verifies no event is delivered before its horizon:
+// every node fires exactly at its parent's fire time plus its delay, and
+// every cross-partition delivery lands at least one lookahead after its
+// send. Per-partition fire logs must be time-monotone (an arrival in the
+// local past would also trip Step's time-went-backwards panic).
+func TestLookaheadSafety(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		p := genProgram(seed)
+		logs := runOnGroup(p, time.Second, false)
+		fired := make(map[int]Time, p.count)
+		for part, log := range logs {
+			last := Time(-1)
+			for _, rec := range log {
+				if rec.at < last {
+					t.Fatalf("seed %d part %d: time regressed %v -> %v", seed, part, last, rec.at)
+				}
+				last = rec.at
+				fired[rec.id] = rec.at
+			}
+		}
+		var walk func(n *pnode, parentAt Time, parentDst int, isRoot bool)
+		walk = func(n *pnode, parentAt Time, parentDst int, isRoot bool) {
+			want := parentAt + n.delay
+			got, ok := fired[n.id]
+			if !ok {
+				t.Fatalf("seed %d: node %d never fired", seed, n.id)
+			}
+			if got != want {
+				t.Fatalf("seed %d: node %d fired at %v, want %v", seed, n.id, got, want)
+			}
+			if !isRoot && n.dst != parentDst && got < parentAt+p.la {
+				t.Fatalf("seed %d: node %d beat the lookahead (sent %v fired %v la %v)", seed, n.id, parentAt, got, p.la)
+			}
+			for _, k := range n.kids {
+				walk(k, got, n.dst, false)
+			}
+		}
+		for _, r := range p.roots {
+			walk(r, 0, r.dst, true)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func mesh(la time.Duration) func(int, int) time.Duration {
+	return func(s, d int) time.Duration { return la }
+}
+
+func TestGroupSendDeliversAtSendTimePlusDelay(t *testing.T) {
+	g := NewGroup(2, mesh(time.Millisecond))
+	a, b := g.Part(0), g.Part(1)
+	var got Time
+	var sentAt Time
+	a.At(3*time.Millisecond, func() {
+		sentAt = a.Now()
+		a.Send(1, 2*time.Millisecond, func() { got = b.Now() })
+	})
+	g.RunUntil(10 * time.Millisecond)
+	if sentAt != 3*time.Millisecond {
+		t.Fatalf("send fired at %v", sentAt)
+	}
+	if got != 5*time.Millisecond {
+		t.Fatalf("delivery fired at %v, want 5ms", got)
+	}
+	if a.Now() != 10*time.Millisecond || b.Now() != 10*time.Millisecond {
+		t.Fatalf("clocks %v %v, want deadline", a.Now(), b.Now())
+	}
+}
+
+func TestGroupSelfSendIsSchedule(t *testing.T) {
+	g := NewGroup(2, mesh(time.Millisecond))
+	a := g.Part(0)
+	var at Time
+	a.At(time.Millisecond, func() {
+		// Below the fabric lookahead: legal for a self-send.
+		a.Send(0, 10*time.Microsecond, func() { at = a.Now() })
+	})
+	g.RunUntil(5 * time.Millisecond)
+	if at != time.Millisecond+10*time.Microsecond {
+		t.Fatalf("self-send fired at %v", at)
+	}
+}
+
+func TestSendPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	g := NewGroup(3, func(s, d int) time.Duration {
+		if s == 2 || d == 2 { // partition 2 has no edges
+			return 0
+		}
+		return time.Millisecond
+	})
+	expectPanic("below lookahead", func() { g.Part(0).Send(1, time.Microsecond, func() {}) })
+	expectPanic("missing edge", func() { g.Part(0).Send(2, time.Second, func() {}) })
+	expectPanic("unknown partition", func() { g.Part(0).Send(9, time.Second, func() {}) })
+	expectPanic("nil fn", func() { g.Part(0).Send(1, time.Second, nil) })
+	expectPanic("outside group", func() { NewEngine().Send(0, time.Second, func() {}) })
+}
+
+// A message whose arrival lands past the phase deadline must survive in
+// the mailbox/heap and fire during the next RunUntil phase.
+func TestGroupPhasedRunCarriesMessagesAcrossDeadlines(t *testing.T) {
+	g := NewGroup(2, mesh(time.Millisecond))
+	a, b := g.Part(0), g.Part(1)
+	var fired []Time
+	a.At(9*time.Millisecond, func() {
+		a.Send(1, 5*time.Millisecond, func() { fired = append(fired, b.Now()) })
+	})
+	g.RunUntil(10 * time.Millisecond)
+	if len(fired) != 0 {
+		t.Fatalf("delivery fired before its time: %v", fired)
+	}
+	g.RunUntil(20 * time.Millisecond)
+	if len(fired) != 1 || fired[0] != 14*time.Millisecond {
+		t.Fatalf("delivery = %v, want [14ms]", fired)
+	}
+}
+
+// Timer Stop across a partition boundary: the outcome at a shared
+// instant is fixed by the (time, origin, seq) key — the local timer
+// (origin 0) fires before the same-instant delivery from partition 1 —
+// and an earlier delivery cancels the timer. Both must come out the same
+// under RunUntil and RunUntilSeq.
+func TestTimerStopAcrossPartitions(t *testing.T) {
+	type result struct {
+		events  []string
+		stopped []bool
+	}
+	run := func(stopDelay time.Duration, seq bool) result {
+		var res result
+		g := NewGroup(2, mesh(time.Millisecond))
+		a, b := g.Part(0), g.Part(1)
+		var tm Timer
+		a.At(0, func() {
+			tm = a.Schedule(5*time.Millisecond, func() { res.events = append(res.events, "timer@"+a.Now().String()) })
+		})
+		b.At(time.Millisecond, func() {
+			b.Send(0, stopDelay, func() {
+				res.events = append(res.events, "stop@"+a.Now().String())
+				res.stopped = append(res.stopped, tm.Stop())
+			})
+		})
+		if seq {
+			g.RunUntilSeq(10 * time.Millisecond)
+		} else {
+			g.RunUntil(10 * time.Millisecond)
+		}
+		return res
+	}
+	for _, seq := range []bool{false, true} {
+		// Stop arrives at the timer's own instant: local origin wins the
+		// tie, the timer has already fired, Stop reports false.
+		r := run(4*time.Millisecond, seq)
+		want := []string{"timer@5ms", "stop@5ms"}
+		if fmt.Sprint(r.events) != fmt.Sprint(want) || len(r.stopped) != 1 || r.stopped[0] {
+			t.Fatalf("seq=%v tie case: events=%v stopped=%v", seq, r.events, r.stopped)
+		}
+		// Stop arrives strictly earlier: cancellation wins.
+		r = run(3*time.Millisecond, seq)
+		want = []string{"stop@4ms"}
+		if fmt.Sprint(r.events) != fmt.Sprint(want) || len(r.stopped) != 1 || !r.stopped[0] {
+			t.Fatalf("seq=%v early case: events=%v stopped=%v", seq, r.events, r.stopped)
+		}
+	}
+}
+
+// Timer rescheduling driven from across a partition boundary: a delivery
+// cancels a pending local timer and replants it later, repeatedly, with
+// identical outcomes in parallel and sequential execution.
+func TestTimerRescheduleAcrossPartitions(t *testing.T) {
+	run := func(seq bool) []string {
+		var log []string
+		g := NewGroup(2, mesh(time.Millisecond))
+		a, b := g.Part(0), g.Part(1)
+		var tm Timer
+		a.At(0, func() {
+			tm = a.Schedule(20*time.Millisecond, func() { log = append(log, "fire@"+a.Now().String()) })
+		})
+		// Partition 1 pushes the timer out three times, then lets it fire.
+		for i := 1; i <= 3; i++ {
+			i := i
+			b.At(Time(i)*4*time.Millisecond, func() {
+				b.Send(0, 2*time.Millisecond, func() {
+					if tm.Stop() {
+						tm = a.Schedule(20*time.Millisecond, func() { log = append(log, "fire@"+a.Now().String()) })
+						log = append(log, "resched@"+a.Now().String())
+					}
+				})
+			})
+		}
+		if seq {
+			g.RunUntilSeq(time.Second)
+		} else {
+			g.RunUntil(time.Second)
+		}
+		return log
+	}
+	par, sq := run(false), run(true)
+	if fmt.Sprint(par) != fmt.Sprint(sq) {
+		t.Fatalf("parallel %v != sequential %v", par, sq)
+	}
+	want := []string{"resched@6ms", "resched@10ms", "resched@14ms", "fire@34ms"}
+	if fmt.Sprint(par) != fmt.Sprint(want) {
+		t.Fatalf("log %v, want %v", par, want)
+	}
+}
+
+// Tickers keep their no-allocation reschedule behavior inside a Group
+// and interleave deterministically with cross-partition deliveries.
+func TestTickerInGroup(t *testing.T) {
+	run := func(seq bool) []string {
+		var log []string
+		g := NewGroup(2, mesh(time.Millisecond))
+		a, b := g.Part(0), g.Part(1)
+		tk := a.Every(3*time.Millisecond, func() { log = append(log, "tick@"+a.Now().String()) })
+		b.At(7*time.Millisecond, func() {
+			b.Send(0, time.Millisecond+500*time.Microsecond, func() {
+				log = append(log, "stop@"+a.Now().String())
+				tk.Stop()
+			})
+		})
+		if seq {
+			g.RunUntilSeq(20 * time.Millisecond)
+		} else {
+			g.RunUntil(20 * time.Millisecond)
+		}
+		return log
+	}
+	par, sq := run(false), run(true)
+	if fmt.Sprint(par) != fmt.Sprint(sq) {
+		t.Fatalf("parallel %v != sequential %v", par, sq)
+	}
+	want := []string{"tick@3ms", "tick@6ms", "stop@8.5ms"}
+	if fmt.Sprint(par) != fmt.Sprint(want) {
+		t.Fatalf("log %v, want %v", par, want)
+	}
+}

@@ -27,12 +27,19 @@ type Time = time.Duration
 // counter is bumped on every recycle so stale Timer handles (held across
 // a fire) can never cancel the node's next occupant.
 type timerNode struct {
-	e     *Engine
-	fn    func()
-	at    Time
-	seq   uint64
-	index int32 // heap slot, -1 when not queued
-	gen   uint32
+	e   *Engine
+	fn  func()
+	at  Time
+	seq uint64
+	// origin is the partition that assigned seq: the engine's own
+	// partition index for local events, the sender's for events delivered
+	// across a Group fabric edge. It is the middle term of the
+	// deterministic ordering key (at, origin, seq), which makes the heap
+	// order independent of *when* a cross-partition message was drained
+	// into the heap. Standalone engines always use origin 0.
+	origin int32
+	index  int32 // heap slot, -1 when not queued
+	gen    uint32
 	// owned marks a Ticker's node: it is rescheduled in place on each
 	// tick and never released to the pool by Step.
 	owned bool
@@ -112,13 +119,17 @@ func (tk *Ticker) tick() {
 // call NewEngine.
 type Engine struct {
 	now     Time
-	queue   []*timerNode // 4-ary min-heap on (at, seq)
+	queue   []*timerNode // 4-ary min-heap on (at, origin, seq)
 	free    []*timerNode
 	seq     uint64
 	stopped bool
 	// processed counts events that have fired, for diagnostics and for
 	// runaway-loop protection in tests.
 	processed uint64
+	// group/part are set when the engine is one partition of a parallel
+	// Group (see parallel.go); standalone engines leave both zero.
+	group *Group
+	part  int32
 }
 
 // NewEngine returns an engine positioned at the simulation epoch.
@@ -128,6 +139,24 @@ func NewEngine() *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// Partition returns the engine's partition index within its Group (0 for
+// a standalone engine).
+func (e *Engine) Partition() int { return int(e.part) }
+
+// Send schedules fn on partition dst of the engine's Group after delay d
+// of virtual time. The delay must be at least the fabric edge's lookahead
+// (the modeled lower-bound latency between the partitions) — that bound
+// is what lets the destination partition run ahead concurrently. Sending
+// to the engine's own partition degenerates to Schedule. Panics on an
+// engine outside a Group, on a missing edge, or on a delay below the
+// edge's lookahead.
+func (e *Engine) Send(dst int, d time.Duration, fn func()) {
+	if e.group == nil {
+		panic("sim: Send on an engine that is not part of a Group")
+	}
+	e.group.send(e, dst, d, fn)
+}
 
 // Processed returns the number of events fired so far.
 func (e *Engine) Processed() uint64 { return e.processed }
@@ -253,7 +282,22 @@ func (e *Engine) push(n *timerNode, t Time) {
 		t = e.now
 	}
 	e.seq++
-	n.at, n.seq = t, e.seq
+	n.at, n.seq, n.origin = t, e.seq, e.part
+	n.index = int32(len(e.queue))
+	e.queue = append(e.queue, n)
+	e.siftUp(int(n.index))
+}
+
+// pushForeign inserts an event delivered across a Group fabric edge,
+// keyed by the sender's (origin, seq) so the heap order is the same no
+// matter which drain round the message arrived in. The arrival time is
+// not clamped to the present: an arrival in the local past would be a
+// causality violation, and Step's time-went-backwards panic is the
+// backstop that surfaces it.
+func (e *Engine) pushForeign(at Time, origin int32, seq uint64, fn func()) {
+	n := e.get()
+	n.fn = fn
+	n.at, n.seq, n.origin = at, seq, origin
 	n.index = int32(len(e.queue))
 	e.queue = append(e.queue, n)
 	e.siftUp(int(n.index))
@@ -263,9 +307,17 @@ func (e *Engine) push(n *timerNode, t Time) {
 // 4i+1..4i+4. Compared to a binary heap it halves the tree depth, so the
 // dominant operation (sift-down on pop) touches fewer cache lines.
 
+// less orders events by (time, origin partition, per-origin sequence):
+// same-instant events fire in scheduling order within a partition, and
+// ties across partitions break by partition index. For a standalone
+// engine every origin is 0, so the order is exactly the historical
+// (time, seq) order.
 func less(a, b *timerNode) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.origin != b.origin {
+		return a.origin < b.origin
 	}
 	return a.seq < b.seq
 }

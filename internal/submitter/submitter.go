@@ -205,7 +205,7 @@ func (s *Submitter) flush() {
 		return
 	}
 	for _, c := range s.batch {
-		if s.lb.Route(c) == nil {
+		if !s.lb.RouteOK(c) {
 			s.RouteFailed.Inc()
 			s.Trace.Record(c, trace.KindDropped, 0)
 			s.Inv.OnDropped(c)

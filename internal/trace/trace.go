@@ -100,6 +100,11 @@ const (
 	// KindBudgetExhausted: terminal — the function's retry budget was
 	// empty at redelivery time (arg: attempts).
 	KindBudgetExhausted
+	// KindMigrated: terminal for THIS platform's trace — the call was
+	// handed to another partition over the parallel-simulation fabric
+	// (arg: destination partition). The destination tracks it in its own
+	// ledger; cross-partition traces are not stitched.
+	KindMigrated
 
 	numKinds
 )
@@ -110,6 +115,7 @@ var kindNames = [numKinds]string{
 	"exec-start", "exec-end", "downstream-retry", "backpressure",
 	"slo-miss", "evacuated", "nack", "retry", "ack", "dead-letter",
 	"dropped", "lost", "recovered", "expired", "shed", "budget-exhausted",
+	"migrated",
 }
 
 func (k Kind) String() string {
@@ -123,7 +129,7 @@ func (k Kind) String() string {
 func (k Kind) Terminal() bool {
 	return k == KindAck || k == KindDeadLetter || k == KindDropped ||
 		k == KindLost || k == KindExpired || k == KindShed ||
-		k == KindBudgetExhausted
+		k == KindBudgetExhausted || k == KindMigrated
 }
 
 // Ref packs a (region, index) component identity into an event arg.

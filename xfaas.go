@@ -30,6 +30,7 @@ import (
 	"xfaas/internal/experiment"
 	"xfaas/internal/function"
 	"xfaas/internal/isolation"
+	"xfaas/internal/psim"
 	"xfaas/internal/rng"
 	"xfaas/internal/sim"
 	"xfaas/internal/workload"
@@ -101,6 +102,26 @@ func NewRand(seed uint64) *Rand { return rng.New(seed) }
 
 // Engine is the discrete-event simulation engine driving a Platform.
 type Engine = sim.Engine
+
+// EngineGroup couples N engine partitions into one conservatively
+// synchronized parallel simulation; see sim.Group.
+type EngineGroup = sim.Group
+
+// NewEngineGroup builds an engine group with a per-edge lookahead.
+var NewEngineGroup = sim.NewGroup
+
+// ParallelOptions configure a partitioned multi-platform simulation.
+type ParallelOptions = psim.Options
+
+// ParallelRunner owns a partitioned simulation; Run returns its
+// deterministic report.
+type ParallelRunner = psim.Runner
+
+// DefaultParallelOptions is a small partitioned run suitable for CI.
+func DefaultParallelOptions() ParallelOptions { return psim.DefaultOptions() }
+
+// NewParallel builds a partitioned platform simulation.
+func NewParallel(opts ParallelOptions) *ParallelRunner { return psim.New(opts) }
 
 // RegionID identifies a datacenter region.
 type RegionID = cluster.RegionID

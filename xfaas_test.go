@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"xfaas"
+	"xfaas/internal/function"
 )
 
 func TestPublicAPIQuickstart(t *testing.T) {
@@ -97,6 +98,86 @@ func TestScalesDiffer(t *testing.T) {
 	q, f := xfaas.QuickScale(), xfaas.FullScale()
 	if q.Quick == f.Quick {
 		t.Fatal("scales should differ")
+	}
+}
+
+func TestTriggerFacade(t *testing.T) {
+	cfg := xfaas.DefaultConfig()
+	cfg.Cluster.Regions = 2
+	cfg.Cluster.TotalWorkers = 8
+	cfg.CodePushInterval = 0
+
+	reg := xfaas.NewRegistry()
+	declare := func(name string, trig function.TriggerType, seed uint64) *xfaas.FuncModel {
+		spec := &xfaas.FunctionSpec{
+			Name: name, Namespace: "main", Runtime: "php", Team: "team-triggers",
+			Trigger: trig, Deadline: 15 * time.Minute,
+			Retry: xfaas.RetryPolicy{MaxAttempts: 3, Backoff: 10 * time.Second},
+			Zone:  xfaas.NewZone(xfaas.Internal),
+			Resources: xfaas.ResourceModel{
+				CPUMu: math.Log(20), CPUSigma: 0.4,
+				MemMu: math.Log(16), MemSigma: 0.4,
+				TimeMu: math.Log(0.2), TimeSigma: 0.4,
+				CodeMB: 8, JITCodeMB: 4,
+			},
+		}
+		reg.MustRegister(spec)
+		return xfaas.NewFuncModel(spec, 0, spec.Team, xfaas.NewRand(seed))
+	}
+	logproc := declare("facade-logproc", xfaas.TriggerEvent, 1)
+	campaign := declare("facade-campaign", xfaas.TriggerTimer, 2)
+	extract := declare("facade-extract", xfaas.TriggerQueue, 3)
+	load := declare("facade-load", xfaas.TriggerQueue, 4)
+
+	p := xfaas.New(cfg, reg)
+	submit := p.SubmitFunc()
+
+	stream := xfaas.NewStream(p.Engine, submit, logproc, 0, "facade-events", 4, xfaas.NewRand(6))
+	producer := xfaas.NewRand(7)
+	p.Engine.Every(time.Second, func() { stream.Produce(producer.Uint64(), producer.Poisson(20)) })
+
+	timers := xfaas.NewTimers(p.Engine, submit)
+	timers.Schedule(campaign, 1, 10*time.Minute, time.Minute)
+
+	etl := xfaas.NewWorkflowTrigger("facade-etl", p, submit, 0, extract, load)
+	p.Engine.Every(10*time.Minute, func() { etl.Start(p.Engine.Now()) })
+
+	p.Engine.RunFor(30 * time.Minute)
+	if stream.Invocations.Value() == 0 {
+		t.Fatal("stream trigger produced no invocations")
+	}
+	if timers.Fired.Value() == 0 {
+		t.Fatal("timer trigger never fired")
+	}
+	if etl.Completed.Value() == 0 {
+		t.Fatal("workflow trigger never completed")
+	}
+}
+
+func TestParallelFacade(t *testing.T) {
+	opts := xfaas.DefaultParallelOptions()
+	opts.Minutes = 2
+	opts.TotalWorkers = 16
+	opts.Functions = 24
+	opts.RPS = 30
+
+	opts.Seq = true
+	ref := xfaas.NewParallel(opts).Run()
+	opts.Seq = false
+	r := xfaas.NewParallel(opts)
+	if got := r.Run(); got != ref {
+		t.Fatalf("parallel report diverged from -seq reference:\n--- seq ---\n%s--- parallel ---\n%s", ref, got)
+	}
+
+	g := r.Group
+	if g.Size() != opts.Parts {
+		t.Fatalf("group size = %d, want %d", g.Size(), opts.Parts)
+	}
+	if g.Processed() == 0 {
+		t.Fatal("no events processed")
+	}
+	if la := g.Lookahead(0, 1); la <= 0 {
+		t.Fatalf("fabric edge 0→1 lookahead = %v, want > 0", la)
 	}
 }
 
