@@ -41,6 +41,11 @@ type Result struct {
 	AllocsPerOp     int64   `json:"allocs_per_op"`
 	SimCallsPerSec  float64 `json:"simcalls_per_sec,omitempty"`
 	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
+	// UtilizationMean is the run's mean fleet CPU utilization (last
+	// iteration's platform, or the mean across partitions for
+	// PlatformHuge) — context for reading a simcalls/s point: throughput
+	// regressions look very different at 10% and at 90% utilization.
+	UtilizationMean float64 `json:"utilization_mean,omitempty"`
 }
 
 // Report is the BENCH_<date>.json document.
@@ -103,6 +108,11 @@ func main() {
 	// steady-state overhead on a healthy fleet.
 	run("PlatformSmall/overload", benchPlatform(3, 12, 10, func(cfg *xfaas.Config) {
 		cfg.Resilience = cfg.Resilience.EnableAll()
+	}))
+	// Core-second accounting + SLO burn-rate evaluation on: measures the
+	// observability layer's steady-state overhead.
+	run("PlatformSmall/slo", benchPlatform(3, 12, 10, func(cfg *xfaas.Config) {
+		cfg.Observe = cfg.Observe.EnableAll()
 	}))
 	if !*quick {
 		run("PlatformLarge", benchPlatform(12, 48, 40, nil))
@@ -225,6 +235,7 @@ func benchPlatform(regions, workers int, rps float64, mutate func(*xfaas.Config)
 	pcfg.SpikyFunctions = 0
 	pcfg.MidnightSpikeFrac = 0
 	totalCalls := 0.0
+	var last *xfaas.Platform
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		totalCalls = 0
@@ -243,11 +254,15 @@ func benchPlatform(regions, workers int, rps float64, mutate func(*xfaas.Config)
 			gen.Start()
 			p.Engine.RunFor(30 * time.Minute)
 			totalCalls += gen.Generated.Value()
+			last = p
 		}
 	})
 	r := toResult(res)
 	if secs := res.T.Seconds(); secs > 0 {
 		r.SimCallsPerSec = totalCalls / secs
+	}
+	if last != nil {
+		r.UtilizationMean = last.MeanUtilization()
 	}
 	return r
 }
@@ -260,9 +275,11 @@ func benchSubmitPath(n int) Result {
 	cfg.Cluster.Regions = 1
 	cfg.Cluster.TotalWorkers = 4
 	cfg.CodePushInterval = 0
-	// Resilience on: the budget/expiry bookkeeping must not add an
-	// allocation to the submit hot path (the 1 alloc/op is the Call).
+	// Resilience and accounting on: neither the budget/expiry bookkeeping
+	// nor the core-second meters may add an allocation to the submit hot
+	// path (the 1 alloc/op is the Call).
 	cfg.Resilience = cfg.Resilience.EnableAll()
+	cfg.Observe = cfg.Observe.EnableAll()
 	reg := xfaas.NewRegistry()
 	spec := &xfaas.FunctionSpec{
 		Name: "bench-fn", Namespace: "main", Runtime: "php",
@@ -304,10 +321,11 @@ func benchSubmitPath(n int) Result {
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 	return Result{
-		Iterations:  n,
-		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
-		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(n),
-		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(n),
+		Iterations:      n,
+		NsPerOp:         float64(elapsed.Nanoseconds()) / float64(n),
+		BytesPerOp:      int64(after.TotalAlloc-before.TotalAlloc) / int64(n),
+		AllocsPerOp:     int64(after.Mallocs-before.Mallocs) / int64(n),
+		UtilizationMean: p.MeanUtilization(),
 	}
 }
 
@@ -349,14 +367,17 @@ func benchPlatformHuge(quick bool) Result {
 	}
 
 	generated := 0.0
+	util := 0.0
 	for _, part := range r.Parts {
 		generated += part.Generator.Generated.Value()
+		util += part.Platform.MeanUtilization()
 	}
 	return Result{
 		Iterations:      1,
 		NsPerOp:         float64(parWall.Nanoseconds()),
 		SimCallsPerSec:  generated / parWall.Seconds(),
 		ParallelSpeedup: seqWall.Seconds() / parWall.Seconds(),
+		UtilizationMean: util / float64(len(r.Parts)),
 	}
 }
 

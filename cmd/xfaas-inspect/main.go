@@ -27,6 +27,7 @@ import (
 	"xfaas/internal/core"
 	"xfaas/internal/rng"
 	"xfaas/internal/sim"
+	"xfaas/internal/slo"
 	"xfaas/internal/trace"
 	"xfaas/internal/workload"
 )
@@ -44,6 +45,8 @@ func main() {
 		funcs     = flag.Int("functions", 40, "workload population size")
 		chrome    = flag.String("chrome", "", "write Chrome trace_event JSON to this file")
 		inv       = flag.Bool("invariants", false, "check platform invariants; print violations with critical paths and exit 1 on any")
+		sloFlag   = flag.Bool("slo", false, "enable the SLO engine and print per-criticality burn rates and alert state")
+		util      = flag.Bool("utilization", false, "enable core-second accounting and print fleet/region/criticality utilization and per-tenant cost")
 	)
 	flag.Parse()
 
@@ -81,6 +84,12 @@ func main() {
 	cfg.Downstreams = []core.DownstreamSpec{{Name: "backend", CapacityRPS: 5000}}
 	cfg.Worker.FailureSlowdown = 1.0
 	cfg.Resilience = cfg.Resilience.EnableAll()
+	if *sloFlag || *util {
+		// Accounting and SLO evaluation share one config section; either
+		// flag enables both (they draw no randomness, so the simulation is
+		// unchanged — only the reporting below differs).
+		cfg.Observe = cfg.Observe.EnableAll()
+	}
 
 	pcfg := workload.DefaultPopulationConfig()
 	pcfg.Functions = *funcs
@@ -182,6 +191,13 @@ func main() {
 		fmt.Printf("%9.1fs %-22s %s\n", e.At.Seconds(), e.Kind, e.Detail)
 	}
 
+	if *util {
+		printUtilization(p.Acct.Snapshot(p.Engine.Now()))
+	}
+	if *sloFlag {
+		printSLO(p.SLO.Snapshot(p.Engine.Now()))
+	}
+
 	violated := false
 	if *inv {
 		vs := p.Inv.Final()
@@ -232,21 +248,55 @@ func main() {
 // per-component seconds.
 func printAgg(title string, groups []trace.Agg) {
 	fmt.Printf("== latency breakdown %s\n", title)
-	fmt.Printf("%-28s %7s %7s %9s %9s %9s %9s %9s %9s %9s %9s %9s\n",
-		"key", "calls", "acked", "mean_e2e", "submit", "deferred", "queue", "retry", "sched", "exec", "max", "p_ack")
+	fmt.Printf("%-28s %7s %7s %9s %9s %9s %9s %9s %9s %9s %9s %9s %9s\n",
+		"key", "calls", "acked", "mean_e2e", "submit", "migrate", "deferred", "queue", "retry", "sched", "exec", "max", "p_ack")
 	for _, a := range groups {
 		m := a.Mean()
 		ackFrac := 0.0
 		if a.Count > 0 {
 			ackFrac = float64(a.Acked) / float64(a.Count)
 		}
-		fmt.Printf("%-28s %7d %7d %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.3f\n",
+		fmt.Printf("%-28s %7d %7d %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.3f\n",
 			a.Key, a.Count, a.Acked, a.MeanE2E().Seconds(),
-			m.Submit.Seconds(), m.Deferred.Seconds(), m.Queue.Seconds(),
+			m.Submit.Seconds(), m.Migrate.Seconds(), m.Deferred.Seconds(), m.Queue.Seconds(),
 			m.Retry.Seconds(), m.Sched.Seconds(), m.Exec.Seconds(),
 			a.Max.Seconds(), ackFrac)
 	}
 	fmt.Println()
+}
+
+// printUtilization renders the -utilization snapshot: cumulative fleet
+// and per-region utilization, busy core-seconds by criticality, and the
+// per-tenant cost attribution (exec / queue / retry-waste).
+func printUtilization(s slo.UtilizationSnapshot) {
+	fmt.Printf("\n== utilization (core-second accounting, %gs windows)\n", s.WindowSecs)
+	fmt.Printf("fleet: capacity=%.1f cores busy=%.1f idle=%.1f core-seconds utilization=%.3f\n",
+		s.CapacityCores, s.BusyCoreSecs, s.IdleCoreSecs, s.Utilization)
+	fmt.Printf("%-10s %10s %14s %12s\n", "region", "cores", "busy_core_s", "utilization")
+	for _, r := range s.Regions {
+		fmt.Printf("%-10s %10.1f %14.1f %12.3f\n", r.Region, r.CapacityCores, r.BusyCoreSecs, r.Utilization)
+	}
+	fmt.Printf("%-10s %14s %14s\n", "crit", "busy_core_s", "share")
+	for _, c := range s.Criticalities {
+		fmt.Printf("%-10s %14.1f %14.3f\n", c.Crit, c.BusyCoreSecs, c.ShareOfFleet)
+	}
+	fmt.Printf("%-28s %14s %14s %14s\n", "tenant", "exec_core_s", "queue_s", "waste_core_s")
+	for _, t := range s.Tenants {
+		fmt.Printf("%-28s %14.1f %14.1f %14.1f\n", t.Team, t.ExecCoreSecs, t.QueueSecs, t.RetryWasteCoreSec)
+	}
+}
+
+// printSLO renders the -slo snapshot: each criticality class's objective,
+// error budget, burn rates over both alert windows and alert history.
+func printSLO(s slo.SLOSnapshot) {
+	fmt.Printf("\n== slo (burn threshold %.2f, windows %gs/%gs)\n",
+		s.BurnThreshold, s.FastWindowSecs, s.SlowWindowSecs)
+	fmt.Printf("%-10s %-26s %8s %10s %10s %10s %10s %7s %7s %7s\n",
+		"crit", "objective", "budget", "good", "bad", "burn_fast", "burn_slow", "firing", "fires", "clears")
+	for _, c := range s.Classes {
+		fmt.Printf("%-10s %-26s %8.3f %10.0f %10.0f %10.2f %10.2f %7v %7d %7d\n",
+			c.Crit, c.Objective, c.Budget, c.Good, c.Bad, c.BurnFast, c.BurnSlow, c.Firing, c.Fires, c.Clears)
+	}
 }
 
 // scheduleChaos arms one named deterministic fault schedule on the

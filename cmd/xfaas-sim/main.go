@@ -37,6 +37,7 @@ func main() {
 		out       = flag.String("out", "", "directory to write per-series CSV files")
 		md        = flag.Bool("markdown", false, "emit Markdown sections (EXPERIMENTS.md format) instead of terminal output")
 		inv       = flag.Bool("invariants", false, "run the platform invariant checker on every experiment and fail on violations")
+		slo       = flag.Bool("slo", false, "enable core-second accounting and SLO burn-rate evaluation on every run")
 
 		parallel = flag.Int("parallel", 0, "run the partitioned platform simulation with this many partitions (0 = off); output is deterministic and byte-identical to -seq")
 		seq      = flag.Bool("seq", false, "with -parallel: run the same partitions on the single-goroutine reference scheduler")
@@ -48,6 +49,9 @@ func main() {
 	if *inv {
 		experiment.SetInvariants(true)
 	}
+	if *slo {
+		experiment.SetObserve(true)
+	}
 
 	if *parallel > 0 {
 		opts := psim.DefaultOptions()
@@ -58,6 +62,7 @@ func main() {
 		opts.Chaos = *pchaos
 		opts.Traced = *traced
 		opts.Invariants = *inv
+		opts.SLO = *slo
 		if opts.Parts > opts.Regions {
 			fmt.Fprintf(os.Stderr, "-parallel=%d exceeds the %d-region topology\n", opts.Parts, opts.Regions)
 			os.Exit(2)

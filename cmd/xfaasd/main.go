@@ -40,6 +40,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		sample   = flag.Uint64("trace-sample", 1, "trace 1 in N calls (0 disables per-call tracing)")
 		inv      = flag.Bool("invariants", false, "continuously check platform invariants (GET /invariants)")
+		slo      = flag.Bool("slo", false, "enable core-second accounting and SLO burn-rate alerts (GET /utilization, GET /slo)")
 		confPath = flag.String("config", "", "JSON config-override file applied over the defaults")
 		workPath = flag.String("workload", "", "JSON workload spec: functions to pre-register and generate")
 	)
@@ -67,6 +68,9 @@ func main() {
 	}
 	if *inv {
 		cfg.Invariants.Enabled = true
+	}
+	if *slo {
+		cfg.Observe = cfg.Observe.EnableAll()
 	}
 
 	// A -workload spec is registered before the platform is built so

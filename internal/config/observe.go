@@ -1,0 +1,94 @@
+package config
+
+import "time"
+
+// Observe is the platform's utilization-accounting and SLO configuration
+// section. XFaaS's headline result is sustained ~66% daily-average CPU
+// utilization (paper §1, Fig. 3); this section turns on the machinery
+// that measures it: core-second accounting on the simulated clock (busy +
+// idle == capacity × elapsed, exactly), per-tenant cost attribution, and
+// Google-SRE-style multi-window burn-rate alerting on per-criticality
+// objectives. Both mechanisms ship disabled by default — the submit path
+// stays allocation-free and existing runs behave exactly as before.
+type Observe struct {
+	// Accounting enables per-worker core-second meters: every execution
+	// start/finish adjusts a busy-core rate per criticality class, and a
+	// window ticker integrates busy/idle core-seconds into utilization
+	// timelines per region, per criticality, and fleet-wide, plus
+	// per-tenant cost counters (exec core-seconds, queue-seconds,
+	// retry-wasted core-seconds).
+	Accounting bool
+	// UtilWindow is the utilization timeline resolution: each tick closes
+	// one window and records its mean utilization.
+	UtilWindow time.Duration
+
+	// SLO enables the per-criticality SLO engine. CritHigh has a
+	// completion-latency objective (e2e ≤ CritHighLatency); delay-tolerant
+	// classes have a goodput-within-deadline objective (completion before
+	// the call's absolute deadline). Dead-lettered calls count against
+	// their class's objective.
+	SLO bool
+	// CritHighLatency is the completion-latency target for CritHigh calls;
+	// a completion slower than this is an SLO miss.
+	CritHighLatency time.Duration
+	// BudgetHigh/Normal/Low are the per-class error budgets: the fraction
+	// of observations allowed to miss the objective. Burn rate is the
+	// observed bad fraction divided by the budget.
+	BudgetHigh   float64
+	BudgetNormal float64
+	BudgetLow    float64
+	// FastWindow and SlowWindow are the two burn-rate evaluation windows
+	// (Google SRE multi-window alerting on the sim clock): an alert fires
+	// only when BOTH windows burn at or above BurnThreshold — the fast
+	// window catches onset, the slow window filters blips — and clears as
+	// soon as either window recovers.
+	FastWindow time.Duration
+	SlowWindow time.Duration
+	// EvalInterval is how often burn rates are evaluated and alert
+	// transitions emitted into the control event ring.
+	EvalInterval time.Duration
+	// BurnThreshold is the burn-rate level at which an alert fires; 1.0
+	// means "consuming error budget exactly as fast as it accrues".
+	BurnThreshold float64
+}
+
+// DefaultObserve returns the recommended parameterization with both
+// mechanisms disabled: 1-minute utilization windows, a 60-second CritHigh
+// latency target, 1%/5%/5% error budgets for high/normal/low criticality,
+// 5-minute fast and 1-hour slow burn windows evaluated every 30 seconds
+// at a burn threshold of 1.
+func DefaultObserve() Observe {
+	return Observe{
+		Accounting:      false,
+		UtilWindow:      time.Minute,
+		SLO:             false,
+		CritHighLatency: 60 * time.Second,
+		BudgetHigh:      0.01,
+		BudgetNormal:    0.05,
+		BudgetLow:       0.05,
+		FastWindow:      5 * time.Minute,
+		SlowWindow:      time.Hour,
+		EvalInterval:    30 * time.Second,
+		BurnThreshold:   1.0,
+	}
+}
+
+// EnableAll returns a copy with accounting and the SLO engine switched on.
+func (o Observe) EnableAll() Observe {
+	o.Accounting = true
+	o.SLO = true
+	return o
+}
+
+// Budget returns the error budget for a criticality level, indexed
+// 0 (low), 1 (normal), 2 (high); out-of-range levels use the high budget.
+func (o Observe) Budget(level int) float64 {
+	switch level {
+	case 0:
+		return o.BudgetLow
+	case 1:
+		return o.BudgetNormal
+	default:
+		return o.BudgetHigh
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"xfaas/internal/function"
 	"xfaas/internal/invariant"
 	"xfaas/internal/sim"
+	"xfaas/internal/slo"
 )
 
 // registerInvariantProbes installs the platform-wide structural checks on
@@ -283,4 +284,24 @@ func (p *Platform) registerInvariantProbes() {
 		}
 		return out
 	})
+
+	// Utilization closure: every worker meter's busy + idle core-seconds
+	// must equal capacity × elapsed on the sim clock. The tolerance covers
+	// only float accumulation (which grows with integrated core-seconds);
+	// any structural leak — an execution start without a matching end, a
+	// crash eviction missing its meter adjustment — exceeds it immediately.
+	if p.Acct != nil {
+		p.Inv.RegisterProbe("utilization-closure", func(now sim.Time) []string {
+			var out []string
+			for i, m := range p.Acct.Meters() {
+				capSecs := m.Capacity() * now.Seconds()
+				if err := m.ClosureError(now); err > slo.ClosureTolerance(capSecs) {
+					out = append(out, fmt.Sprintf(
+						"meter %d closure error %.9f core-seconds (capacity %.1f cores, %.0fs elapsed)",
+						i, err, m.Capacity(), now.Seconds()))
+				}
+			}
+			return out
+		})
+	}
 }

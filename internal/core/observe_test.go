@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"xfaas/internal/workload"
+)
+
+// TestAccountingClosureUnderLoad runs a loaded platform with accounting,
+// SLO evaluation and the invariant checker all on: the
+// utilization-closure probe must stay silent, the fleet must register
+// real utilization, and the cumulative snapshot must close against
+// capacity × elapsed.
+func TestAccountingClosureUnderLoad(t *testing.T) {
+	p, gen, _ := smallPlatform(t, func(c *Config, _ *workload.PopulationConfig) {
+		c.Invariants.Enabled = true
+		c.Observe = c.Observe.EnableAll()
+	})
+	p.Engine.RunFor(2 * time.Hour)
+	if gen.Generated.Value() < 1000 {
+		t.Fatalf("generated = %v, expected thousands", gen.Generated.Value())
+	}
+	if vs := p.Inv.Final(); len(vs) > 0 {
+		for _, v := range vs {
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatalf("%d invariant violations with accounting on", len(vs))
+	}
+	now := p.Engine.Now()
+	s := p.Acct.Snapshot(now)
+	if s.Utilization <= 0 || s.Utilization > 1 {
+		t.Fatalf("fleet utilization = %v, want in (0, 1]", s.Utilization)
+	}
+	want := s.CapacityCores * now.Seconds()
+	if got := s.BusyCoreSecs + s.IdleCoreSecs; math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("busy %v + idle %v = %v, want capacity×elapsed = %v", s.BusyCoreSecs, s.IdleCoreSecs, got, want)
+	}
+	if len(s.Tenants) == 0 {
+		t.Fatal("no tenant cost attributed under load")
+	}
+	// The SLO engine saw the same completions the accountant did.
+	sl := p.SLO.Snapshot(now)
+	var obs float64
+	for _, cs := range sl.Classes {
+		obs += cs.Good + cs.Bad
+	}
+	if obs == 0 {
+		t.Fatal("SLO engine observed no completions")
+	}
+}
+
+// TestWriteMetricsObservabilityFamilies checks the xfaas_utilization_*
+// and xfaas_slo_* families reach the Prometheus exposition when Observe
+// is enabled, and stay absent when it is off.
+func TestWriteMetricsObservabilityFamilies(t *testing.T) {
+	p, _, _ := smallPlatform(t, func(c *Config, _ *workload.PopulationConfig) {
+		c.Observe = c.Observe.EnableAll()
+	})
+	p.Engine.RunFor(10 * time.Minute)
+	var buf bytes.Buffer
+	if err := p.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE xfaas_utilization_fleet gauge",
+		"xfaas_utilization_region{region=\"r0\"}",
+		"xfaas_utilization_crit{crit=\"high\"}",
+		"xfaas_utilization_tenant_exec_core_seconds{team=",
+		"xfaas_slo_burn_fast{crit=\"normal\"}",
+		"xfaas_slo_alert_firing{crit=\"high\"}",
+		"xfaas_slo_good_total{crit=",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Disabled path: nil Acct/SLO, no families.
+	off, _, _ := smallPlatform(t, nil)
+	if off.Acct != nil || off.SLO != nil {
+		t.Fatal("accounting/SLO non-nil with Observe disabled")
+	}
+	off.Engine.RunFor(10 * time.Minute)
+	buf.Reset()
+	if err := off.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("xfaas_utilization_fleet")) ||
+		bytes.Contains(buf.Bytes(), []byte("xfaas_slo_")) {
+		t.Error("observability families exposed with Observe disabled")
+	}
+}

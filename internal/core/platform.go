@@ -30,6 +30,7 @@ import (
 	"xfaas/internal/rng"
 	"xfaas/internal/scheduler"
 	"xfaas/internal/sim"
+	"xfaas/internal/slo"
 	"xfaas/internal/stats"
 	"xfaas/internal/submitter"
 	"xfaas/internal/trace"
@@ -129,6 +130,11 @@ type Config struct {
 	// default: the checker stays nil and every hook is a nil-receiver
 	// no-op, preserving the zero-alloc submit path).
 	Invariants invariant.Params
+	// Observe is the utilization-accounting and SLO model: per-worker
+	// core-second meters with exact busy/idle closure, windowed
+	// utilization timelines, per-tenant cost attribution, and
+	// multi-window burn-rate alerting (all off by default).
+	Observe config.Observe
 }
 
 // DefaultConfig returns a paper-shaped platform at simulation scale: 12
@@ -170,6 +176,7 @@ func DefaultConfig() Config {
 		Resilience:          config.DefaultResilience(),
 		Trace:               trace.DefaultParams(),
 		Invariants:          invariant.DefaultParams(),
+		Observe:             config.DefaultObserve(),
 	}
 }
 
@@ -236,6 +243,11 @@ type Platform struct {
 	// Metrics is the platform-level labeled metric registry backing the
 	// Prometheus exposition.
 	Metrics *stats.Registry
+	// Acct is the core-second accounting hub; nil unless
+	// cfg.Observe.Accounting (all hooks no-op on nil).
+	Acct *slo.Accountant
+	// SLO is the burn-rate SLO engine; nil unless cfg.Observe.SLO.
+	SLO *slo.Engine
 
 	cfg     Config
 	regions []*Region
@@ -361,6 +373,16 @@ func New(cfg Config, registry *function.Registry) *Platform {
 			p.completionCtr[r][q] = crits
 		}
 	}
+	if cfg.Observe.Accounting {
+		regionNames := make([]string, nRegions)
+		for r := 0; r < nRegions; r++ {
+			regionNames[r] = fmt.Sprintf("r%d", r)
+		}
+		p.Acct = slo.NewAccountant(p.Metrics, regionNames, effectiveCoreMIPS(cfg.Worker), cfg.Observe.UtilWindow, engine.Now())
+	}
+	if cfg.Observe.SLO {
+		p.SLO = slo.NewEngine(p.Metrics, cfg.Observe, p.Tracer.Control)
+	}
 	p.Cong = congestion.NewManager(engine, cfg.AIMD, cfg.SlowStart)
 	p.Cong.Trace = p.Tracer
 	for _, c := range cfg.SpikyClients {
@@ -402,6 +424,7 @@ func New(cfg Config, registry *function.Registry) *Platform {
 			}
 			sh.Trace = p.Tracer
 			sh.Inv = p.Inv
+			sh.SLO = p.SLO
 			allShards[i] = append(allShards[i], sh)
 		}
 	}
@@ -426,6 +449,9 @@ func New(cfg Config, registry *function.Registry) *Platform {
 				wk.Runtime.Prewarm(registry.Names())
 			}
 			wk.Trace = p.Tracer
+			if p.Acct != nil {
+				wk.Acct = p.Acct.NewMeter(int(r.ID), wparams.CPUMIPS, effectiveCoreMIPS(wparams), engine.Now())
+			}
 			reg.Workers = append(reg.Workers, wk)
 		}
 		reg.LB = workerlb.New(src.Split(), reg.Workers)
@@ -483,6 +509,12 @@ func New(cfg Config, registry *function.Registry) *Platform {
 		engine.Every(cfg.CodePushInterval, p.pushCode)
 	}
 	engine.Every(cfg.MetricsInterval, p.sampleMetrics)
+	if p.Acct != nil {
+		engine.Every(cfg.Observe.UtilWindow, func() { p.Acct.Tick(engine.Now()) })
+	}
+	if p.SLO != nil {
+		engine.Every(cfg.Observe.EvalInterval, func() { p.SLO.Eval(engine.Now()) })
+	}
 	p.partitioned = make([]bool, p.Topo.NumRegions())
 	p.breakers = make([]breaker, p.Topo.NumRegions())
 	if cfg.Chaos.DegradeInterval > 0 {
@@ -526,6 +558,16 @@ func (p *Platform) SubmitFunc() workload.SubmitFunc {
 	}
 }
 
+// effectiveCoreMIPS mirrors worker.callShape's clamp: a single thread
+// never runs faster than the whole server.
+func effectiveCoreMIPS(wp worker.Params) float64 {
+	core := wp.CoreMIPS
+	if core <= 0 || core > wp.CPUMIPS {
+		core = wp.CPUMIPS
+	}
+	return core
+}
+
 // MeanUtilization is the fleet-wide mean worker CPU utilization.
 func (p *Platform) MeanUtilization() float64 {
 	s, n := 0.0, 0
@@ -567,6 +609,8 @@ func (p *Platform) onExecuted(c *function.Call) {
 	}
 	const alpha = 0.02
 	p.avgCostM = (1-alpha)*p.avgCostM + alpha*c.CPUWorkM
+	p.Acct.OnExecuted(c)
+	p.SLO.Observe(c, now)
 	if p.OnExecutedHook != nil {
 		p.OnExecutedHook(c)
 	}

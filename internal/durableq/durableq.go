@@ -17,6 +17,7 @@ import (
 	"xfaas/internal/journal"
 	"xfaas/internal/rng"
 	"xfaas/internal/sim"
+	"xfaas/internal/slo"
 	"xfaas/internal/stats"
 	"xfaas/internal/trace"
 )
@@ -176,6 +177,9 @@ type Shard struct {
 	// Inv, when set, feeds the invariant checker's call ledger at every
 	// durable state transition.
 	Inv *invariant.Checker
+	// SLO, when set, observes dead-lettered calls as objective misses
+	// (nil-safe, no allocation).
+	SLO *slo.Engine
 }
 
 // NewShard returns an empty shard with a 5-minute lease timeout. src
@@ -523,6 +527,7 @@ func (s *Shard) retryOrDrop(c *function.Call, base time.Duration) {
 func (s *Shard) deadLetter(c *function.Call, reason DeadReason) {
 	c.State = function.StateFailed
 	s.DeadLetters.Inc()
+	s.SLO.ObserveDeadLetter(c, s.engine.Now())
 	if s.jrn != nil {
 		s.jrn.Append(journal.OpDeadLetter, c, 0)
 	}

@@ -59,6 +59,18 @@ var invPlatforms []*core.Platform
 // afterwards; each experiment then reports an "invariants hold" check.
 func SetInvariants(on bool) { invariantsOn = on }
 
+// observeOn gates core-second accounting and the SLO engine across every
+// experiment rig; cmd/xfaas-sim's -slo flag sets it before any experiment
+// runs. Off by default so golden outputs are unchanged — accounting and
+// SLO evaluation add metric families and control events but no report
+// lines, and they draw no randomness, so enabling it must not perturb
+// the simulation itself.
+var observeOn bool
+
+// SetObserve enables core-second accounting and SLO burn-rate evaluation
+// on every rig built afterwards.
+func SetObserve(on bool) { observeOn = on }
+
 // checkInvariants appends the zero-violation check to a result. Violations
 // are cumulative per platform, so any breach fails every later experiment
 // too — exactly what a CI gate wants.
@@ -89,6 +101,9 @@ func checkInvariants(r *Result) {
 func newPlatform(cfg core.Config, reg *function.Registry) *core.Platform {
 	if invariantsOn {
 		cfg.Invariants.Enabled = true
+	}
+	if observeOn {
+		cfg.Observe = cfg.Observe.EnableAll()
 	}
 	p := core.New(cfg, reg)
 	if p.Inv.Enabled() {

@@ -99,6 +99,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /traces/{id}", s.handleTrace)
 	mux.HandleFunc("GET /events", s.handleEvents)
 	mux.HandleFunc("GET /invariants", s.handleInvariants)
+	mux.HandleFunc("GET /utilization", s.handleUtilization)
+	mux.HandleFunc("GET /slo", s.handleSLO)
 	return mux
 }
 

@@ -137,6 +137,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if b, ok := t.Breakdown(); ok {
 		resp.Components = map[string]float64{
 			"submit":   b.Submit.Seconds(),
+			"migrate":  b.Migrate.Seconds(),
 			"deferred": b.Deferred.Seconds(),
 			"queue":    b.Queue.Seconds(),
 			"retry":    b.Retry.Seconds(),
@@ -152,6 +153,26 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleUtilization(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.p.Acct == nil {
+		httpError(w, http.StatusNotFound, "core-second accounting disabled (set Observe.Accounting)")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.p.Acct.Snapshot(s.p.Engine.Now()))
+}
+
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.p.SLO == nil {
+		httpError(w, http.StatusNotFound, "SLO engine disabled (set Observe.SLO)")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.p.SLO.Snapshot(s.p.Engine.Now()))
 }
 
 // ControlEvent is one entry of the GET /events payload.

@@ -70,6 +70,9 @@ type Options struct {
 	// Invariants enables the ledger and platform probes in every
 	// partition.
 	Invariants bool
+	// SLO enables core-second accounting and the burn-rate SLO engine in
+	// every partition (config.Observe.EnableAll).
+	SLO bool
 	// Prewarm starts workers with all functions JIT-compiled. Disable for
 	// very large fleets (PlatformHuge) where prewarming dominates setup.
 	Prewarm bool
@@ -206,6 +209,9 @@ func New(opts Options) *Runner {
 		cfg.PrewarmJIT = opts.Prewarm
 		cfg.Trace.Enabled = opts.Traced
 		cfg.Invariants.Enabled = opts.Invariants
+		if opts.SLO {
+			cfg.Observe = cfg.Observe.EnableAll()
+		}
 		plat := core.New(cfg, pop.Registry)
 
 		// This partition's share of the population: every P-th model.
@@ -276,14 +282,23 @@ func (r *Runner) wireFabric() {
 				dstLocal := tgt.local
 				srcPlat.MigratedOut.Inc()
 				srcPlat.Inv.OnMigrateOut(c)
+				var ct *trace.CallTrace
 				if c.Sampled {
-					// The call leaves this partition's trace universe;
-					// the destination does not re-sample it (trace
-					// sampling is a submission-time decision).
+					// Stitch the trace across the fabric: record the
+					// migrate span here, extract the open trace on the
+					// source goroutine, and let the destination adopt it
+					// at delivery time — one span tree per call, so the
+					// breakdown identity closes across partitions.
 					srcPlat.Tracer.Record(c, trace.KindMigrated, int64(tgt.part))
-					c.Sampled = false
+					ct = srcPlat.Tracer.Extract(c.ID)
+					if ct == nil {
+						c.Sampled = false
+					}
 				}
 				srcPlat.Engine.Send(tgt.part, r.Topo.Latency(srcGlobal, tgt.global), func() {
+					if ct != nil {
+						dstPlat.Tracer.Adopt(ct)
+					}
 					deliver(dstPlat, dstLocal, c)
 				})
 				return true
@@ -311,6 +326,9 @@ func deliver(p *core.Platform, dst cluster.RegionID, c *function.Call) {
 		}
 	}
 	p.MigratedDropped.Inc()
+	// Terminal for an adopted trace too: without this the stitched trace
+	// would stay active forever in the destination recorder.
+	p.Tracer.Record(c, trace.KindDropped, 0)
 	p.Inv.OnDropped(c)
 }
 
@@ -407,8 +425,8 @@ func (r *Runner) stats(part *Partition) partStats {
 func (r *Runner) Report() string {
 	var b strings.Builder
 	o := r.Opts
-	fmt.Fprintf(&b, "psim parts=%d regions=%d workers=%d funcs=%d rps=%.0f minutes=%d seed=%d cross=%.2f chaos=%v traced=%v invariants=%v\n",
-		o.Parts, o.Regions, o.TotalWorkers, o.Functions, o.RPS, o.Minutes, o.Seed, o.CrossFrac, o.Chaos, o.Traced, o.Invariants)
+	fmt.Fprintf(&b, "psim parts=%d regions=%d workers=%d funcs=%d rps=%.0f minutes=%d seed=%d cross=%.2f chaos=%v traced=%v invariants=%v slo=%v\n",
+		o.Parts, o.Regions, o.TotalWorkers, o.Functions, o.RPS, o.Minutes, o.Seed, o.CrossFrac, o.Chaos, o.Traced, o.Invariants, o.SLO)
 	var tot partStats
 	for i, part := range r.Parts {
 		s := r.stats(part)

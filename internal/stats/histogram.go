@@ -55,7 +55,10 @@ func (h *Histogram) bucketLo(i int) float64 {
 func (h *Histogram) Observe(v float64) {
 	h.total++
 	h.sum += v
-	if v > h.max {
+	// The first observation seeds max unconditionally: max's zero value
+	// would otherwise shadow a stream of non-positive observations and
+	// report Max() == 0 for values that were never observed.
+	if h.total == 1 || v > h.max {
 		h.max = v
 	}
 	if v < h.minSeen {
@@ -88,8 +91,13 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.total)
 }
 
-// Max returns the largest observation seen (exact).
-func (h *Histogram) Max() float64 { return h.max }
+// Max returns the largest observation seen (exact), or 0 if empty.
+func (h *Histogram) Max() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
 
 // Min returns the smallest observation seen (exact), or 0 if empty.
 func (h *Histogram) Min() float64 {
@@ -176,10 +184,13 @@ func (h *Histogram) Merge(o *Histogram) {
 	for i, c := range o.counts {
 		h.counts[i] += c
 	}
+	hWasEmpty := h.total == 0
 	h.underflow += o.underflow
 	h.total += o.total
 	h.sum += o.sum
-	if o.max > h.max {
+	// Same zero-value hazard as Observe: an empty side's max must not cap
+	// the other side's (possibly non-positive) true maximum.
+	if o.total > 0 && (hWasEmpty || o.max > h.max) {
 		h.max = o.max
 	}
 	if o.minSeen < h.minSeen {
@@ -216,7 +227,7 @@ func (h *Histogram) Summarize() Summary {
 		P90:   h.Quantile(0.90),
 		P95:   h.Quantile(0.95),
 		P99:   h.Quantile(0.99),
-		Max:   h.max,
+		Max:   h.Max(),
 	}
 }
 

@@ -8,16 +8,22 @@ import (
 	"xfaas/internal/sim"
 )
 
-// Components is the latency decomposition of one completed call. The six
-// phases telescope exactly: Submit + Deferred + Queue + Retry + Sched +
-// Exec == EndAt - SubmitAt, with no gaps and no overlap, so aggregated
-// component means sum to the end-to-end mean by construction. This
-// identity is what lets xfaas-inspect's breakdown be checked against the
-// platform's independent end-to-end histogram.
+// Components is the latency decomposition of one completed call. The
+// seven phases telescope exactly: Submit + Migrate + Deferred + Queue +
+// Retry + Sched + Exec == EndAt - SubmitAt, with no gaps and no overlap,
+// so aggregated component means sum to the end-to-end mean by
+// construction. This identity is what lets xfaas-inspect's breakdown be
+// checked against the platform's independent end-to-end histogram — and
+// it holds across psim partitions, because migrated calls keep one
+// stitched trace.
 type Components struct {
 	// Submit: client submission → DurableQ persistence (submitter
-	// batching plus QueueLB routing).
+	// batching plus QueueLB routing). For a migrated call this phase ends
+	// at the migration instant.
 	Submit sim.Time
+	// Migrate: fabric transit — the QueueLB handed the call to another
+	// partition and this is the time until it was persisted there.
+	Migrate sim.Time
 	// Deferred: time waiting for the caller-requested StartAfter — not
 	// the platform's fault, reported separately so deferred-execution
 	// workloads don't read as slow.
@@ -37,7 +43,7 @@ type Components struct {
 
 // Sum returns the total, equal to the call's end-to-end latency.
 func (c Components) Sum() sim.Time {
-	return c.Submit + c.Deferred + c.Queue + c.Retry + c.Sched + c.Exec
+	return c.Submit + c.Migrate + c.Deferred + c.Queue + c.Retry + c.Sched + c.Exec
 }
 
 // Breakdown decomposes a completed trace; ok is false until the call
@@ -46,8 +52,8 @@ func (t *CallTrace) Breakdown() (Components, bool) {
 	if !t.Done {
 		return Components{}, false
 	}
-	var enq1, lease1, leaseF, dispLast sim.Time
-	haveEnq, haveLease, haveDisp := false, false, false
+	var enq1, lease1, leaseF, dispLast, mig sim.Time
+	haveEnq, haveLease, haveDisp, haveMig := false, false, false, false
 	for _, e := range t.Events {
 		switch e.Kind {
 		case KindEnqueue:
@@ -61,16 +67,34 @@ func (t *CallTrace) Breakdown() (Components, bool) {
 			leaseF = e.At
 		case KindDispatch:
 			dispLast, haveDisp = e.At, true
+		case KindMigrated:
+			if !haveMig {
+				mig, haveMig = e.At, true
+			}
 		}
 	}
 	var c Components
 	end := t.EndAt
-	if !haveEnq {
-		// Never persisted (dropped at submission).
-		c.Submit = end - t.SubmitAt
-		return c, true
+	if haveMig {
+		// Migration happens at routing time, before the first enqueue:
+		// submission ends at the migration instant and fabric transit runs
+		// until the destination partition persists the call.
+		c.Submit = mig - t.SubmitAt
+		if !haveEnq {
+			// Dropped in transit (destination shards all down) — or a
+			// legacy unstitched trace that ended at migration.
+			c.Migrate = end - mig
+			return c, true
+		}
+		c.Migrate = enq1 - mig
+	} else {
+		if !haveEnq {
+			// Never persisted (dropped at submission).
+			c.Submit = end - t.SubmitAt
+			return c, true
+		}
+		c.Submit = enq1 - t.SubmitAt
 	}
-	c.Submit = enq1 - t.SubmitAt
 	// Split a queue residence [from, to) at the caller's StartAfter: the
 	// part before it is deferral, the part after is platform queueing.
 	split := func(from, to sim.Time) (def, q sim.Time) {
@@ -127,6 +151,7 @@ func (a Agg) Mean() Components {
 	n := sim.Time(a.Count)
 	return Components{
 		Submit:   a.Sum.Submit / n,
+		Migrate:  a.Sum.Migrate / n,
 		Deferred: a.Sum.Deferred / n,
 		Queue:    a.Sum.Queue / n,
 		Retry:    a.Sum.Retry / n,
@@ -158,6 +183,7 @@ func Aggregate(traces []*CallTrace, key func(*CallTrace) string) []Agg {
 			a.Acked++
 		}
 		a.Sum.Submit += c.Submit
+		a.Sum.Migrate += c.Migrate
 		a.Sum.Deferred += c.Deferred
 		a.Sum.Queue += c.Queue
 		a.Sum.Retry += c.Retry
@@ -201,6 +227,8 @@ func FormatArg(k Kind, arg int64) string {
 		return fmt.Sprintf("backoff=%s", sim.Time(arg))
 	case KindDeadLetter:
 		return fmt.Sprintf("attempts=%d", arg)
+	case KindMigrated:
+		return fmt.Sprintf("dst-part=%d", arg)
 	default:
 		return ""
 	}

@@ -100,10 +100,11 @@ const (
 	// KindBudgetExhausted: terminal — the function's retry budget was
 	// empty at redelivery time (arg: attempts).
 	KindBudgetExhausted
-	// KindMigrated: terminal for THIS platform's trace — the call was
-	// handed to another partition over the parallel-simulation fabric
-	// (arg: destination partition). The destination tracks it in its own
-	// ledger; cross-partition traces are not stitched.
+	// KindMigrated: the call was handed to another partition over the
+	// parallel-simulation fabric (arg: destination partition). Not
+	// terminal: the trace is Extracted from the source recorder and
+	// Adopted by the destination's, so a migrated call keeps one span
+	// tree and the breakdown identity closes across partitions.
 	KindMigrated
 
 	numKinds
@@ -129,7 +130,7 @@ func (k Kind) String() string {
 func (k Kind) Terminal() bool {
 	return k == KindAck || k == KindDeadLetter || k == KindDropped ||
 		k == KindLost || k == KindExpired || k == KindShed ||
-		k == KindBudgetExhausted || k == KindMigrated
+		k == KindBudgetExhausted
 }
 
 // Ref packs a (region, index) component identity into an event arg.
@@ -386,6 +387,39 @@ func (r *Recorder) finalize(t *CallTrace, outcome Kind) {
 			r.slow.down(0)
 		}
 	}
+}
+
+// Extract removes and returns a call's in-flight trace, handing
+// ownership to the caller — the migration path: the source partition's
+// recorder extracts the trace on its own goroutine before the call
+// crosses the fabric, and the destination Adopts it at delivery time.
+// Returns nil when the call has no in-flight trace here.
+func (r *Recorder) Extract(id uint64) *CallTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.active[id]
+	if !ok {
+		return nil
+	}
+	delete(r.active, id)
+	r.sampled--
+	return t
+}
+
+// Adopt takes ownership of a trace extracted from another recorder,
+// continuing it as if it had been opened here. Per-partition ID
+// namespaces guarantee no collision with a locally opened trace.
+func (r *Recorder) Adopt(t *CallTrace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.active[t.ID] = t
+	r.sampled++
+	r.mu.Unlock()
 }
 
 // Control appends one control-plane event at the current virtual time.

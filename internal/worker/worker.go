@@ -18,6 +18,7 @@ import (
 	"xfaas/internal/jit"
 	"xfaas/internal/rng"
 	"xfaas/internal/sim"
+	"xfaas/internal/slo"
 	"xfaas/internal/stats"
 	"xfaas/internal/trace"
 )
@@ -145,6 +146,10 @@ type Worker struct {
 
 	// Trace, when set, records execution events for sampled calls.
 	Trace *trace.Recorder
+	// Acct, when set, is this worker's core-second meter: execution
+	// start/finish adjust its busy-core rate so busy + idle core-seconds
+	// close exactly against capacity × elapsed (nil-safe, no allocation).
+	Acct *slo.WorkerMeter
 }
 
 // New returns an idle worker. downstreams may be nil when the workload
@@ -365,6 +370,7 @@ func (w *Worker) TryExecute(c *function.Call, done DoneFunc) bool {
 
 	c.State = function.StateRunning
 	c.ExecStartAt = now
+	w.Acct.ExecStart(now, c.Criticality(), rate)
 	w.Trace.Record(c, trace.KindExecStart, 0)
 	rc.timer = w.engine.Schedule(duration, rc.fire)
 	return true
@@ -428,11 +434,14 @@ func (w *Worker) fail(notify bool) {
 		ids = append(ids, id)
 	}
 	slices.Sort(ids)
+	now := w.engine.Now()
 	for _, id := range ids {
 		rc := victims[id]
 		rc.timer.Stop()
 		w.Failures.Inc()
 		c, done := rc.call, rc.done
+		w.Acct.ExecEnd(now, c.Criticality(), rc.cpuRate)
+		w.Acct.Waste(c.Spec.Team, rc.cpuRate, now-c.ExecStartAt)
 		w.putRC(rc)
 		if notify {
 			done(c, ErrWorkerFailed)
@@ -486,8 +495,11 @@ func (w *Worker) finish(rc *runningCall) {
 	}
 	c.ExecEndAt = now
 	w.Executions.Inc()
+	w.Acct.ExecEnd(now, c.Criticality(), rc.cpuRate)
 	if err != nil {
 		w.Failures.Inc()
+		// The attempt's core-seconds are wasted: the work must be redone.
+		w.Acct.Waste(c.Spec.Team, rc.cpuRate, rc.duration)
 		w.Trace.Record(c, trace.KindExecEnd, 1)
 	} else {
 		w.CPUWork.Add(rc.cpuRate * rc.duration.Seconds())
