@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"xfaas"
+	"xfaas/internal/experiment"
 	"xfaas/internal/sim"
 )
 
@@ -68,8 +69,15 @@ func main() {
 		out       = flag.String("out", "", "output path (default BENCH_<date>.json)")
 		baseline  = flag.String("baseline", "", "baseline JSON to compare against; regressions beyond -tolerance fail")
 		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional regression vs baseline")
+		matrix    = flag.Bool("policy-matrix", false, "run the scheduling-policy × overload-scenario matrix instead of the benchmarks; writes POLICY_MATRIX.json (or -out)")
+		seed      = flag.Uint64("seed", 1, "with -policy-matrix: simulation seed")
 	)
 	flag.Parse()
+
+	if *matrix {
+		runPolicyMatrix(*seed, *out)
+		return
+	}
 
 	rep := Report{
 		Schema:     "xfaas-bench/v1",
@@ -150,6 +158,33 @@ func main() {
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "xfaas-bench: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// runPolicyMatrix runs every scheduling policy through every adversarial
+// overload scenario and writes the table as JSON. The document is a pure
+// function of the seed — no date field — so CI can run it twice and
+// byte-diff the outputs as a determinism gate.
+func runPolicyMatrix(seed uint64, out string) {
+	m := experiment.RunPolicyMatrix(seed)
+	fmt.Printf("%-14s %-8s %6s %10s %6s %8s %8s %6s\n",
+		"scenario", "policy", "util", "p99(s)", "cold", "shed", "expired", "jain")
+	for _, c := range m.Cells {
+		fmt.Printf("%-14s %-8s %6.2f %10.1f %6.3f %8.0f %8.0f %6.3f\n",
+			c.Scenario, c.Policy, c.UtilizationMean, c.P99E2ESeconds,
+			c.ColdStartExposure, c.ShedCalls, c.ExpiredCalls, c.JainFairness)
+	}
+	if out == "" {
+		out = "POLICY_MATRIX.json"
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		fatal("marshal: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fatal("write %s: %v", out, err)
+	}
+	fmt.Printf("wrote %s\n", out)
 }
 
 // gate is one regression check the baseline comparison applies.

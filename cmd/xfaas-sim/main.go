@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"xfaas/internal/chaos"
+	"xfaas/internal/config"
 	"xfaas/internal/experiment"
 	"xfaas/internal/psim"
 	"xfaas/internal/workload"
@@ -38,6 +39,7 @@ func main() {
 		md        = flag.Bool("markdown", false, "emit Markdown sections (EXPERIMENTS.md format) instead of terminal output")
 		inv       = flag.Bool("invariants", false, "run the platform invariant checker on every experiment and fail on violations")
 		slo       = flag.Bool("slo", false, "enable core-second accounting and SLO burn-rate evaluation on every run")
+		policy    = flag.String("policy", "", "scheduling policy for every run: push (default), pull, prewarm, spes")
 
 		parallel = flag.Int("parallel", 0, "run the partitioned platform simulation with this many partitions (0 = off); output is deterministic and byte-identical to -seq")
 		seq      = flag.Bool("seq", false, "with -parallel: run the same partitions on the single-goroutine reference scheduler")
@@ -51,6 +53,13 @@ func main() {
 	}
 	if *slo {
 		experiment.SetObserve(true)
+	}
+	if *policy != "" {
+		if _, err := config.PolicyByName(*policy); err != nil {
+			fmt.Fprintf(os.Stderr, "%v; available: %s\n", err, strings.Join(config.PolicyNames(), ", "))
+			os.Exit(2)
+		}
+		experiment.SetPolicy(*policy)
 	}
 
 	if *parallel > 0 {

@@ -1,0 +1,33 @@
+package config
+
+import (
+	"testing"
+)
+
+// FuzzParsePolicy asserts the policy parser never panics, that every
+// accepted document passes Validate (parse and validation can never
+// disagree), and that parsing is deterministic. The corpus seeds one
+// document per shipped policy plus knob-override and boundary shapes.
+func FuzzParsePolicy(f *testing.F) {
+	f.Add([]byte(`{"name": "push"}`))
+	f.Add([]byte(`{"name": "pull", "pull": {"max_per_worker": 32}}`))
+	f.Add([]byte(`{"name": "prewarm", "prewarm": {"alpha": 0.3, "beta": 0.1, "horizon_ticks": 5, "max_boost": 4, "top_k": 16, "interval_ticks": 30}}`))
+	f.Add([]byte(`{"name": "spes", "spes": {"perf": 0.5, "spare_target": 0.3, "top_k": 16, "interval_ticks": 30}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name": "pull", "pull": {"max_per_worker": 0}}`))
+	f.Add([]byte(`{"name": "prewarm", "prewarm": {"max_boost": 1}}`))
+	f.Add([]byte(`{"name": "spes", "spes": {"perf": 1, "spare_target": 0}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParsePolicy(data)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("ParsePolicy accepted a policy Validate rejects: %v\n%s", verr, data)
+		}
+		p2, err2 := ParsePolicy(data)
+		if err2 != nil || p2 != p {
+			t.Fatalf("ParsePolicy is not deterministic on %s", data)
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultPolicyValidatesAndIsPush(t *testing.T) {
+	p := DefaultPolicy()
+	if p.Name != PolicyPush {
+		t.Fatalf("default policy name %q, want push", p.Name)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default policy invalid: %v", err)
+	}
+	// The zero value (empty name) is also legal: zero-value scheduler
+	// Params must keep working.
+	if err := (Policy{}).Validate(); err != nil {
+		t.Fatalf("zero-value policy invalid: %v", err)
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := PolicyByName(name)
+		if err != nil {
+			t.Fatalf("PolicyByName(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Fatalf("PolicyByName(%q).Name = %q", name, p.Name)
+		}
+	}
+	if _, err := PolicyByName("bogus"); err == nil {
+		t.Fatal("PolicyByName accepted an unknown name")
+	}
+}
+
+func TestPolicyValidateBounds(t *testing.T) {
+	cases := []struct {
+		label  string
+		mutate func(*Policy)
+	}{
+		{"unknown name", func(p *Policy) { p.Name = "nope" }},
+		{"negative max_per_worker", func(p *Policy) { p.Pull.MaxPerWorker = -1 }},
+		{"alpha above 1", func(p *Policy) { p.Prewarm.Alpha = 1.5 }},
+		{"negative beta", func(p *Policy) { p.Prewarm.Beta = -0.1 }},
+		{"max_boost below 1", func(p *Policy) { p.Prewarm.MaxBoost = 0.5 }},
+		{"huge top_k", func(p *Policy) { p.Prewarm.TopK = 1 << 21 }},
+		{"negative horizon", func(p *Policy) { p.Prewarm.HorizonTicks = -1 }},
+		{"perf above 1", func(p *Policy) { p.SPES.Perf = 2 }},
+		{"negative spare_target", func(p *Policy) { p.SPES.SpareTarget = -0.2 }},
+		{"negative interval", func(p *Policy) { p.SPES.IntervalTicks = -5 }},
+	}
+	for _, tc := range cases {
+		p := DefaultPolicy()
+		tc.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted it", tc.label)
+		}
+	}
+}
+
+func TestParsePolicyOverrides(t *testing.T) {
+	p, err := ParsePolicy([]byte(`{
+		"name": "prewarm",
+		"prewarm": {"alpha": 0.5, "top_k": 8},
+		"spes": {"perf": 0.9}
+	}`))
+	if err != nil {
+		t.Fatalf("ParsePolicy: %v", err)
+	}
+	if p.Name != PolicyPrewarm {
+		t.Fatalf("name %q", p.Name)
+	}
+	if p.Prewarm.Alpha != 0.5 || p.Prewarm.TopK != 8 {
+		t.Fatalf("prewarm overrides not applied: %+v", p.Prewarm)
+	}
+	// Absent knobs keep defaults; absence and explicit zero are distinct.
+	def := DefaultPolicy()
+	if p.Prewarm.Beta != def.Prewarm.Beta || p.Prewarm.MaxBoost != def.Prewarm.MaxBoost {
+		t.Fatalf("absent prewarm knobs lost their defaults: %+v", p.Prewarm)
+	}
+	if p.SPES.Perf != 0.9 || p.SPES.SpareTarget != def.SPES.SpareTarget {
+		t.Fatalf("spes block mis-merged: %+v", p.SPES)
+	}
+
+	zero, err := ParsePolicy([]byte(`{"name": "pull", "pull": {"max_per_worker": 0}}`))
+	if err != nil {
+		t.Fatalf("ParsePolicy explicit zero: %v", err)
+	}
+	if zero.Pull.MaxPerWorker != 0 {
+		t.Fatalf("explicit zero overridden by default: %d", zero.Pull.MaxPerWorker)
+	}
+}
+
+func TestParsePolicyRejects(t *testing.T) {
+	cases := []struct {
+		label, doc, wantErr string
+	}{
+		{"unknown top-level field", `{"name": "push", "bogus": 1}`, "bogus"},
+		{"unknown knob", `{"name": "pull", "pull": {"max_worker": 3}}`, "max_worker"},
+		{"trailing data", `{"name": "push"} {"name": "pull"}`, "trailing"},
+		{"unknown policy", `{"name": "lifo"}`, "unknown policy"},
+		{"out-of-bounds knob", `{"name": "prewarm", "prewarm": {"alpha": 7}}`, "alpha"},
+		{"type mismatch", `{"name": "pull", "pull": {"max_per_worker": "many"}}`, ""},
+		{"not json", `push`, ""},
+	}
+	for _, tc := range cases {
+		_, err := ParsePolicy([]byte(tc.doc))
+		if err == nil {
+			t.Errorf("%s: ParsePolicy accepted %s", tc.label, tc.doc)
+			continue
+		}
+		if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.label, err, tc.wantErr)
+		}
+	}
+}

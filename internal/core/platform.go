@@ -24,6 +24,7 @@ import (
 	"xfaas/internal/jit"
 	"xfaas/internal/kv"
 	"xfaas/internal/locality"
+	"xfaas/internal/policy"
 	"xfaas/internal/queuelb"
 	"xfaas/internal/ratelimit"
 	"xfaas/internal/rim"
@@ -466,6 +467,17 @@ func New(cfg Config, registry *function.Registry) *Platform {
 		}
 		reg.QueueLB = queuelb.New(r.ID, src.Split(), allShards, p.Store)
 		reg.QueueLB.Trace = p.Tracer
+		// The scheduling policy's QueueLB placement hook. Every shipped
+		// policy declines placement (routing stays matrix-driven, with
+		// identical RNG draws), but a placement-aware policy installed
+		// through Scheduler.PolicyFactory takes effect here too.
+		if cfg.Scheduler.PolicyFactory != nil {
+			if pl, ok := cfg.Scheduler.PolicyFactory().(policy.Placer); ok {
+				reg.QueueLB.Place = pl
+			}
+		} else if pl, ok := policy.New(cfg.Scheduler.Policy).(policy.Placer); ok {
+			reg.QueueLB.Place = pl
+		}
 		reg.Normal = submitter.New(engine, r.ID, submitter.PoolNormal, cfg.Submitter, reg.QueueLB, p.KV, src.Split(), &p.idSeq)
 		reg.Spiky = submitter.New(engine, r.ID, submitter.PoolSpiky, cfg.Submitter, reg.QueueLB, p.KV, src.Split(), &p.idSeq)
 		reg.Normal.Trace = p.Tracer

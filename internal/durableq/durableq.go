@@ -476,6 +476,17 @@ func (s *Shard) suppressDuplicate(id uint64) bool {
 // Nack reports failed execution; the call is redelivered after the
 // function's retry backoff, or dead-lettered once attempts are exhausted.
 func (s *Shard) Nack(id uint64) bool {
+	return s.nackWith(id, 0, false)
+}
+
+// NackBase is Nack with an explicit retry backoff base — the scheduling
+// policy's retry-placement hook. The jitter draw, budget spend, and all
+// other redelivery mechanics are unchanged.
+func (s *Shard) NackBase(id uint64, base time.Duration) bool {
+	return s.nackWith(id, base, true)
+}
+
+func (s *Shard) nackWith(id uint64, base time.Duration, override bool) bool {
 	l, ok := s.leases[id]
 	if s.down || !ok {
 		return false
@@ -487,7 +498,10 @@ func (s *Shard) Nack(id uint64) bool {
 	s.putLease(l)
 	s.Trace.Record(c, trace.KindNack, 0)
 	s.Inv.OnNack(c)
-	s.retryOrDrop(c, c.Spec.Retry.Backoff)
+	if !override {
+		base = c.Spec.Retry.Backoff
+	}
+	s.retryOrDrop(c, base)
 	return true
 }
 

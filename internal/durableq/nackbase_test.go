@@ -1,0 +1,77 @@
+package durableq
+
+import (
+	"testing"
+	"time"
+
+	"xfaas/internal/function"
+	"xfaas/internal/sim"
+)
+
+// TestNackBaseOverridesBackoff: NackBase reschedules redelivery from the
+// policy-supplied base instead of the spec's retry backoff; everything
+// else about the redelivery (attempt count, pending accounting) is the
+// plain-Nack path. With no jitter source the base is the exact delay.
+func TestNackBaseOverridesBackoff(t *testing.T) {
+	e := sim.NewEngine()
+	sh := newShard(e)
+	c := call(spec("f", 5), 0) // spec backoff: 10s
+	sh.Enqueue(c)
+	if got := sh.Poll(10, nil); len(got) != 1 {
+		t.Fatalf("poll = %v", got)
+	}
+	if !sh.NackBase(c.ID, 3*time.Second) {
+		t.Fatal("NackBase failed on a live lease")
+	}
+	e.RunFor(2 * time.Second)
+	if got := sh.Poll(10, nil); len(got) != 0 {
+		t.Fatalf("redelivered before the override base elapsed: %v", got)
+	}
+	e.RunFor(1500 * time.Millisecond)
+	got := sh.Poll(10, nil)
+	if len(got) != 1 || got[0].ID != c.ID {
+		t.Fatalf("not redelivered after the 3s override: %v", got)
+	}
+	if c.Attempt != 2 {
+		t.Fatalf("attempt = %d, want 2", c.Attempt)
+	}
+
+	// A longer-than-spec base also sticks: the policy can spread retries
+	// out, not just compress them.
+	if !sh.NackBase(c.ID, time.Minute) {
+		t.Fatal("second NackBase failed")
+	}
+	e.RunFor(30 * time.Second) // spec backoff (10s) has long passed
+	if got := sh.Poll(10, nil); len(got) != 0 {
+		t.Fatal("redelivered on the spec backoff despite a 1m override")
+	}
+	e.RunFor(31 * time.Second)
+	if got := sh.Poll(10, nil); len(got) != 1 {
+		t.Fatal("not redelivered after the 1m override")
+	}
+}
+
+// TestNackBaseMatchesNackMechanics: dead-lettering on exhaustion and the
+// unknown-lease guard behave identically to Nack.
+func TestNackBaseMatchesNackMechanics(t *testing.T) {
+	e := sim.NewEngine()
+	sh := newShard(e)
+	if sh.NackBase(999, time.Second) {
+		t.Fatal("NackBase succeeded on an unknown lease")
+	}
+	c := call(&function.Spec{
+		Name: "once", Namespace: "ns", Deadline: time.Hour,
+		Retry: function.RetryPolicy{MaxAttempts: 1, Backoff: time.Second},
+	}, 0)
+	sh.Enqueue(c)
+	sh.Poll(10, nil)
+	if !sh.NackBase(c.ID, time.Second) {
+		t.Fatal("NackBase failed")
+	}
+	if c.State != function.StateFailed {
+		t.Fatalf("exhausted call state = %v, want failed", c.State)
+	}
+	if sh.DeadLetters.Value() != 1 {
+		t.Fatalf("dead letters = %v, want 1", sh.DeadLetters.Value())
+	}
+}

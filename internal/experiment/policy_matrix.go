@@ -1,0 +1,280 @@
+package experiment
+
+import (
+	"sort"
+	"time"
+
+	"xfaas/internal/chaos"
+	"xfaas/internal/config"
+	"xfaas/internal/core"
+	"xfaas/internal/function"
+	"xfaas/internal/rng"
+	"xfaas/internal/workload"
+)
+
+// The policy matrix is the differential policy lab's headline artifact:
+// every shipped scheduling policy runs every adversarial overload
+// scenario under identical seeds, and each cell reports the axes the
+// policies actually trade against each other — utilization, tail
+// latency, cold-start exposure, overload losses, and cross-function
+// fairness. xfaas-bench -policy-matrix emits it as JSON next to the
+// BENCH_<date>.json trajectory.
+
+// PolicyMatrixSchema identifies the JSON document shape.
+const PolicyMatrixSchema = "xfaas-policy-matrix/v1"
+
+// PolicyCell is one (scenario, policy) measurement.
+type PolicyCell struct {
+	Scenario string `json:"scenario"`
+	Policy   string `json:"policy"`
+	// UtilizationMean is the fleet CPU utilization averaged over
+	// once-per-simulated-minute samples.
+	UtilizationMean float64 `json:"utilization_mean"`
+	// P99E2ESeconds is the submit→done latency 99th percentile.
+	P99E2ESeconds float64 `json:"p99_e2e_seconds"`
+	// ColdStartExposure is the fraction of executions started under a
+	// JIT speed factor above 1 (cold or still profiling).
+	ColdStartExposure float64 `json:"cold_start_exposure"`
+	// ShedCalls / ExpiredCalls are the overload-valve losses: queue-delay
+	// sheds and deadline-expiry drops (swept + dead-lettered).
+	ShedCalls    float64 `json:"shed_calls"`
+	ExpiredCalls float64 `json:"expired_calls"`
+	// JainFairness is Jain's index over per-function executed counts:
+	// 1 when every function got equal service, 1/n when one took all.
+	JainFairness float64 `json:"jain_fairness"`
+	// Executed is the total completions, the denominator context for the
+	// ratios above.
+	Executed float64 `json:"executed"`
+}
+
+// PolicyMatrix is the full scenario × policy table. It contains no
+// wall-clock fields: two runs with the same seed must be byte-identical,
+// which is exactly how CI gates it.
+type PolicyMatrix struct {
+	Schema    string       `json:"schema"`
+	Seed      uint64       `json:"seed"`
+	Scenarios []string     `json:"scenarios"`
+	Policies  []string     `json:"policies"`
+	Cells     []PolicyCell `json:"cells"`
+}
+
+// matrixScenario builds a seeded overload rig and drives it for the
+// scenario's window, sampling utilization once per simulated minute.
+type matrixScenario struct {
+	name string
+	run  func(seed uint64, pol config.Policy) *matrixProbe
+}
+
+// matrixProbe observes one matrix run: the platform plus the
+// per-function completion counts and utilization samples the cell
+// metrics derive from.
+type matrixProbe struct {
+	p       *core.Platform
+	perFunc map[string]float64
+	utils   []float64
+}
+
+func newMatrixProbe(p *core.Platform) *matrixProbe {
+	mp := &matrixProbe{p: p, perFunc: map[string]float64{}}
+	p.AddOnExecuted(func(c *function.Call) { mp.perFunc[c.Spec.Name]++ })
+	return mp
+}
+
+// runSampled advances the simulation in one-minute steps, sampling mean
+// fleet utilization after each.
+func (mp *matrixProbe) runSampled(d time.Duration) {
+	for elapsed := time.Duration(0); elapsed < d; elapsed += time.Minute {
+		step := time.Minute
+		if rem := d - elapsed; rem < step {
+			step = rem
+		}
+		mp.p.Engine.RunFor(step)
+		mp.utils = append(mp.utils, mp.p.MeanUtilization())
+	}
+}
+
+// cell reduces the probe to the scenario×policy measurement.
+func (mp *matrixProbe) cell(scenario, policy string) PolicyCell {
+	c := PolicyCell{Scenario: scenario, Policy: policy}
+	for _, u := range mp.utils {
+		c.UtilizationMean += u
+	}
+	if len(mp.utils) > 0 {
+		c.UtilizationMean /= float64(len(mp.utils))
+	}
+	c.P99E2ESeconds = mp.p.E2ELatency.Quantile(0.99)
+	var cold, execs float64
+	for _, reg := range mp.p.Regions() {
+		for _, w := range reg.Workers {
+			cold += w.ColdExecutions.Value()
+			execs += w.Executions.Value()
+		}
+	}
+	if execs > 0 {
+		c.ColdStartExposure = cold / execs
+	}
+	t := resilSnapshot(mp.p)
+	c.ShedCalls = t.shedCalls
+	c.ExpiredCalls = t.expiredSwept + t.deadExpired
+	c.JainFairness = jainIndex(mp.perFunc)
+	c.Executed = execs
+	return c
+}
+
+// jainIndex is Jain's fairness index (Σx)² / (n·Σx²) over the
+// per-function completion counts, folding in sorted-name order so the
+// float accumulation is deterministic.
+func jainIndex(perFunc map[string]float64) float64 {
+	if len(perFunc) == 0 {
+		return 1
+	}
+	names := make([]string, 0, len(perFunc))
+	for name := range perFunc {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sum, sumSq float64
+	for _, name := range names {
+		x := perFunc[name]
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(perFunc)) * sumSq)
+}
+
+// matrixConfig applies the matrix-wide platform settings: the policy
+// under test, the full resilience stack (so shed/expiry valves are
+// live), and cold JIT starts (so cold-start exposure is a real axis —
+// DefaultConfig pre-warms everything).
+func matrixConfig(cfg core.Config, pol config.Policy) core.Config {
+	cfg.Scheduler.Policy = pol
+	cfg.Resilience = cfg.Resilience.EnableAll()
+	cfg.PrewarmJIT = false
+	return cfg
+}
+
+// matrixScenarios are compact versions of the four adversarial overload
+// chaos scenarios (see resilience_exps.go), each with the resilience
+// stack on and JIT starting cold.
+func matrixScenarios() []matrixScenario {
+	return []matrixScenario{
+		{name: "retrystorm", run: func(seed uint64, pol config.Policy) *matrixProbe {
+			mix := workload.DefaultStormMix("backend")
+			cfg := core.DefaultConfig()
+			cfg.Seed = seed
+			cfg.Cluster.Regions = 1
+			cfg.Cluster.TotalWorkers = 4
+			cfg.Worker.MaxConcurrency = 8
+			cfg.Worker.FailureSlowdown = 1.0
+			cfg.CodePushInterval = 0
+			cfg.LocalityGroups = 0
+			cfg.EnableRIM = false
+			cfg.Downstreams = []core.DownstreamSpec{{Name: "backend", CapacityRPS: 5000}}
+			cfg = matrixConfig(cfg, pol)
+			pop := &workload.Population{Registry: function.NewRegistry(), TeamOf: map[string]string{}}
+			workload.BuildStormMix(pop, mix, rng.New(seed+4000))
+			p := core.New(cfg, pop.Registry)
+			mp := newMatrixProbe(p)
+			gen := workload.NewGenerator(p.Engine, pop, p.Topo.CapacityShare(), p.SubmitFunc(), rng.New(seed+4100))
+			gen.Start()
+			inj := chaos.NewInjector(p, rng.New(seed+4200))
+			mp.runSampled(5 * time.Minute)
+			restore := inj.Buggy("backend", 1.0)
+			mp.runSampled(20 * time.Minute)
+			restore()
+			mp.runSampled(10 * time.Minute)
+			return mp
+		}},
+		{name: "midnightspike", run: func(seed uint64, pol config.Policy) *matrixProbe {
+			rc := defaultRig(Scale{Quick: true, Seed: seed}, 0.75)
+			rc.Pop.SpikyFunctions = 0
+			rc.Pop.DiurnalAmp = 0
+			rc.Pop.MidnightSpikeFrac = 1.0
+			rc.Pop.MidnightSpikeMul = 8
+			rc.Platform = matrixConfig(rc.Platform, pol)
+			pop := workload.NewPopulation(rc.Pop, rng.New(seed+1000))
+			cfg := rc.Platform
+			demand := pop.ExpectedMIPS() * spikeFactor
+			mem := pop.ExpectedConcurrentMemMB(cfg.Worker.CoreMIPS) * spikeFactor
+			cfg.Cluster.TotalWorkers = core.ProvisionWorkers(cfg.Worker, demand, mem, rc.TargetUtil, 2*cfg.Cluster.Regions)
+			p := core.New(cfg, pop.Registry)
+			mp := newMatrixProbe(p)
+			gen := workload.NewGenerator(p.Engine, pop, p.Topo.CapacityShare(), p.SubmitFunc(), rng.New(cfg.Seed+2000))
+			gen.Start()
+			mp.runSampled(90 * time.Minute)
+			return mp
+		}},
+		{name: "zipfneighbor", run: func(seed uint64, pol config.Policy) *matrixProbe {
+			nn := workload.DefaultNoisyNeighbor()
+			cfg := core.DefaultConfig()
+			cfg.Seed = seed
+			cfg.Cluster.Regions = 1
+			cfg.Cluster.TotalWorkers = 3
+			cfg.Worker.MaxConcurrency = 8
+			cfg.CodePushInterval = 0
+			cfg.LocalityGroups = 0
+			cfg.EnableRIM = false
+			cfg = matrixConfig(cfg, pol)
+			pop := &workload.Population{Registry: function.NewRegistry(), TeamOf: map[string]string{}}
+			workload.BuildNoisyNeighbor(pop, nn, rng.New(seed+5000))
+			p := core.New(cfg, pop.Registry)
+			mp := newMatrixProbe(p)
+			gen := workload.NewGenerator(p.Engine, pop, p.Topo.CapacityShare(), p.SubmitFunc(), rng.New(seed+5100))
+			gen.Start()
+			mp.runSampled(nn.FloodStart + nn.FloodLen + 20*time.Minute)
+			return mp
+		}},
+		{name: "spikyclient", run: func(seed uint64, pol config.Policy) *matrixProbe {
+			pcfg := workload.DefaultPopulationConfig()
+			pcfg.Functions = 40
+			pcfg.TotalRPS = 8
+			pcfg.Teams = 10
+			pcfg.SpikyFunctions = 1
+			pcfg.SpikeBurstRPS = 80
+			pcfg.SpikeBurstLen = 15 * time.Minute
+			pcfg.MidnightSpikeFrac = 0
+			pcfg.DiurnalAmp = 0
+			pcfg.FutureStartFrac = 0
+			cfg := core.DefaultConfig()
+			cfg.Seed = seed
+			cfg.Cluster.Regions = 2
+			cfg.CodePushInterval = 0
+			cfg = matrixConfig(cfg, pol)
+			pop := workload.NewPopulation(pcfg, rng.New(seed+1000))
+			demand := pop.ExpectedMIPS() * spikeFactor
+			mem := pop.ExpectedConcurrentMemMB(cfg.Worker.CoreMIPS) * spikeFactor
+			cfg.Cluster.TotalWorkers = core.ProvisionWorkers(cfg.Worker, demand, mem, 0.5, 2*cfg.Cluster.Regions)
+			p := core.New(cfg, pop.Registry)
+			mp := newMatrixProbe(p)
+			gen := workload.NewGenerator(p.Engine, pop, p.Topo.CapacityShare(), p.SubmitFunc(), rng.New(seed+2000))
+			gen.Start()
+			mp.runSampled(2 * time.Hour)
+			return mp
+		}},
+	}
+}
+
+// RunPolicyMatrix runs every shipped policy through every adversarial
+// overload scenario at the given seed and returns the table. Output is a
+// pure function of the seed: no wall-clock reads, no map-order floats.
+func RunPolicyMatrix(seed uint64) *PolicyMatrix {
+	m := &PolicyMatrix{Schema: PolicyMatrixSchema, Seed: seed, Policies: config.PolicyNames()}
+	scenarios := matrixScenarios()
+	for _, sc := range scenarios {
+		m.Scenarios = append(m.Scenarios, sc.name)
+	}
+	for _, sc := range scenarios {
+		for _, name := range m.Policies {
+			pol, err := config.PolicyByName(name)
+			if err != nil {
+				panic(err)
+			}
+			mp := sc.run(seed, pol)
+			m.Cells = append(m.Cells, mp.cell(sc.name, name))
+		}
+	}
+	return m
+}

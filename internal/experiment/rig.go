@@ -3,6 +3,7 @@ package experiment
 import (
 	"time"
 
+	"xfaas/internal/config"
 	"xfaas/internal/core"
 	"xfaas/internal/function"
 	"xfaas/internal/rng"
@@ -59,6 +60,24 @@ var invPlatforms []*core.Platform
 // afterwards; each experiment then reports an "invariants hold" check.
 func SetInvariants(on bool) { invariantsOn = on }
 
+// policyName selects the scheduling policy for every rig built
+// afterwards; cmd/xfaas-sim's -policy flag sets it. Empty means the
+// default push policy, whose seeded output is byte-identical to the
+// pre-policy scheduler — the determinism CI gate.
+var policyName string
+
+// SetPolicy selects the named scheduling policy (push, pull, prewarm,
+// spes) for every rig built afterwards. Unknown names panic: the CLI
+// validates before calling.
+func SetPolicy(name string) {
+	if name != "" {
+		if _, err := config.PolicyByName(name); err != nil {
+			panic(err)
+		}
+	}
+	policyName = name
+}
+
 // observeOn gates core-second accounting and the SLO engine across every
 // experiment rig; cmd/xfaas-sim's -slo flag sets it before any experiment
 // runs. Off by default so golden outputs are unchanged — accounting and
@@ -104,6 +123,13 @@ func newPlatform(cfg core.Config, reg *function.Registry) *core.Platform {
 	}
 	if observeOn {
 		cfg.Observe = cfg.Observe.EnableAll()
+	}
+	if policyName != "" {
+		pol, err := config.PolicyByName(policyName)
+		if err != nil {
+			panic(err)
+		}
+		cfg.Scheduler.Policy = pol
 	}
 	p := core.New(cfg, reg)
 	if p.Inv.Enabled() {

@@ -1,0 +1,105 @@
+package policy
+
+import "sort"
+
+// HoltWinters is a double-exponential (level + trend) smoother over a
+// fixed-cadence series — the arrival-rate forecaster behind the prewarm
+// policy. With Beta = 0 it degenerates to a plain EWMA. It runs on the
+// simulation tick cadence and holds no clock of its own, so it is as
+// deterministic as its inputs.
+type HoltWinters struct {
+	// Alpha is the level smoothing factor in (0, 1].
+	Alpha float64
+	// Beta is the trend smoothing factor in [0, 1].
+	Beta float64
+
+	level float64
+	trend float64
+	n     int
+}
+
+// Observe feeds one per-tick observation.
+func (f *HoltWinters) Observe(x float64) {
+	switch f.n {
+	case 0:
+		f.level = x
+	case 1:
+		f.trend = x - f.level
+		f.level = x
+	default:
+		prev := f.level
+		f.level = f.Alpha*x + (1-f.Alpha)*(f.level+f.trend)
+		f.trend = f.Beta*(f.level-prev) + (1-f.Beta)*f.trend
+	}
+	f.n++
+}
+
+// Level returns the smoothed current rate.
+func (f *HoltWinters) Level() float64 { return f.level }
+
+// Forecast extrapolates steps ticks ahead, clamped at zero (a negative
+// arrival rate is meaningless).
+func (f *HoltWinters) Forecast(steps int) float64 {
+	if f.n == 0 {
+		return 0
+	}
+	v := f.level + float64(steps)*f.trend
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// FuncRates tracks a per-function EWMA of per-tick arrivals with
+// deterministic iteration: function names are kept in a sorted slice and
+// every pass walks that slice, so no map order ever reaches a decision.
+type FuncRates struct {
+	// Alpha is the EWMA smoothing factor in (0, 1].
+	Alpha float64
+
+	names []string
+	arr   map[string]float64 // current-tick arrivals
+	rate  map[string]float64 // smoothed rate
+}
+
+// Observe counts one arrival for the named function this tick.
+func (r *FuncRates) Observe(name string) {
+	if r.arr == nil {
+		r.arr = make(map[string]float64)
+		r.rate = make(map[string]float64)
+	}
+	if _, ok := r.rate[name]; !ok {
+		r.rate[name] = 0
+		i := sort.SearchStrings(r.names, name)
+		r.names = append(r.names, "")
+		copy(r.names[i+1:], r.names[i:])
+		r.names[i] = name
+	}
+	r.arr[name]++
+}
+
+// Roll folds the current tick's arrivals into every function's EWMA and
+// resets the tick counts.
+func (r *FuncRates) Roll() {
+	for _, name := range r.names {
+		r.rate[name] = (1-r.Alpha)*r.rate[name] + r.Alpha*r.arr[name]
+		r.arr[name] = 0
+	}
+}
+
+// TopK returns the k hottest functions by smoothed rate, ties broken by
+// name, into dst (reused across calls to avoid allocation).
+func (r *FuncRates) TopK(k int, dst []string) []string {
+	dst = append(dst[:0], r.names...)
+	sort.SliceStable(dst, func(i, j int) bool {
+		ri, rj := r.rate[dst[i]], r.rate[dst[j]]
+		if ri != rj {
+			return ri > rj
+		}
+		return dst[i] < dst[j]
+	})
+	if k < len(dst) {
+		dst = dst[:k]
+	}
+	return dst
+}

@@ -1,0 +1,123 @@
+package policy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHoltWintersConstantSeries(t *testing.T) {
+	hw := HoltWinters{Alpha: 0.3, Beta: 0.1}
+	for i := 0; i < 100; i++ {
+		hw.Observe(40)
+	}
+	if got := hw.Level(); math.Abs(got-40) > 1e-6 {
+		t.Fatalf("level on a constant series: got %g, want 40", got)
+	}
+	for _, steps := range []int{0, 1, 5, 50} {
+		if got := hw.Forecast(steps); math.Abs(got-40) > 1e-6 {
+			t.Fatalf("forecast(%d) on a constant series: got %g, want 40", steps, got)
+		}
+	}
+}
+
+func TestHoltWintersLinearTrend(t *testing.T) {
+	hw := HoltWinters{Alpha: 0.5, Beta: 0.5}
+	// x_t = 10 + 3t: after convergence the trend estimate approaches 3 and
+	// an h-step forecast extrapolates the line.
+	var last float64
+	for i := 0; i < 200; i++ {
+		last = 10 + 3*float64(i)
+		hw.Observe(last)
+	}
+	if got := hw.Forecast(10); math.Abs(got-(last+30)) > 1.0 {
+		t.Fatalf("10-step forecast on slope-3 series: got %g, want ~%g", got, last+30)
+	}
+	// Forecasts must grow with the horizon on a rising trend.
+	if hw.Forecast(5) <= hw.Forecast(1) {
+		t.Fatalf("forecast not increasing with horizon on a rising trend: f(5)=%g f(1)=%g",
+			hw.Forecast(5), hw.Forecast(1))
+	}
+}
+
+func TestHoltWintersForecastNeverNegative(t *testing.T) {
+	hw := HoltWinters{Alpha: 0.9, Beta: 0.9}
+	// A collapsing series drives the trend strongly negative; long-horizon
+	// forecasts would cross zero without the clamp (arrival rates cannot).
+	for _, x := range []float64{100, 50, 10, 1, 0, 0} {
+		hw.Observe(x)
+	}
+	if got := hw.Forecast(100); got < 0 {
+		t.Fatalf("forecast went negative: %g", got)
+	}
+}
+
+func TestHoltWintersFirstObservations(t *testing.T) {
+	var hw HoltWinters
+	hw.Alpha, hw.Beta = 0.3, 0.1
+	hw.Observe(7)
+	if got := hw.Level(); got != 7 {
+		t.Fatalf("level after first observation: got %g, want 7", got)
+	}
+	hw.Observe(9)
+	// Second observation initializes the trend to the first difference.
+	if got := hw.Forecast(1); math.Abs(got-11) > 1e-9 {
+		t.Fatalf("forecast after two observations: got %g, want 11 (level 9 + trend 2)", got)
+	}
+}
+
+func TestFuncRatesTopKOrdering(t *testing.T) {
+	r := FuncRates{Alpha: 0.5}
+	// hot: 8/tick, warm: 4/tick, cold: 1/tick, over several ticks.
+	for tick := 0; tick < 6; tick++ {
+		for i := 0; i < 8; i++ {
+			r.Observe("hot")
+		}
+		for i := 0; i < 4; i++ {
+			r.Observe("warm")
+		}
+		r.Observe("cold")
+		r.Roll()
+	}
+	top := r.TopK(2, nil)
+	if len(top) != 2 || top[0] != "hot" || top[1] != "warm" {
+		t.Fatalf("TopK(2) = %v, want [hot warm]", top)
+	}
+	if all := r.TopK(10, nil); len(all) != 3 {
+		t.Fatalf("TopK(10) over 3 functions returned %d names", len(all))
+	}
+}
+
+func TestFuncRatesTopKTieBreaksByName(t *testing.T) {
+	r := FuncRates{Alpha: 0.5}
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		r.Observe(n)
+	}
+	r.Roll()
+	top := r.TopK(3, nil)
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("equal-rate TopK = %v, want %v (name-ascending tiebreak)", top, want)
+		}
+	}
+}
+
+func TestFuncRatesDecay(t *testing.T) {
+	r := FuncRates{Alpha: 0.5}
+	for i := 0; i < 10; i++ {
+		r.Observe("burst")
+	}
+	r.Roll()
+	r.Observe("steady")
+	r.Roll()
+	// Many idle ticks: the burst function's EWMA must decay below the
+	// steady one's.
+	for tick := 0; tick < 12; tick++ {
+		r.Observe("steady")
+		r.Roll()
+	}
+	top := r.TopK(1, nil)
+	if len(top) != 1 || top[0] != "steady" {
+		t.Fatalf("after decay TopK(1) = %v, want [steady]", top)
+	}
+}

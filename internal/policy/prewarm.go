@@ -1,0 +1,69 @@
+package policy
+
+import (
+	"xfaas/internal/config"
+	"xfaas/internal/function"
+)
+
+// Prewarm is the predictive pre-warm/pre-push policy: a Holt-Winters
+// forecaster over per-tick admitted arrivals (on the simulation clock)
+// scales the poll budget ahead of a forecast spike — priming FuncBuffers
+// before the wave lands — and periodically pre-warms the JIT state of
+// the hottest functions on the region's workers, trading pre-warm work
+// for cold-start exposure.
+type Prewarm struct {
+	Base
+	h     Host
+	knobs config.PrewarmKnobs
+
+	hw         HoltWinters
+	rates      FuncRates
+	arrivals   float64 // admitted this tick
+	sinceWarm  int
+	topScratch []string
+}
+
+// Name implements Policy.
+func (p *Prewarm) Name() string { return config.PolicyPrewarm }
+
+// Attach implements Policy.
+func (p *Prewarm) Attach(h Host) {
+	p.h = h
+	p.hw = HoltWinters{Alpha: p.knobs.Alpha, Beta: p.knobs.Beta}
+	p.rates = FuncRates{Alpha: p.knobs.Alpha}
+}
+
+// OnAdmit feeds the forecaster's arrival stream.
+func (p *Prewarm) OnAdmit(c *function.Call) {
+	p.arrivals++
+	p.rates.Observe(c.Spec.Name)
+}
+
+// Tick polls with a forecast-scaled budget, then runs the default
+// pipeline and the periodic pre-warm pass.
+func (p *Prewarm) Tick() {
+	mult := 1.0
+	if lvl := p.hw.Level(); lvl > 1e-9 {
+		if f := p.hw.Forecast(p.knobs.HorizonTicks); f > lvl {
+			mult = f / lvl
+			if mult > p.knobs.MaxBoost {
+				mult = p.knobs.MaxBoost
+			}
+		}
+	}
+	p.arrivals = 0
+	p.h.PollScaled(mult)
+	p.hw.Observe(p.arrivals)
+	p.rates.Roll()
+	p.h.DefaultShedSweep()
+	p.h.DefaultSchedule()
+	p.h.DefaultDispatch()
+	p.sinceWarm++
+	if p.knobs.TopK > 0 && p.knobs.IntervalTicks > 0 && p.sinceWarm >= p.knobs.IntervalTicks {
+		p.sinceWarm = 0
+		p.topScratch = p.rates.TopK(p.knobs.TopK, p.topScratch)
+		if len(p.topScratch) > 0 {
+			p.h.PrewarmFunctions(p.topScratch)
+		}
+	}
+}

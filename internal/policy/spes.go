@@ -1,0 +1,80 @@
+package policy
+
+import (
+	"time"
+
+	"xfaas/internal/config"
+	"xfaas/internal/function"
+)
+
+// SPES is an SPES-style performance-vs-resource policy: one knob
+// (Perf ∈ [0,1]) moves the scheduler along the trade-off curve.
+//
+//   - Spare capacity: (1-Perf) × SpareTarget of the pool is reserved;
+//     while measured spare capacity is below the reservation,
+//     opportunistic-quota polling is gated so deferred work waits
+//     durably (resources protected, time-shifted work delayed).
+//   - Cold starts: ⌈Perf × TopK⌉ of the hottest functions are
+//     pre-warmed every IntervalTicks (performance bought with pre-warm
+//     work and resident JIT state).
+//   - Retry pacing: redeliveries back off at (2-Perf) × the function's
+//     base, via the retry-placement hook — the resource end spreads
+//     retry load out, the performance end retries at full speed.
+type SPES struct {
+	Base
+	h     Host
+	knobs config.SPESKnobs
+
+	rates      FuncRates
+	gated      bool
+	sinceWarm  int
+	topScratch []string
+}
+
+// Name implements Policy.
+func (p *SPES) Name() string { return config.PolicySPES }
+
+// Attach implements Policy.
+func (p *SPES) Attach(h Host) {
+	p.h = h
+	p.rates = FuncRates{Alpha: 0.3}
+}
+
+// OnAdmit feeds the pre-warm ranking.
+func (p *SPES) OnAdmit(c *function.Call) { p.rates.Observe(c.Spec.Name) }
+
+// RetryBase implements the retry-placement hook: scale the function's
+// base backoff by (2 - Perf).
+func (p *SPES) RetryBase(c *function.Call) (time.Duration, bool) {
+	base := c.Spec.Retry.Backoff
+	if base <= 0 {
+		return 0, false
+	}
+	return time.Duration(float64(base) * (2 - p.knobs.Perf)), true
+}
+
+// Tick gates opportunistic polling on the spare-capacity reservation,
+// then runs the default pipeline and the scaled pre-warm pass.
+func (p *SPES) Tick() {
+	reserve := (1 - p.knobs.Perf) * p.knobs.SpareTarget
+	spare := 1 - p.h.PoolUtilization()
+	gate := spare < reserve
+	if gate != p.gated {
+		p.gated = gate
+		p.h.GateOpportunistic(gate)
+	}
+	p.h.DefaultPoll()
+	p.rates.Roll()
+	p.h.DefaultShedSweep()
+	p.h.DefaultSchedule()
+	p.h.DefaultDispatch()
+	p.sinceWarm++
+	k := int(p.knobs.Perf*float64(p.knobs.TopK) + 0.5)
+	if k > 0 && p.knobs.IntervalTicks > 0 && p.sinceWarm >= p.knobs.IntervalTicks {
+		p.sinceWarm = 0
+		p.topScratch = p.rates.TopK(k, p.topScratch)
+		if len(p.topScratch) > 0 {
+			p.h.PrewarmFunctions(p.topScratch)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package queuelb
+
+import (
+	"testing"
+
+	"xfaas/internal/config"
+	"xfaas/internal/function"
+	"xfaas/internal/rng"
+	"xfaas/internal/sim"
+)
+
+// fakePlacer is a scripted policy.Placer pinning every call to region.
+type fakePlacer struct{ region int }
+
+func (p fakePlacer) PlaceRegion(*function.Call) (int, bool) { return p.region, true }
+
+// declinePlacer always declines, like every shipped policy.
+type declinePlacer struct{}
+
+func (declinePlacer) PlaceRegion(*function.Call) (int, bool) { return 0, false }
+
+func TestPlacerPinsRegion(t *testing.T) {
+	e := sim.NewEngine()
+	topo := topo3()
+	shards := shardsFor(e, topo)
+	store := config.NewStore(e)
+	store.Set(PolicyKey, LocalFirstPolicy(topo, 0.5))
+	lb := New(0, rng.New(1), shards, store)
+	lb.Place = fakePlacer{region: 2}
+	var id uint64
+	for i := 0; i < 200; i++ {
+		id++
+		lb.Route(&function.Call{ID: id, Spec: qlbSpec()})
+	}
+	placed := 0
+	for _, sh := range shards[2] {
+		placed += sh.Pending()
+	}
+	if placed != 200 {
+		t.Fatalf("placer pinned region 2 but only %d/200 calls landed there", placed)
+	}
+	if got := lb.PolicyPlaced.Value(); got != 200 {
+		t.Fatalf("PolicyPlaced = %v, want 200", got)
+	}
+}
+
+// TestDecliningPlacerDrawsLikeAbsent is the routing half of the policy
+// byte-identity contract: a hook that declines every call must leave the
+// same seeded shard occupancy as no hook at all — same RNG draws, same
+// destinations.
+func TestDecliningPlacerDrawsLikeAbsent(t *testing.T) {
+	route := func(place bool) []int {
+		e := sim.NewEngine()
+		topo := topo3()
+		shards := shardsFor(e, topo)
+		store := config.NewStore(e)
+		store.Set(PolicyKey, LocalFirstPolicy(topo, 0.5))
+		lb := New(0, rng.New(42), shards, store)
+		if place {
+			lb.Place = declinePlacer{}
+		}
+		var id uint64
+		for i := 0; i < 1000; i++ {
+			id++
+			lb.Route(&function.Call{ID: id, Spec: qlbSpec()})
+		}
+		var out []int
+		for _, pool := range shards {
+			for _, sh := range pool {
+				out = append(out, sh.Pending())
+			}
+		}
+		return out
+	}
+	bare, declined := route(false), route(true)
+	for i := range bare {
+		if bare[i] != declined[i] {
+			t.Fatalf("shard %d occupancy diverged: %d without hook vs %d with declining hook",
+				i, bare[i], declined[i])
+		}
+	}
+	e := sim.NewEngine()
+	lb := New(0, rng.New(1), shardsFor(e, topo3()), config.NewStore(e))
+	lb.Place = declinePlacer{}
+	lb.Route(&function.Call{ID: 1, Spec: qlbSpec()})
+	if lb.PolicyPlaced.Value() != 0 {
+		t.Fatal("declining hook counted as a placement")
+	}
+}
+
+// TestPlacerOutOfRangeFallsThrough: a hook routing into a region that
+// does not exist is ignored, not crashed on.
+func TestPlacerOutOfRangeFallsThrough(t *testing.T) {
+	e := sim.NewEngine()
+	topo := topo3()
+	shards := shardsFor(e, topo)
+	lb := New(1, rng.New(3), shards, config.NewStore(e)) // no policy: local routing
+	lb.Place = fakePlacer{region: 99}
+	var id uint64
+	for i := 0; i < 50; i++ {
+		id++
+		if lb.Route(&function.Call{ID: id, Spec: qlbSpec()}) == nil {
+			t.Fatal("out-of-range placement made the call unroutable")
+		}
+	}
+	local := 0
+	for _, sh := range shards[1] {
+		local += sh.Pending()
+	}
+	if local != 50 {
+		t.Fatalf("out-of-range placement did not fall through to local routing: %d/50 local", local)
+	}
+	if lb.PolicyPlaced.Value() != 0 {
+		t.Fatal("out-of-range placement counted as placed")
+	}
+}

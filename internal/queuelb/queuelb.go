@@ -12,6 +12,7 @@ import (
 	"xfaas/internal/config"
 	"xfaas/internal/durableq"
 	"xfaas/internal/function"
+	"xfaas/internal/policy"
 	"xfaas/internal/rng"
 	"xfaas/internal/stats"
 	"xfaas/internal/trace"
@@ -112,6 +113,15 @@ type LB struct {
 	RemoteFrac float64
 	// RemoteForwarded counts calls handed to another partition.
 	RemoteForwarded stats.Counter
+
+	// Place, when set, is the scheduling policy's placement hook: it may
+	// pin a submission's destination region before the routing-matrix
+	// draw. A declining hook (ok false) — which every shipped policy is —
+	// falls through to pickRegion with exactly the same RNG draws as an
+	// absent hook, so installing a policy never perturbs routing.
+	Place policy.Placer
+	// PolicyPlaced counts submissions the hook placed.
+	PolicyPlaced stats.Counter
 }
 
 // SetDown marks the LB process crashed (true) or recovered (false); the
@@ -148,6 +158,20 @@ func (lb *LB) policyRow() []float64 {
 		return nil
 	}
 	return p[lb.region]
+}
+
+// placeOrPick gives the scheduling policy's placement hook first refusal
+// on the destination region, falling through to the routing-matrix draw.
+// An out-of-range placement falls through too (the hook cannot route
+// into a region that does not exist).
+func (lb *LB) placeOrPick(c *function.Call) cluster.RegionID {
+	if lb.Place != nil {
+		if r, ok := lb.Place.PlaceRegion(c); ok && r >= 0 && r < len(lb.shards) {
+			lb.PolicyPlaced.Inc()
+			return cluster.RegionID(r)
+		}
+	}
+	return lb.pickRegion()
 }
 
 // pickRegion samples a destination region from the policy row, falling
@@ -191,7 +215,7 @@ func (lb *LB) Route(c *function.Call) *durableq.Shard {
 		lb.Unroutable.Inc()
 		return nil
 	}
-	dst := lb.pickRegion()
+	dst := lb.placeOrPick(c)
 	if shard := lb.pickShard(dst); shard != nil {
 		lb.finishRoute(c, shard, dst)
 		return shard

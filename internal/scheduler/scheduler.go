@@ -23,6 +23,7 @@ import (
 	"xfaas/internal/gtc"
 	"xfaas/internal/invariant"
 	"xfaas/internal/isolation"
+	"xfaas/internal/policy"
 	"xfaas/internal/ratelimit"
 	"xfaas/internal/rng"
 	"xfaas/internal/sim"
@@ -59,6 +60,13 @@ type Params struct {
 	// Resilience configures queue-delay shedding and deadline expiry
 	// sweeping (both off by default; see config.Resilience).
 	Resilience config.Resilience
+	// Policy selects the scheduling policy by name with its knobs; the
+	// zero value is the default push policy, whose seeded output is
+	// byte-identical to the pre-policy scheduler.
+	Policy config.Policy
+	// PolicyFactory, when set, overrides Policy with a custom
+	// implementation (test probes, experimental policies).
+	PolicyFactory func() policy.Policy
 }
 
 // DefaultParams suit the simulation scale. The RunQ is a short staging
@@ -114,6 +122,14 @@ type Scheduler struct {
 	// shedStates holds the CoDel delay bookkeeping per backlogged
 	// function (created lazily, only while shedding is enabled).
 	shedStates map[string]*shedState
+
+	// pol drives the per-tick pipeline; polSrc is the policy's RNG,
+	// split lazily from src on first Rand() call so the push policy
+	// (which never draws) leaves the scheduler's stream untouched.
+	// oppGate defers opportunistic polling while a policy holds it set.
+	pol     policy.Policy
+	polSrc  *rng.Source
+	oppGate bool
 
 	// Hot-path scratch, reused every tick so the poll/schedule/dispatch
 	// loop does not allocate in steady state.
@@ -210,6 +226,8 @@ func New(engine *sim.Engine, src *rng.Source, region cluster.RegionID, params Pa
 	// per poll was a top allocation site in the platform profile.
 	s.completeFn = s.complete
 	s.filterFn = s.pollFilter
+	s.pol = s.newPolicy()
+	s.pol.Attach(s)
 	lb.OnWorkerDown(s.onWorkerDown)
 	s.ticker = engine.Every(params.PollInterval, s.tick)
 	if params.LeaseRenewInterval > 0 {
@@ -334,6 +352,11 @@ func (s *Scheduler) Crash() {
 	s.inflight = make(map[uint64]*worker.Worker)
 	s.inflightByWorker = make(map[*worker.Worker]map[uint64]*function.Call)
 	s.shedStates = nil
+	// Policy state (forecasters, per-tick counters) lives in process
+	// memory too: a crash rebuilds the instance from configuration.
+	s.oppGate = false
+	s.pol = s.newPolicy()
+	s.pol.Attach(s)
 	s.Trace.Control("scheduler.crash", fmt.Sprintf("r%d", s.region))
 }
 
@@ -384,13 +407,90 @@ func (s *Scheduler) tick() {
 		s.evacuate()
 		return
 	}
-	s.poll()
+	s.pol.Tick()
+}
+
+// newPolicy builds the replica's policy instance from Params (factory
+// override first, then by name; the zero config is push).
+func (s *Scheduler) newPolicy() policy.Policy {
+	if s.params.PolicyFactory != nil {
+		return s.params.PolicyFactory()
+	}
+	return policy.New(s.params.Policy)
+}
+
+// Policy returns the replica's installed policy (inspection in tests).
+func (s *Scheduler) Policy() policy.Policy { return s.pol }
+
+// The policy.Host surface. The Default* stages are the pre-policy tick
+// body verbatim; the finer-grained levers below them exist for the
+// competitor policies and are never invoked by push, so the default
+// remains byte-identical.
+var _ policy.Host = (*Scheduler)(nil)
+
+// Now implements policy.Host.
+func (s *Scheduler) Now() sim.Time { return s.engine.Now() }
+
+// Rand implements policy.Host: the policy RNG, split from the
+// scheduler's source on first use. Push never calls it, so the
+// scheduler's draw sequence is unchanged under the default policy.
+func (s *Scheduler) Rand() *rng.Source {
+	if s.polSrc == nil {
+		s.polSrc = s.src.Split()
+	}
+	return s.polSrc
+}
+
+// DefaultPoll implements policy.Host.
+func (s *Scheduler) DefaultPoll() { s.poll(s.params.PollBatch) }
+
+// PollScaled implements policy.Host: poll with the budget scaled by
+// mult (pre-push ahead of a forecast spike).
+func (s *Scheduler) PollScaled(mult float64) {
+	budget := int(float64(s.params.PollBatch)*mult + 0.5)
+	if budget < 1 {
+		budget = 1
+	}
+	s.poll(budget)
+}
+
+// DefaultShedSweep implements policy.Host.
+func (s *Scheduler) DefaultShedSweep() {
 	if s.params.Resilience.ShedEnabled {
 		s.shedSweep()
 	}
-	s.schedule()
-	s.dispatch()
 }
+
+// DefaultSchedule implements policy.Host.
+func (s *Scheduler) DefaultSchedule() { s.schedule() }
+
+// DefaultDispatch implements policy.Host.
+func (s *Scheduler) DefaultDispatch() { s.dispatch() }
+
+// GroupPool implements policy.Host.
+func (s *Scheduler) GroupPool(spec *function.Spec) []*worker.Worker {
+	return s.lb.GroupPool(spec)
+}
+
+// WorkerUsable implements policy.Host.
+func (s *Scheduler) WorkerUsable(w *worker.Worker) bool {
+	return s.lb.Usable(w)
+}
+
+// GateOpportunistic implements policy.Host.
+func (s *Scheduler) GateOpportunistic(gate bool) { s.oppGate = gate }
+
+// PrewarmFunctions implements policy.Host.
+func (s *Scheduler) PrewarmFunctions(fns []string) {
+	for _, w := range s.lb.Workers() {
+		if !w.Failed() {
+			w.Runtime.Prewarm(fns)
+		}
+	}
+}
+
+// PoolUtilization implements policy.Host.
+func (s *Scheduler) PoolUtilization() float64 { return s.lb.MeanUtilization() }
 
 // shedSweep is the CoDel-style overload valve, run every tick between
 // polling and scheduling (deliberately not inside schedule(): RunQ flow
@@ -523,7 +623,7 @@ func (s *Scheduler) matrixRow() []float64 {
 // construction. filterScale and filterCrit are cached by poll() each
 // tick so the predicate itself captures no per-tick state.
 func (s *Scheduler) pollFilter(c *function.Call) bool {
-	if c.Spec.Quota == function.QuotaOpportunistic && s.filterScale <= 0.01 {
+	if c.Spec.Quota == function.QuotaOpportunistic && (s.filterScale <= 0.01 || s.oppGate) {
 		return false // deferred: wait durably in the queue
 	}
 	if c.Spec.Criticality < s.filterCrit {
@@ -574,12 +674,11 @@ func (s *Scheduler) pullFrom(region int, max int) {
 
 // poll pulls ready calls from DurableQs into FuncBuffers, splitting the
 // poll budget across source regions per the traffic matrix.
-func (s *Scheduler) poll() {
+func (s *Scheduler) poll(budget int) {
 	if s.RunQLen() >= s.params.RunQLimit {
 		return // flow control: workers are behind
 	}
 	row := s.matrixRow()
-	budget := s.params.PollBatch
 	s.filterScale = s.cen.Scale()
 	s.filterCrit = s.cen.MinCriticality()
 	if row == nil {
@@ -621,6 +720,7 @@ func (s *Scheduler) admit(c *function.Call, from *durableq.Shard) {
 		s.stale = true
 	}
 	b.Push(c)
+	s.pol.OnAdmit(c)
 }
 
 // schedule moves the most suitable calls from FuncBuffers to the RunQ,
@@ -707,6 +807,7 @@ func (s *Scheduler) scheduleLevel(cands []*FuncBuffer, space int) int {
 			s.runLen++
 			s.Scheduled.Inc()
 			s.Trace.Record(c, trace.KindScheduled, 0)
+			s.pol.OnScheduled(c)
 			space--
 			taken++
 		}
@@ -763,6 +864,65 @@ func (s *Scheduler) dispatch() {
 		s.Trace.Record(c, trace.KindDispatch, trace.Ref(w.ID.Region, w.ID.Index))
 		s.Inv.OnDispatch(c, int(w.ID.Region), w.ID.Index)
 	}
+	s.compactRunQ()
+}
+
+// DispatchWith implements policy.Host: it drains the RunQ with the same
+// ordering, expiry sweeping, batch bound, consecutive-reject pause and
+// compaction as the default dispatcher, but asks pick for each call's
+// destination worker instead of the WorkerLB's power-of-two choice.
+// Kept parallel to dispatch() rather than unifying them: the default
+// path's draw sequence (inside lb.DispatchTo) is a byte-identity
+// contract and must not change shape.
+func (s *Scheduler) DispatchWith(pick func(*function.Call) (*worker.Worker, bool)) {
+	const maxConsecutiveRejects = 16
+	rejects, dispatched := 0, 0
+	now := s.engine.Now()
+	sweep := s.params.Resilience.ExpirySweep
+	for i := s.runHead; i < len(s.runQ) && dispatched < s.params.DispatchBatch; i++ {
+		c := s.runQ[i]
+		if c == nil {
+			continue
+		}
+		if sweep && c.IsExpired(now) {
+			s.runQ[i] = nil
+			s.runLen--
+			s.cong.OnComplete(c.Spec)
+			if shard := s.origin[c.ID]; shard != nil {
+				delete(s.origin, c.ID)
+				shard.Terminate(c.ID, durableq.ReasonExpired)
+			}
+			s.ExpiredSwept.Inc()
+			continue
+		}
+		w, ok := pick(c)
+		if !ok {
+			break // no worker anywhere can take more work this tick
+		}
+		c.DispatchAt = now
+		if !w.TryExecute(c, s.completeFn) {
+			rejects++
+			if rejects >= maxConsecutiveRejects {
+				break
+			}
+			continue
+		}
+		s.track(c, w)
+		rejects = 0
+		s.runQ[i] = nil
+		s.runLen--
+		dispatched++
+		s.recordDispatchDelay(c)
+		s.Dispatched.Inc()
+		s.Trace.Record(c, trace.KindDispatch, trace.Ref(w.ID.Region, w.ID.Index))
+		s.Inv.OnDispatch(c, int(w.ID.Region), w.ID.Index)
+	}
+	s.compactRunQ()
+}
+
+// compactRunQ advances the RunQ head past dispatched entries and
+// compacts the backing slice once the dead prefix dominates.
+func (s *Scheduler) compactRunQ() {
 	for s.runHead < len(s.runQ) && s.runQ[s.runHead] == nil {
 		s.runHead++
 	}
@@ -834,10 +994,20 @@ func (s *Scheduler) complete(c *function.Call, err error) {
 }
 
 func (s *Scheduler) nack(c *function.Call) {
-	if shard := s.origin[c.ID]; shard != nil {
-		delete(s.origin, c.ID)
-		if shard.Nack(c.ID) {
+	shard := s.origin[c.ID]
+	if shard == nil {
+		return
+	}
+	delete(s.origin, c.ID)
+	// Retry-placement hook: the policy may override the backoff base of
+	// the redelivery. Push always declines, keeping the spec default.
+	if base, ok := s.pol.RetryBase(c); ok {
+		if shard.NackBase(c.ID, base) {
 			s.Nacked.Inc()
 		}
+		return
+	}
+	if shard.Nack(c.ID) {
+		s.Nacked.Inc()
 	}
 }

@@ -1,0 +1,62 @@
+package worker
+
+import (
+	"testing"
+	"time"
+
+	"xfaas/internal/function"
+	"xfaas/internal/sim"
+)
+
+// TestColdExecutionsCounter: the first execution of a cold function runs
+// under a JIT speed factor above 1 and counts as cold; once the code is
+// hot, further executions do not. Pre-warming the runtime ahead of the
+// first call removes the cold execution entirely — the signal the policy
+// matrix's cold-start-exposure column and the prewarm policy rely on.
+func TestColdExecutionsCounter(t *testing.T) {
+	e := sim.NewEngine()
+	w := newWorker(e, DefaultParams())
+	spec := testSpec("cold-fn")
+
+	if !w.TryExecute(testCall(spec, 100, 50, 1.0), func(*function.Call, error) {}) {
+		t.Fatal("idle worker rejected call")
+	}
+	e.RunFor(time.Minute)
+	if got := w.ColdExecutions.Value(); got != 1 {
+		t.Fatalf("cold executions after first call = %v, want 1", got)
+	}
+
+	// Run the function until the JIT tiers it to hot, then execute again.
+	for i := 0; i < 50; i++ {
+		w.TryExecute(testCall(spec, 100, 50, 1.0), func(*function.Call, error) {})
+		e.RunFor(time.Minute)
+	}
+	before := w.ColdExecutions.Value()
+	w.TryExecute(testCall(spec, 100, 50, 1.0), func(*function.Call, error) {})
+	e.RunFor(time.Minute)
+	if got := w.ColdExecutions.Value(); got != before {
+		t.Fatalf("hot function still counted cold: %v -> %v", before, got)
+	}
+	if w.Executions.Value() != 52 {
+		t.Fatalf("executions = %v, want 52", w.Executions.Value())
+	}
+}
+
+// TestPrewarmAvoidsColdExecution: Prewarm before the first call means the
+// first execution already runs at full speed and the counter stays zero.
+func TestPrewarmAvoidsColdExecution(t *testing.T) {
+	e := sim.NewEngine()
+	w := newWorker(e, DefaultParams())
+	spec := testSpec("warmed-fn")
+	w.Runtime.Prewarm([]string{spec.Name})
+
+	done := false
+	w.TryExecute(testCall(spec, 100, 50, 1.0), func(*function.Call, error) { done = true })
+	e.RunFor(time.Minute)
+	if !done {
+		t.Fatal("call did not complete")
+	}
+	if got := w.ColdExecutions.Value(); got != 0 {
+		t.Fatalf("pre-warmed function counted %v cold executions", got)
+	}
+}

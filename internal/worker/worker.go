@@ -143,6 +143,10 @@ type Worker struct {
 	// CPUWork accumulates executed millions of instructions, for
 	// utilization accounting.
 	CPUWork stats.Counter
+	// ColdExecutions counts executions started under a JIT speed factor
+	// above 1 (cold or still-profiling code) — the cold-start exposure
+	// the policy matrix reports.
+	ColdExecutions stats.Counter
 
 	// Trace, when set, records execution events for sampled calls.
 	Trace *trace.Recorder
@@ -331,6 +335,9 @@ func (w *Worker) TryExecute(c *function.Call, done DoneFunc) bool {
 	entry.lastUsed = now
 
 	speed := w.Runtime.SpeedFactor(c.Spec.Name, now)
+	if speed > 1 {
+		w.ColdExecutions.Inc()
+	}
 	baseSecs, rate := w.callShape(c)
 	duration := time.Duration(baseSecs * speed * w.slowdown * float64(time.Second))
 	if duration < time.Millisecond {

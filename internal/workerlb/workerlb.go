@@ -174,6 +174,20 @@ func (lb *LB) choose(pool []*worker.Worker) *worker.Worker {
 	return w
 }
 
+// Usable reports whether w may receive new work right now: up, and (when
+// health checking runs) detected Healthy. Pull-style policies consult it
+// when selecting a worker, mirroring the routing-around the push path
+// gets from choose().
+func (lb *LB) Usable(w *worker.Worker) bool {
+	if w.Failed() {
+		return false
+	}
+	if lb.health == nil {
+		return true
+	}
+	return lb.StateOf(w) == Healthy
+}
+
 // MeanUtilization returns the pool's average CPU utilization.
 func (lb *LB) MeanUtilization() float64 {
 	if len(lb.workers) == 0 {
