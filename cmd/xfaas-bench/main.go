@@ -122,6 +122,13 @@ func main() {
 	run("PlatformSmall/slo", benchPlatform(3, 12, 10, func(cfg *xfaas.Config) {
 		cfg.Observe = cfg.Observe.EnableAll()
 	}))
+	// Gray-failure defenses on (exec-time outlier detection + hedged
+	// dispatch): measures the hedging layer's steady-state overhead on a
+	// healthy fleet, where estimators fill and hedges arm but rarely fire.
+	run("PlatformSmall/hedged", benchPlatform(3, 12, 10, func(cfg *xfaas.Config) {
+		cfg.GrayDetection.Enabled = true
+		cfg.Resilience = cfg.Resilience.EnableAll()
+	}))
 	if !*quick {
 		run("PlatformLarge", benchPlatform(12, 48, 40, nil))
 	}

@@ -38,7 +38,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		minutes   = flag.Int("minutes", 30, "simulated minutes to run")
 		sample    = flag.Uint64("sample", 1, "trace 1 in N calls (1 = every call)")
-		chaosFlag = flag.String("chaos", "", "fault scenario: gray, partition, correlated, dq, shardcrash, submittercrash, schedcrash, retrystorm (see -list)")
+		chaosFlag = flag.String("chaos", "", "fault scenario: gray, graytail, flapping, evacuation, partition, correlated, dq, shardcrash, submittercrash, schedcrash, retrystorm (see -list)")
 		top       = flag.Int("top", 5, "slowest calls to print as critical paths")
 		events    = flag.Int("events", 40, "control-plane events to print")
 		rps       = flag.Float64("rps", 10, "workload mean RPS")
@@ -84,6 +84,11 @@ func main() {
 	cfg.Downstreams = []core.DownstreamSpec{{Name: "backend", CapacityRPS: 5000}}
 	cfg.Worker.FailureSlowdown = 1.0
 	cfg.Resilience = cfg.Resilience.EnableAll()
+	// The gray-failure defenses and the drain controller are on so their
+	// scenarios (graytail, flapping, evacuation) have something to drive
+	// and healthy runs show the hedge/detection machinery at rest.
+	cfg.GrayDetection.Enabled = true
+	cfg.Drain.Enabled = true
 	if *sloFlag || *util {
 		// Accounting and SLO evaluation share one config section; either
 		// flag enables both (they draw no randomness, so the simulation is
@@ -110,7 +115,7 @@ func main() {
 	dur := time.Duration(*minutes) * time.Minute
 	if *chaosFlag != "" {
 		if !scheduleChaos(p, *chaosFlag, cfg.Seed, dur) {
-			fmt.Fprintf(os.Stderr, "unknown chaos scenario %q (want gray, partition, correlated, dq, shardcrash, submittercrash, schedcrash, retrystorm; see -list)\n", *chaosFlag)
+			fmt.Fprintf(os.Stderr, "unknown chaos scenario %q (want gray, graytail, flapping, evacuation, partition, correlated, dq, shardcrash, submittercrash, schedcrash, retrystorm; see -list)\n", *chaosFlag)
 			os.Exit(2)
 		}
 	}
@@ -191,6 +196,9 @@ func main() {
 		fmt.Printf("%9.1fs %-22s %s\n", e.At.Seconds(), e.Kind, e.Detail)
 	}
 
+	printHedging(p)
+	printDrains(p)
+
 	if *util {
 		printUtilization(p.Acct.Snapshot(p.Engine.Now()))
 	}
@@ -265,6 +273,58 @@ func printAgg(title string, groups []trace.Agg) {
 	fmt.Println()
 }
 
+// printHedging renders the per-region hedge win/loss breakdown and the
+// budget position: how many speculative copies were dispatched, how many
+// beat their primary, how many were cancelled after losing the race, and
+// how many were denied for lack of budget tokens.
+func printHedging(p *core.Platform) {
+	fmt.Printf("\n== hedged dispatch (win/loss by region)\n")
+	fmt.Printf("%-8s %8s %8s %10s %8s %10s %10s\n",
+		"region", "hedged", "wins", "cancelled", "denied", "earned", "spent")
+	for _, reg := range p.Regions() {
+		var hedged, wins, cancelled, denied float64
+		for _, sc := range reg.Scheds {
+			hedged += sc.Hedged.Value()
+			wins += sc.HedgeWins.Value()
+			cancelled += sc.HedgeCancelled.Value()
+			denied += sc.HedgeDenied.Value()
+		}
+		var earned, spent float64
+		if hb := reg.Scheds[0].HedgeBudget; hb != nil {
+			earned = hb.Earned.Value()
+			spent = hb.Spent.Value()
+		}
+		fmt.Printf("r%-7d %8.0f %8.0f %10.0f %8.0f %10.0f %10.0f\n",
+			reg.ID, hedged, wins, cancelled, denied, earned, spent)
+	}
+	var ejected, reinstated float64
+	for _, reg := range p.Regions() {
+		ejected += reg.LB.Ejected.Value()
+		reinstated += reg.LB.Reinstated.Value()
+	}
+	fmt.Printf("outlier detection: ejected=%.0f reinstated=%.0f\n", ejected, reinstated)
+}
+
+// printDrains renders the drain-RTO breakdown for every region that was
+// evacuated during the run.
+func printDrains(p *core.Platform) {
+	if p.Drainer.Drains.Value() == 0 {
+		return
+	}
+	fmt.Printf("\n== regional drains (RTO breakdown)\n")
+	fmt.Printf("%-8s %10s %12s %10s %10s\n", "region", "draining", "quiesced", "rto", "migrated")
+	for i := range p.Regions() {
+		rto, ok := p.Drainer.LastRTO(i)
+		rtoStr := "-"
+		if ok {
+			rtoStr = rto.String()
+		}
+		fmt.Printf("r%-7d %10v %12v %10s %10d\n",
+			i, p.Drainer.Draining(i), p.Drainer.Quiesced(i), rtoStr, p.Drainer.MigratedCalls(i))
+	}
+	fmt.Printf("total migrated across drains: %.0f\n", p.Drainer.Migrated.Value())
+}
+
 // printUtilization renders the -utilization snapshot: cumulative fleet
 // and per-region utilization, busy core-seconds by criticality, and the
 // per-tenant cost attribution (exec / queue / retry-waste).
@@ -323,6 +383,43 @@ func scheduleChaos(p *core.Platform, name string, seed uint64, dur time.Duration
 				inj.ClearGray(reg, i)
 			}
 		})
+	case "graytail":
+		// Subtle degradation: below the probe slowdown threshold, so only
+		// exec-time outlier scoring (detection v2) can see it.
+		grayN := func() int {
+			return min(2, len(p.Region(reg).Workers))
+		}
+		p.Engine.Schedule(at(0.25), func() {
+			for i := 0; i < grayN(); i++ {
+				inj.GrayWorker(reg, i, 3)
+			}
+		})
+		p.Engine.Schedule(at(0.7), func() {
+			for i := 0; i < grayN(); i++ {
+				inj.ClearGray(reg, i)
+			}
+		})
+	case "flapping":
+		// Worker 0 oscillates across the gray threshold every 20 seconds
+		// for the middle of the run; hysteresis pins the detected state.
+		p.Engine.Schedule(at(0.25), func() {
+			slow := false
+			ticker := p.Engine.Every(20*time.Second, func() {
+				slow = !slow
+				if slow {
+					inj.GrayWorker(reg, 0, 8)
+				} else {
+					inj.ClearGray(reg, 0)
+				}
+			})
+			p.Engine.Schedule(at(0.45), func() {
+				ticker.Stop()
+				inj.ClearGray(reg, 0)
+			})
+		})
+	case "evacuation":
+		p.Engine.Schedule(at(0.3), func() { inj.DrainRegion(reg) })
+		p.Engine.Schedule(at(0.6), func() { inj.UndrainRegion(reg) })
 	case "partition":
 		p.Engine.Schedule(at(0.25), func() { inj.PartitionRegion(1) })
 		p.Engine.Schedule(at(0.6), func() { inj.HealPartition(1) })

@@ -31,7 +31,7 @@ func main() {
 	var (
 		list      = flag.Bool("list", false, "list available experiments and exit")
 		run       = flag.String("run", "", "experiment id to run, or \"all\"")
-		chaosFlag = flag.String("chaos", "", "chaos scenario to run (see -list: gray, partition, correlated, dq, shardcrash, submittercrash, schedcrash, retrystorm, midnightspike, spikyclient, zipfneighbor); output is fully deterministic")
+		chaosFlag = flag.String("chaos", "", "chaos scenario to run (see -list: gray, graytail, flapping, evacuation, partition, correlated, dq, shardcrash, submittercrash, schedcrash, retrystorm, midnightspike, spikyclient, zipfneighbor); output is fully deterministic")
 		full      = flag.Bool("full", false, "paper-scale runs (full simulated day) instead of quick")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		charts    = flag.Bool("charts", true, "render ASCII charts of result series")
@@ -45,6 +45,7 @@ func main() {
 		seq      = flag.Bool("seq", false, "with -parallel: run the same partitions on the single-goroutine reference scheduler")
 		minutes  = flag.Int("minutes", 10, "with -parallel: virtual minutes to simulate")
 		pchaos   = flag.Bool("pchaos", false, "with -parallel: inject the deterministic per-partition fault schedule")
+		pdrain   = flag.Bool("pdrain", false, "with -parallel: run the evacuation drill (each partition drains its first region at 0.3 of the run, undrains at 0.6)")
 		traced   = flag.Bool("traced", false, "with -parallel: sample per-call traces")
 	)
 	flag.Parse()
@@ -69,6 +70,7 @@ func main() {
 		opts.Minutes = *minutes
 		opts.Seed = *seed
 		opts.Chaos = *pchaos
+		opts.Drain = *pdrain
 		opts.Traced = *traced
 		opts.Invariants = *inv
 		opts.SLO = *slo
@@ -93,16 +95,25 @@ func main() {
 		// Chaos runs print only simulation-derived output (no wall-clock
 		// timing) so two runs of the same scenario and seed are
 		// byte-identical — the determinism contract of the chaos engine.
+		// Scenario names resolve through the chaos library first (so
+		// "evacuation" finds drill_evacuation), then fall back to the
+		// chaos_-prefixed experiment id.
 		id := *chaosFlag
-		if !strings.HasPrefix(id, "chaos_") {
+		for _, c := range chaos.Library() {
+			if c.Name == *chaosFlag && c.Experiment != "" {
+				id = c.Experiment
+				break
+			}
+		}
+		if _, ok := experiment.Get(id); !ok && !strings.HasPrefix(id, "chaos_") {
 			id = "chaos_" + id
 		}
 		e, ok := experiment.Get(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown chaos scenario %q; available:\n", *chaosFlag)
-			for _, ex := range experiment.All() {
-				if strings.HasPrefix(ex.ID, "chaos_") {
-					fmt.Fprintf(os.Stderr, "  %s\n", ex.ID)
+			for _, c := range chaos.Library() {
+				if c.Experiment != "" {
+					fmt.Fprintf(os.Stderr, "  %-15s (%s)\n", c.Name, c.Experiment)
 				}
 			}
 			os.Exit(2)

@@ -179,6 +179,23 @@ func (inj *Injector) HealPartition(region cluster.RegionID) {
 	inj.record("partition-heal", "region %d reconnected", region)
 }
 
+// DrainRegion starts the regional evacuation drill: admission stops
+// (QueueLBs reroute new submissions to peers), the region's schedulers
+// park and release held work, queued CritHigh calls migrate to peer
+// regions, and the drain controller reports the RTO when the region
+// quiesces. No-op with a control event while config.Drain is off.
+func (inj *Injector) DrainRegion(region cluster.RegionID) {
+	inj.p.Drainer.Drain(int(region))
+	inj.record("drain", "region %d evacuating", region)
+}
+
+// UndrainRegion ends the drill: admission and scheduling resume, and the
+// region's time-shifted backlog drains through normal polling.
+func (inj *Injector) UndrainRegion(region cluster.RegionID) {
+	inj.p.Drainer.Undrain(int(region))
+	inj.record("undrain", "region %d resumed", region)
+}
+
 // DownShard starts an unavailability window on one DurableQ shard:
 // enqueue, poll, ack, nack and renew all fail until UpShard. Durable
 // state survives; leases that expire during the window redeliver after

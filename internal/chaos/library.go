@@ -29,6 +29,24 @@ func Library() []LibraryEntry {
 			Experiment:  "chaos_gray",
 		},
 		{
+			Name:        "graytail",
+			Description: "workers degrade subtly — slow enough to wreck the tail, fast enough to pass heartbeat probes; exec-time outlier ejection plus hedged dispatch recover the CritHigh p99",
+			Inspect:     true,
+			Experiment:  "chaos_graytail",
+		},
+		{
+			Name:        "flapping",
+			Description: "a worker oscillates across the gray threshold every probe; probation hysteresis keeps routing from flapping with it",
+			Inspect:     true,
+			Experiment:  "chaos_flapping",
+		},
+		{
+			Name:        "evacuation",
+			Description: "a planned regional drain: admission stops, CritHigh work migrates to peers, deferrable work time-shifts, and the drill reports its RTO with zero acked-call loss",
+			Inspect:     true,
+			Experiment:  "drill_evacuation",
+		},
+		{
 			Name:        "partition",
 			Description: "the largest region is cut off from the GTC and cross-region pulls; both sides keep executing local work until the heal",
 			Inspect:     true,

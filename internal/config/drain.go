@@ -1,0 +1,43 @@
+package config
+
+import "time"
+
+// Drain configures the regional drain controller (internal/drain): the
+// staged, zero-loss evacuation of one region on the simulation clock —
+// the disaster-readiness drill XFaaS runs against real regions. Stage 1
+// stops admitting new work into the region's DurableQ shards; stage 2
+// time-shifts deferrable work (it simply stays queued in place until the
+// undrain); stage 3 migrates queued CritHigh calls to peer regions;
+// stage 4 quiesces — schedulers hand their leases back and in-flight
+// executions run to completion, so no acked call is ever lost.
+type Drain struct {
+	// Enabled arms the drain controller. Off by default: DrainRegion is
+	// a recorded no-op and seed-keyed outputs are unchanged.
+	Enabled bool
+	// StageDelay is the pause between evacuation stages (admission stop →
+	// migration → quiesce), modeling staged rollout of the drain config.
+	StageDelay time.Duration
+	// QuiesceTimeout bounds the final stage: the drain is declared
+	// complete (and its RTO reported) at quiescence or this timeout,
+	// whichever comes first.
+	QuiesceTimeout time.Duration
+	// CheckInterval is the quiescence re-check cadence.
+	CheckInterval time.Duration
+	// MigrateBatch is the maximum queued CritHigh calls moved per shard
+	// per migration pass (the pass repeats every CheckInterval until the
+	// backlog is empty).
+	MigrateBatch int
+}
+
+// DefaultDrain returns the recommended parameterization, disabled: 10 s
+// between stages, a 10-minute quiesce timeout checked every 5 s, and
+// migration batches of 256 calls per shard.
+func DefaultDrain() Drain {
+	return Drain{
+		Enabled:        false,
+		StageDelay:     10 * time.Second,
+		QuiesceTimeout: 10 * time.Minute,
+		CheckInterval:  5 * time.Second,
+		MigrateBatch:   256,
+	}
+}

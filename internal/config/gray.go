@@ -1,0 +1,53 @@
+package config
+
+import "time"
+
+// GrayDetection is detection v2 for gray (alive-but-slow) workers: instead
+// of trusting only the heartbeat probe's slowdown reading, the WorkerLB
+// scores every worker from real dispatch completions — a per-worker EWMA
+// of exec-time inflation versus the function's fleet-wide baseline — and
+// runs a probation → ejected → reinstated state machine with hysteresis so
+// a worker flapping at the threshold cannot oscillate routing. Ejection
+// removes the worker from the dispatch draw (it reads as Gray to the
+// choose loop) without failing it; reinstatement returns it once its score
+// recovers and the probation window has elapsed.
+type GrayDetection struct {
+	// Enabled turns completion-driven outlier scoring on. Off by default:
+	// the LB keeps the probe-only view and seed-keyed outputs are
+	// unchanged.
+	Enabled bool
+	// Alpha is the EWMA factor folding each new inflation sample into the
+	// worker's score (higher = faster reaction, noisier).
+	Alpha float64
+	// EjectThreshold is the inflation score at or above which a worker
+	// enters probation (and, if it stays there a full probation window,
+	// is ejected from routing). 1 means fleet-baseline speed.
+	EjectThreshold float64
+	// ReinstateThreshold is the score at or below which an ejected worker
+	// becomes eligible for reinstatement. It must sit below
+	// EjectThreshold: the gap is the hysteresis band.
+	ReinstateThreshold float64
+	// Probation is the hysteresis window: a routing flip (ejection or
+	// reinstatement) requires the worker to have held its state this
+	// long, so flapping at the threshold flips routing at most once per
+	// window. The same window rate-limits the probe-driven Gray↔Healthy
+	// transitions while detection v2 is on.
+	Probation time.Duration
+	// MinSamples is the per-worker warm-up: no ejection until the worker
+	// has contributed at least this many completion samples.
+	MinSamples int
+}
+
+// DefaultGrayDetection returns the recommended parameterization,
+// disabled: α = 0.2, eject at 2x fleet-baseline inflation, reinstate
+// below 1.3x, a 30-second probation window, and 5 warm-up samples.
+func DefaultGrayDetection() GrayDetection {
+	return GrayDetection{
+		Enabled:            false,
+		Alpha:              0.2,
+		EjectThreshold:     2.0,
+		ReinstateThreshold: 1.3,
+		Probation:          30 * time.Second,
+		MinSamples:         5,
+	}
+}

@@ -48,6 +48,55 @@ type Resilience struct {
 	// workers skip downstream retries that cannot finish before the
 	// call's deadline.
 	ExpirySweep bool
+
+	// Hedge is the tail-latency hedged-dispatch section: CritHigh calls
+	// whose running time exceeds an online per-function quantile get one
+	// speculative copy on a different worker, first completion wins.
+	Hedge Hedge
+}
+
+// Hedge configures hedged dispatch — the classic tail-at-scale defense:
+// spend a bounded fraction of duplicate work to cut the p99 a gray
+// (alive-but-slow) worker would otherwise set. The bound is a per-region
+// token budget mirroring the retry budgets: every primary dispatch earns
+// BudgetFrac of a token, every hedge spends one, so measured hedge
+// amplification can never exceed 1 + BudgetFrac (plus the constant
+// burst), which the hedge-amplification invariant probe enforces
+// continuously.
+type Hedge struct {
+	// Enabled turns hedged dispatch on. Off by default: the submit path
+	// stays allocation-free and seed-keyed outputs are unchanged.
+	Enabled bool
+	// Quantile of the function's recent exec times used as the hedge
+	// delay: a call still running past this quantile is assumed stuck on
+	// a straggler and gets a speculative copy.
+	Quantile float64
+	// Window is how many recent exec-time samples per function the online
+	// quantile estimator keeps.
+	Window int
+	// MinSamples is the estimator's warm-up: no hedging for a function
+	// until it has observed at least this many completions.
+	MinSamples int
+	// BudgetFrac is the token fraction earned per primary dispatch — the
+	// configured hedge-amplification bound above 1.
+	BudgetFrac float64
+	// BudgetBurst is each region's initial token balance, so hedging can
+	// start before the budget has earned anything.
+	BudgetBurst float64
+}
+
+// DefaultHedge returns the recommended parameterization, disabled: hedge
+// at the p95 of the last 64 exec times after 8 samples, with at most 5%
+// extra dispatches plus a burst of 10.
+func DefaultHedge() Hedge {
+	return Hedge{
+		Enabled:     false,
+		Quantile:    0.95,
+		Window:      64,
+		MinSamples:  8,
+		BudgetFrac:  0.05,
+		BudgetBurst: 10,
+	}
 }
 
 // DefaultResilience returns the recommended parameterization with every
@@ -65,15 +114,17 @@ func DefaultResilience() Resilience {
 		ShedTargetNormal:   5 * time.Minute,
 		ShedTargetHigh:     15 * time.Minute,
 		ExpirySweep:        false,
+		Hedge:              DefaultHedge(),
 	}
 }
 
-// EnableAll returns a copy with all three mechanisms switched on —
+// EnableAll returns a copy with every mechanism switched on —
 // the adversarial scenarios' "defended" configuration.
 func (r Resilience) EnableAll() Resilience {
 	r.RetryBudgetEnabled = true
 	r.ShedEnabled = true
 	r.ExpirySweep = true
+	r.Hedge.Enabled = true
 	return r
 }
 

@@ -210,6 +210,32 @@ func (p *Platform) registerInvariantProbes() {
 		})
 	}
 
+	// Hedge amplification: with hedging on, the speculative copies the
+	// schedulers dispatched can never exceed the budget fraction of
+	// primary dispatches plus each region's burst allowance — hedged load
+	// is bounded at (1 + BudgetFrac) × primary load plus a constant, no
+	// matter how gray the fleet looks.
+	if p.cfg.Resilience.Hedge.Enabled {
+		p.Inv.RegisterProbe("hedge-amplification", func(now sim.Time) []string {
+			var spent, earned float64
+			for _, hb := range p.hedgeBudgets {
+				if hb == nil {
+					continue
+				}
+				spent += hb.Spent.Value()
+				earned += hb.Earned.Value()
+			}
+			h := p.cfg.Resilience.Hedge
+			bound := h.BudgetFrac*earned + h.BudgetBurst*float64(len(p.hedgeBudgets))
+			if spent > bound+1e-6 {
+				return []string{fmt.Sprintf(
+					"hedge budget spent %.0f exceeds bound %.0f (frac=%.3f primaries=%.0f burst=%.0f×%d)",
+					spent, bound, h.BudgetFrac, earned, h.BudgetBurst, len(p.hedgeBudgets))}
+			}
+			return nil
+		})
+	}
+
 	// Quota ceilings: each function's measured global RPS must stay under
 	// the largest limit the Central could have legitimately admitted since
 	// the last probe (its high-watermark limit plus the burst allowance

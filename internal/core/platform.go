@@ -17,6 +17,7 @@ import (
 	"xfaas/internal/config"
 	"xfaas/internal/congestion"
 	"xfaas/internal/downstream"
+	"xfaas/internal/drain"
 	"xfaas/internal/durableq"
 	"xfaas/internal/function"
 	"xfaas/internal/gtc"
@@ -120,9 +121,16 @@ type Config struct {
 	// tiers' restart delays.
 	Durability config.Durability
 	// Resilience is the overload-resilience model: retry budgets,
-	// queue-delay shedding and deadline expiry sweeping (all off by
-	// default).
+	// queue-delay shedding, deadline expiry sweeping, and hedged
+	// dispatch (all off by default).
 	Resilience config.Resilience
+	// GrayDetection is the completion-driven latency-outlier detector
+	// (detection v2): per-worker exec-time inflation scoring with a
+	// probation → ejected → reinstated state machine (off by default).
+	GrayDetection config.GrayDetection
+	// Drain is the regional drain controller's staging model (off by
+	// default; DrainRegion becomes a no-op with a control event).
+	Drain config.Drain
 	// Trace configures per-call tracing (disabled by default: the
 	// recorder still exists and collects control-plane events, but no
 	// call is sampled and the hot path pays one boolean load).
@@ -175,6 +183,8 @@ func DefaultConfig() Config {
 		Chaos:               config.DefaultChaos(),
 		Durability:          config.DefaultDurability(),
 		Resilience:          config.DefaultResilience(),
+		GrayDetection:       config.DefaultGrayDetection(),
+		Drain:               config.DefaultDrain(),
 		Trace:               trace.DefaultParams(),
 		Invariants:          invariant.DefaultParams(),
 		Observe:             config.DefaultObserve(),
@@ -249,6 +259,10 @@ type Platform struct {
 	Acct *slo.Accountant
 	// SLO is the burn-rate SLO engine; nil unless cfg.Observe.SLO.
 	SLO *slo.Engine
+	// Drainer is the regional drain controller. Always constructed (its
+	// construction is free of RNG and scheduling); it refuses to drain,
+	// with a control event, unless cfg.Drain.Enabled.
+	Drainer *drain.Controller
 
 	cfg     Config
 	regions []*Region
@@ -260,6 +274,14 @@ type Platform struct {
 	// fabric (chaos injection): the GTC cannot see them and schedulers
 	// cannot pull across the cut.
 	partitioned []bool
+	// drained marks regions under an evacuation drill: like partitioned
+	// regions, the conductor's snapshot zeroes them so no cross-region
+	// traffic is steered into the drain.
+	drained []bool
+	// hedgeBudgets holds each region's hedge token bucket (nil entries
+	// unless Resilience.Hedge is enabled); the hedge-amplification probe
+	// reads them.
+	hedgeBudgets []*scheduler.HedgeBudget
 	// breakers holds each region's circuit-breaker state.
 	breakers []breaker
 	// BreakerOpens counts open transitions across all region breakers.
@@ -465,6 +487,15 @@ func New(cfg Config, registry *function.Registry) *Platform {
 				GrayThreshold:         cfg.Chaos.GrayThreshold,
 			})
 		}
+		if cfg.GrayDetection.Enabled {
+			reg.LB.StartOutlierDetection(engine, workerlb.OutlierParams{
+				Alpha:              cfg.GrayDetection.Alpha,
+				EjectThreshold:     cfg.GrayDetection.EjectThreshold,
+				ReinstateThreshold: cfg.GrayDetection.ReinstateThreshold,
+				Probation:          cfg.GrayDetection.Probation,
+				MinSamples:         cfg.GrayDetection.MinSamples,
+			})
+		}
 		reg.QueueLB = queuelb.New(r.ID, src.Split(), allShards, p.Store)
 		reg.QueueLB.Trace = p.Tracer
 		// The scheduling policy's QueueLB placement hook. Every shipped
@@ -491,10 +522,19 @@ func New(cfg Config, registry *function.Registry) *Platform {
 		from := r.ID
 		sparams := cfg.Scheduler
 		sparams.Resilience = cfg.Resilience
+		var hb *scheduler.HedgeBudget
+		if cfg.Resilience.Hedge.Enabled {
+			// One bucket per region, shared by its replicas, so the
+			// amplification bound holds region-wide regardless of how
+			// many schedulers dispatch hedges.
+			hb = scheduler.NewHedgeBudget(cfg.Resilience.Hedge.BudgetFrac, cfg.Resilience.Hedge.BudgetBurst)
+			p.hedgeBudgets = append(p.hedgeBudgets, hb)
+		}
 		for k := 0; k < nSched; k++ {
 			sc := scheduler.New(engine, src.Split(), r.ID, sparams, allShards, reg.LB, p.Central, p.Cong, p.Store)
 			sc.Trace = p.Tracer
 			sc.Inv = p.Inv
+			sc.HedgeBudget = hb
 			sc.OnExecuted = p.onExecuted
 			sc.Reachable = func(dst cluster.RegionID) bool { return p.Reachable(from, dst) }
 			sc.AllowPull = func() bool { return !p.breakers[from].isOpen() }
@@ -528,7 +568,18 @@ func New(cfg Config, registry *function.Registry) *Platform {
 		engine.Every(cfg.Observe.EvalInterval, func() { p.SLO.Eval(engine.Now()) })
 	}
 	p.partitioned = make([]bool, p.Topo.NumRegions())
+	p.drained = make([]bool, p.Topo.NumRegions())
 	p.breakers = make([]breaker, p.Topo.NumRegions())
+	views := make([]drain.RegionView, len(p.regions))
+	queueLBs := make([]*queuelb.LB, len(p.regions))
+	for i, reg := range p.regions {
+		views[i] = drain.RegionView{Shards: reg.Shards, Scheds: reg.Scheds, Workers: reg.Workers}
+		queueLBs[i] = reg.QueueLB
+	}
+	p.Drainer = drain.NewController(engine, cfg.Drain, views, queueLBs)
+	p.Drainer.Trace = p.Tracer
+	p.Drainer.Inv = p.Inv
+	p.Drainer.MarkRegion = func(r int, d bool) { p.drained[r] = d }
 	if cfg.Chaos.DegradeInterval > 0 {
 		engine.Every(cfg.Chaos.DegradeInterval, p.degradeTick)
 	}
@@ -642,7 +693,7 @@ func (p *Platform) snapshot() gtc.Snapshot {
 	n := p.Topo.NumRegions()
 	snap := gtc.Snapshot{Demand: make([]float64, n), Supply: make([]float64, n)}
 	for i, reg := range p.regions {
-		if p.partitioned[i] {
+		if p.partitioned[i] || p.drained[i] {
 			continue
 		}
 		ready := 0

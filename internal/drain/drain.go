@@ -1,0 +1,319 @@
+// Package drain implements the regional drain controller: a staged,
+// clock-driven evacuation of one region — the library version of the
+// operational drill hyperscalers run before planned maintenance. The
+// stages, all on the sim clock:
+//
+//  1. Stop admitting: every QueueLB marks the region drained, so the
+//     normal shard-selection fallback chain reroutes new submissions to
+//     peer regions without failing a single client.
+//  2. Release (after StageDelay): the region's scheduler replicas stop
+//     their tick pipelines and gracefully hand held-but-not-executing
+//     calls back to their DurableQ shards (Shard.Release — no failure,
+//     no retry accounting). Executions already on workers run to
+//     completion and ack normally, so a drain never loses acked work.
+//  3. Migrate: queued CritHigh calls are extracted from the region's
+//     shards in batches and adopted by peer-region shards (round-robin),
+//     so site-critical work keeps executing during the outage window.
+//     Deferrable (below-CritHigh) work stays durably queued in place —
+//     time-shifted until the region undrains, exactly like the paper's
+//     delay-tolerant pipelines.
+//  4. Quiesce: the controller polls until no call is in flight on the
+//     region's schedulers or workers and reports the drain RTO —
+//     evacuation start to quiet — on the control event log. If the region
+//     is still busy at QuiesceTimeout it raises drain.timeout once (the
+//     operator's alarm) but keeps polling, so a long-running execution
+//     can still finish and the RTO is still reported.
+//
+// Undrain reverses the flags and resumes the region's schedulers; the
+// time-shifted backlog drains through the normal polling machinery.
+package drain
+
+import (
+	"fmt"
+	"time"
+
+	"xfaas/internal/cluster"
+	"xfaas/internal/config"
+	"xfaas/internal/durableq"
+	"xfaas/internal/function"
+	"xfaas/internal/invariant"
+	"xfaas/internal/queuelb"
+	"xfaas/internal/scheduler"
+	"xfaas/internal/sim"
+	"xfaas/internal/stats"
+	"xfaas/internal/trace"
+	"xfaas/internal/worker"
+)
+
+// RegionView is the controller's handle on one region's components.
+type RegionView struct {
+	Shards  []*durableq.Shard
+	Scheds  []*scheduler.Scheduler
+	Workers []*worker.Worker
+}
+
+// regionState tracks one region's drain in progress.
+type regionState struct {
+	draining   bool
+	quiesced   bool
+	timedOut   bool
+	startedAt  sim.Time
+	quiescedAt sim.Time
+	migrated   int
+	rr         int // round-robin cursor over peer shards
+	ticker     *sim.Ticker
+}
+
+// Controller drives regional drains. One per platform; construction is
+// free of RNG and scheduling, so it exists on every platform and simply
+// refuses to drain (with a control event) while config.Drain is off.
+type Controller struct {
+	engine   *sim.Engine
+	cfg      config.Drain
+	regions  []RegionView
+	queueLBs []*queuelb.LB
+	states   []regionState
+	scratch  []*function.Call
+	peers    []*durableq.Shard
+
+	// MarkRegion, when set (by core), flips the platform's own view of a
+	// drained region — the conductor's capacity snapshot zeroes it, like
+	// a partitioned region.
+	MarkRegion func(region int, drained bool)
+
+	// Trace and Inv receive the drill's control events and ledger notes.
+	Trace *trace.Recorder
+	Inv   *invariant.Checker
+
+	// Drains counts evacuations started; Migrated counts calls moved to
+	// peer-region shards across all drains.
+	Drains   stats.Counter
+	Migrated stats.Counter
+}
+
+// NewController returns a drain controller over the platform's regions.
+func NewController(engine *sim.Engine, cfg config.Drain, regions []RegionView, queueLBs []*queuelb.LB) *Controller {
+	if cfg.StageDelay <= 0 {
+		cfg.StageDelay = 10 * time.Second
+	}
+	if cfg.CheckInterval <= 0 {
+		cfg.CheckInterval = 5 * time.Second
+	}
+	if cfg.QuiesceTimeout <= 0 {
+		cfg.QuiesceTimeout = 10 * time.Minute
+	}
+	if cfg.MigrateBatch <= 0 {
+		cfg.MigrateBatch = 256
+	}
+	return &Controller{
+		engine:   engine,
+		cfg:      cfg,
+		regions:  regions,
+		queueLBs: queueLBs,
+		states:   make([]regionState, len(regions)),
+	}
+}
+
+// Drain starts evacuating a region. No-op (with a control event) while
+// drains are disabled in config, or if the region is already draining.
+func (d *Controller) Drain(region int) {
+	if region < 0 || region >= len(d.states) {
+		return
+	}
+	if !d.cfg.Enabled {
+		d.Trace.Control("drain.disabled", fmt.Sprintf("r%d: Drain config off", region))
+		return
+	}
+	st := &d.states[region]
+	if st.draining {
+		return
+	}
+	*st = regionState{draining: true, startedAt: d.engine.Now()}
+	d.Drains.Inc()
+	for _, lb := range d.queueLBs {
+		lb.SetRegionDrained(cluster.RegionID(region), true)
+	}
+	if d.MarkRegion != nil {
+		d.MarkRegion(region, true)
+	}
+	d.Trace.Control("drain.begin", fmt.Sprintf("r%d admit-stopped", region))
+	d.Inv.Note("drain", fmt.Sprintf("r%d", region))
+	d.engine.Schedule(d.cfg.StageDelay, func() { d.stageRelease(region) })
+}
+
+// Undrain ends a region's evacuation: admission and scheduling resume,
+// and the time-shifted backlog drains through normal polling.
+func (d *Controller) Undrain(region int) {
+	if region < 0 || region >= len(d.states) {
+		return
+	}
+	st := &d.states[region]
+	if !st.draining {
+		return
+	}
+	st.draining = false
+	if st.ticker != nil {
+		st.ticker.Stop()
+		st.ticker = nil
+	}
+	for _, lb := range d.queueLBs {
+		lb.SetRegionDrained(cluster.RegionID(region), false)
+	}
+	if d.MarkRegion != nil {
+		d.MarkRegion(region, false)
+	}
+	for _, sc := range d.regions[region].Scheds {
+		sc.SetDraining(false)
+	}
+	d.Trace.Control("drain.end", fmt.Sprintf("r%d migrated=%d", region, st.migrated))
+}
+
+// stageRelease is stage 2: stop the region's scheduler pipelines (each
+// replica releases its held leases back to the shards) and start the
+// migrate/quiesce pump.
+func (d *Controller) stageRelease(region int) {
+	st := &d.states[region]
+	if !st.draining {
+		return // undrained before the stage fired
+	}
+	for _, sc := range d.regions[region].Scheds {
+		sc.SetDraining(true)
+	}
+	d.Trace.Control("drain.released", fmt.Sprintf("r%d schedulers parked", region))
+	st.ticker = d.engine.Every(d.cfg.CheckInterval, func() { d.pump(region) })
+}
+
+// pump runs every CheckInterval during a drain: migrate a batch of
+// queued CritHigh calls to peer regions, then — once migration runs dry —
+// check for quiesce and report the RTO.
+func (d *Controller) pump(region int) {
+	st := &d.states[region]
+	if !st.draining {
+		return
+	}
+	n := d.migrateBatch(region, st)
+	if n > 0 {
+		st.migrated += n
+		d.Migrated.Add(float64(n))
+		d.Trace.Control("drain.migrated",
+			fmt.Sprintf("r%d n=%d total=%d", region, n, st.migrated))
+		return
+	}
+	now := d.engine.Now()
+	if d.quiet(region) {
+		st.quiesced = true
+		st.quiescedAt = now
+		st.ticker.Stop()
+		st.ticker = nil
+		d.Trace.Control("drain.quiesced",
+			fmt.Sprintf("r%d rto=%s migrated=%d", region, now-st.startedAt, st.migrated))
+		return
+	}
+	// Past the timeout the controller alarms once but keeps polling: a
+	// long-running execution (the default population's tail reaches tens
+	// of minutes) must still be allowed to finish and the RTO must still
+	// be reported when the region finally quiets.
+	if !st.timedOut && now-st.startedAt >= d.cfg.QuiesceTimeout {
+		st.timedOut = true
+		d.Trace.Control("drain.timeout",
+			fmt.Sprintf("r%d still busy after %s", region, now-st.startedAt))
+	}
+}
+
+// critHigh is the migration filter: only site-critical work moves;
+// everything below time-shifts in place.
+func critHigh(c *function.Call) bool {
+	return c.Spec.Criticality >= function.CritHigh
+}
+
+// migrateBatch extracts up to MigrateBatch CritHigh calls per shard of
+// the draining region and adopts them round-robin across peer-region
+// shards (index order — deterministic). Returns the number moved.
+func (d *Controller) migrateBatch(region int, st *regionState) int {
+	peers := d.peers[:0]
+	for r := range d.regions {
+		if r == region || d.states[r].draining {
+			continue
+		}
+		for _, sh := range d.regions[r].Shards {
+			if !sh.IsDown() {
+				peers = append(peers, sh)
+			}
+		}
+	}
+	d.peers = peers
+	if len(peers) == 0 {
+		return 0
+	}
+	moved := 0
+	for _, sh := range d.regions[region].Shards {
+		calls := sh.DrainExtract(d.scratch[:0], d.cfg.MigrateBatch, critHigh)
+		for _, c := range calls {
+			dst := peers[st.rr%len(peers)]
+			st.rr++
+			if dst.AdoptDrained(c) {
+				moved++
+				continue
+			}
+			// The peer went down this instant; the source shard is up (we
+			// just extracted from it), so restore the call there.
+			sh.AdoptDrained(c)
+		}
+		d.scratch = calls[:0]
+	}
+	return moved
+}
+
+// quiet reports whether the region has no work in flight: every
+// scheduler's in-flight ledger empty and every worker idle.
+func (d *Controller) quiet(region int) bool {
+	for _, sc := range d.regions[region].Scheds {
+		if sc.InFlight() > 0 {
+			return false
+		}
+	}
+	for _, w := range d.regions[region].Workers {
+		if w.Running() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Draining reports whether a region is currently under evacuation.
+func (d *Controller) Draining(region int) bool {
+	if region < 0 || region >= len(d.states) {
+		return false
+	}
+	return d.states[region].draining
+}
+
+// Quiesced reports whether the region's last drain reached quiet.
+func (d *Controller) Quiesced(region int) bool {
+	if region < 0 || region >= len(d.states) {
+		return false
+	}
+	return d.states[region].quiesced
+}
+
+// LastRTO returns the last drain's recovery-time objective — evacuation
+// start to quiesce — and whether the region ever quiesced.
+func (d *Controller) LastRTO(region int) (time.Duration, bool) {
+	if region < 0 || region >= len(d.states) {
+		return 0, false
+	}
+	st := &d.states[region]
+	if !st.quiesced {
+		return 0, false
+	}
+	return st.quiescedAt - st.startedAt, true
+}
+
+// MigratedCalls returns how many calls the region's drains moved to
+// peers.
+func (d *Controller) MigratedCalls(region int) int {
+	if region < 0 || region >= len(d.states) {
+		return 0
+	}
+	return d.states[region].migrated
+}

@@ -1,0 +1,200 @@
+package durableq
+
+import (
+	"testing"
+	"time"
+
+	"xfaas/internal/function"
+	"xfaas/internal/sim"
+)
+
+func critSpec(name string) *function.Spec {
+	s := spec(name, 3)
+	s.Criticality = function.CritHigh
+	return s
+}
+
+func isCritHigh(c *function.Call) bool {
+	return c.Spec.Criticality >= function.CritHigh
+}
+
+// TestReleaseReturnsLeaseToQueue covers the drain handback: Release
+// dissolves a held lease into plain queued work with no failure
+// accounting, and the call is redelivered immediately.
+func TestReleaseReturnsLeaseToQueue(t *testing.T) {
+	e := sim.NewEngine()
+	sh := newShard(e)
+	c := call(spec("f", 3), 0)
+	sh.Enqueue(c)
+	got := sh.Poll(10, nil)
+	if len(got) != 1 || c.Attempt != 1 {
+		t.Fatalf("setup: poll=%v attempt=%d", got, c.Attempt)
+	}
+
+	if !sh.Release(c.ID) {
+		t.Fatal("release of a held lease failed")
+	}
+	if c.State != function.StateQueued {
+		t.Fatalf("state = %v, want Queued", c.State)
+	}
+	if sh.Pending() != 1 || sh.Leased() != 0 {
+		t.Fatalf("pending=%d leased=%d", sh.Pending(), sh.Leased())
+	}
+	if sh.Released.Value() != 1 {
+		t.Fatalf("Released = %v", sh.Released.Value())
+	}
+	// Unlike Nack there is no backoff: the call is ready right now, and
+	// the next offer keeps the attempt counter monotonic.
+	redelivered := sh.Poll(10, nil)
+	if len(redelivered) != 1 || redelivered[0].ID != c.ID {
+		t.Fatalf("redelivery = %v", redelivered)
+	}
+	if c.Attempt != 2 {
+		t.Fatalf("attempt = %d after release+redeliver, want 2", c.Attempt)
+	}
+
+	// Negative paths: unknown lease, already-released lease.
+	if sh.Release(99999) {
+		t.Fatal("release of unknown id succeeded")
+	}
+	sh.Ack(c.ID)
+	if sh.Release(c.ID) {
+		t.Fatal("release after ack succeeded")
+	}
+}
+
+// TestDrainExtractFiltersQueuedOnly verifies the migration extractor:
+// only queued calls matching the filter move, leased calls stay put, and
+// the remainder is still deliverable afterwards.
+func TestDrainExtractFiltersQueuedOnly(t *testing.T) {
+	e := sim.NewEngine()
+	sh := newShard(e)
+	crit := critSpec("crit")
+	norm := spec("norm", 3)
+	var crits []*function.Call
+	for i := 0; i < 4; i++ {
+		c := call(crit, 0)
+		crits = append(crits, c)
+		sh.Enqueue(c)
+		sh.Enqueue(call(norm, 0))
+	}
+	// Lease one CritHigh call: a held lease is execution-bound work the
+	// extractor must never touch.
+	leased := sh.Poll(1, func(c *function.Call) bool { return c.ID == crits[0].ID })
+	if len(leased) != 1 {
+		t.Fatalf("setup: leased %v", leased)
+	}
+
+	out := sh.DrainExtract(nil, 100, isCritHigh)
+	if len(out) != 3 {
+		t.Fatalf("extracted %d calls, want the 3 queued CritHigh", len(out))
+	}
+	for _, c := range out {
+		if c.Spec.Criticality != function.CritHigh {
+			t.Fatalf("extracted non-critical call %d", c.ID)
+		}
+	}
+	if sh.Pending() != 4 {
+		t.Fatalf("pending = %d after extract, want the 4 normal calls", sh.Pending())
+	}
+	if sh.Leased() != 1 {
+		t.Fatalf("leased = %d, extract disturbed a held lease", sh.Leased())
+	}
+	if sh.DrainedOut.Value() != 3 {
+		t.Fatalf("DrainedOut = %v", sh.DrainedOut.Value())
+	}
+	// The deferrable remainder still delivers in order.
+	rest := sh.Poll(10, nil)
+	if len(rest) != 4 {
+		t.Fatalf("remainder poll = %d calls", len(rest))
+	}
+	for _, c := range rest {
+		if c.Spec.Name != "norm" {
+			t.Fatalf("unexpected remainder call %q", c.Spec.Name)
+		}
+	}
+}
+
+// TestDrainExtractRespectsMax bounds one migration batch.
+func TestDrainExtractRespectsMax(t *testing.T) {
+	e := sim.NewEngine()
+	sh := newShard(e)
+	crit := critSpec("crit")
+	for i := 0; i < 10; i++ {
+		sh.Enqueue(call(crit, 0))
+	}
+	out := sh.DrainExtract(nil, 4, isCritHigh)
+	if len(out) != 4 {
+		t.Fatalf("extracted %d, want max=4", len(out))
+	}
+	if sh.Pending() != 6 {
+		t.Fatalf("pending = %d", sh.Pending())
+	}
+	// Draining the rest in batches empties the shard.
+	total := len(out)
+	for i := 0; i < 5 && sh.Pending() > 0; i++ {
+		total += len(sh.DrainExtract(nil, 4, isCritHigh))
+	}
+	if total != 10 || sh.Pending() != 0 {
+		t.Fatalf("total extracted = %d pending = %d", total, sh.Pending())
+	}
+}
+
+// TestAdoptDrainedRequeues covers the receiving side: an adopted call is
+// durably queued at the peer, honors a future StartAfter, and is refused
+// while the shard is down.
+func TestAdoptDrainedRequeues(t *testing.T) {
+	e := sim.NewEngine()
+	src := newShard(e)
+	dst := NewShard(ShardID{Region: 1, Index: 0}, e, nil)
+
+	c := call(critSpec("crit"), 0)
+	src.Enqueue(c)
+	out := src.DrainExtract(nil, 1, isCritHigh)
+	if len(out) != 1 {
+		t.Fatalf("setup: extract = %v", out)
+	}
+	if !dst.AdoptDrained(out[0]) {
+		t.Fatal("adopt failed on a healthy shard")
+	}
+	if dst.Pending() != 1 || dst.DrainedIn.Value() != 1 {
+		t.Fatalf("pending=%d drainedIn=%v", dst.Pending(), dst.DrainedIn.Value())
+	}
+	got := dst.Poll(10, nil)
+	if len(got) != 1 || got[0].ID != c.ID {
+		t.Fatalf("adopted call not delivered: %v", got)
+	}
+	dst.Ack(c.ID)
+
+	// Time-shifted work keeps its start time at the new home.
+	future := call(critSpec("crit"), e.Now()+sim.Time(time.Hour))
+	src.Enqueue(future)
+	out = src.DrainExtract(nil, 1, isCritHigh)
+	if len(out) != 1 {
+		t.Fatalf("future extract = %v", out)
+	}
+	dst.AdoptDrained(out[0])
+	if got := dst.Poll(10, nil); len(got) != 0 {
+		t.Fatalf("future call offered early after adoption: %v", got)
+	}
+	e.RunFor(time.Hour)
+	if got := dst.Poll(10, nil); len(got) != 1 {
+		t.Fatal("future call not offered after its start time")
+	}
+
+	// A down peer refuses adoption; the controller restores to the source.
+	down := NewShard(ShardID{Region: 2, Index: 0}, e, nil)
+	down.SetDown(true)
+	c3 := call(critSpec("crit"), 0)
+	src.Enqueue(c3)
+	out = src.DrainExtract(nil, 1, isCritHigh)
+	if down.AdoptDrained(out[0]) {
+		t.Fatal("down shard adopted a call")
+	}
+	if !src.AdoptDrained(out[0]) {
+		t.Fatal("restore to source shard failed")
+	}
+	if src.Pending() != 1 {
+		t.Fatalf("source pending = %d after restore", src.Pending())
+	}
+}

@@ -170,7 +170,13 @@ type Shard struct {
 	LostOnCrash   stats.Counter
 	Replayed      stats.Counter
 	DupSuppressed stats.Counter
-	pending       int
+	// Regional drain accounting: Released counts leases gracefully
+	// dissolved back to queued (no retry mechanics), DrainedOut calls
+	// migrated to a peer shard, DrainedIn calls adopted from one.
+	Released   stats.Counter
+	DrainedOut stats.Counter
+	DrainedIn  stats.Counter
+	pending    int
 
 	// Trace, when set, records queue lifecycle events for sampled calls.
 	Trace *trace.Recorder
@@ -579,6 +585,108 @@ func (s *Shard) Terminate(id uint64, reason DeadReason) bool {
 	c := l.call
 	s.putLease(l)
 	s.deadLetter(c, reason)
+	return true
+}
+
+// Release gracefully dissolves a held lease back into plain queued work —
+// the regional-drain handback. Unlike Nack, the call's outcome is not a
+// failure: no retry backoff, no redelivery accounting, no budget spend.
+// The attempt counter is untouched (the next offer increments it, keeping
+// the ledger's monotonicity), and the journal records an OpRetry so a
+// crash mid-drain replays the call as queued. It reports whether the
+// lease was still held.
+func (s *Shard) Release(id uint64) bool {
+	l, ok := s.leases[id]
+	if s.down || !ok {
+		return false
+	}
+	l.timer.Stop()
+	delete(s.leases, id)
+	c := l.call
+	s.putLease(l)
+	s.Released.Inc()
+	c.State = function.StateQueued
+	readyAt := s.engine.Now()
+	if s.jrn != nil {
+		s.jrn.Append(journal.OpRetry, c, readyAt)
+	}
+	s.Trace.Record(c, trace.KindRetry, 0)
+	s.Inv.OnRelease(c)
+	s.requeue(c, readyAt)
+	return true
+}
+
+// DrainExtract removes up to max queued (never leased) calls matching
+// filter from this shard, appending them to dst, so a drain controller
+// can migrate them to peer-region shards via AdoptDrained. Heaps are
+// rebuilt in deterministic per-function order. Each extracted call gets a
+// terminal journal record here — its durable home moves with it, so a
+// crash replay of this shard must not resurrect a copy.
+func (s *Shard) DrainExtract(dst []*function.Call, max int, filter func(*function.Call) bool) []*function.Call {
+	if max <= 0 || len(s.funcNames) == 0 {
+		return dst
+	}
+	taken := 0
+	var kept []queued
+	for _, name := range s.funcNames {
+		if taken >= max {
+			break
+		}
+		q := s.queues[name]
+		if q.Len() == 0 {
+			continue
+		}
+		kept = kept[:0]
+		for q.Len() > 0 {
+			it := q.pop()
+			if len(s.tombstones) > 0 && s.tombstones[it.call.ID] {
+				delete(s.tombstones, it.call.ID) // settled garbage; discard
+				continue
+			}
+			if taken < max && filter(it.call) {
+				if len(s.recovered) > 0 {
+					delete(s.recovered, it.call.ID)
+				}
+				s.pending--
+				s.DrainedOut.Inc()
+				if s.jrn != nil {
+					s.jrn.Append(journal.OpAck, it.call, 0)
+				}
+				dst = append(dst, it.call)
+				taken++
+				continue
+			}
+			kept = append(kept, it)
+		}
+		for _, it := range kept {
+			q.push(it)
+		}
+	}
+	return dst
+}
+
+// AdoptDrained persists a call migrated from a draining peer shard. The
+// call is already durably owned by the platform (conservation keys on its
+// submission region, which does not change), so no submit-side counters
+// move — only the drain accounting and this shard's journal. Retry
+// backoff in flight at extraction is dropped: the call becomes ready at
+// max(now, StartAfter). It reports false while the shard is unavailable.
+func (s *Shard) AdoptDrained(c *function.Call) bool {
+	if s.down {
+		return false
+	}
+	c.State = function.StateQueued
+	readyAt := s.engine.Now()
+	if c.StartAfter > readyAt {
+		readyAt = c.StartAfter
+	}
+	s.requeue(c, readyAt)
+	s.DrainedIn.Inc()
+	if s.jrn != nil {
+		s.jrn.Append(journal.OpEnqueue, c, readyAt)
+	}
+	s.Trace.Record(c, trace.KindMigrated, trace.Ref(s.ID.Region, s.ID.Index))
+	s.Inv.OnDrainMigrate(c)
 	return true
 }
 

@@ -38,6 +38,7 @@ func TestRegistryComplete(t *testing.T) {
 		"extension-oppfrac", "baseline-coldstart", "outage", "rim",
 		"ablation-timeshift", "ablation-gtc", "ablation-aimd",
 		"chaos_gray", "chaos_partition", "chaos_correlated", "chaos_dq",
+		"chaos_graytail", "chaos_flapping", "drill_evacuation",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {

@@ -116,7 +116,13 @@ type centry struct {
 	region  int32 // submission region
 	attempt int32
 	worker  int64 // packed worker ref while running
-	fn      string
+	// hedge is the packed ref of a live speculative (hedged) copy's
+	// worker, zero when none. A hedge never creates a second ledger
+	// entry — the clone shares the call ID — so conservation closes with
+	// no new terms; this field only tracks which extra worker may
+	// legally produce the winning completion.
+	hedge int64
+	fn    string
 }
 
 // packRef encodes a worker identity, biased by one region so that worker
@@ -512,6 +518,86 @@ func (k *Checker) OnComplete(c *function.Call, region, worker int) {
 	k.ledger[c.ID] = e
 }
 
+// OnHedgeDispatch records a speculative copy of a running call starting
+// on a second worker. Legal only while the primary execution runs, and
+// only one hedge may be live per call — a second concurrent hedge is the
+// hedged twin of the lease-exclusivity breach.
+func (k *Checker) OnHedgeDispatch(c *function.Call, region, worker int) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	ref := packRef(region, worker)
+	e, ok := k.ledger[c.ID]
+	if !ok {
+		if _, orphan := k.orphaned[c.ID]; orphan {
+			k.lateEvents++
+			return
+		}
+		k.violate("hedge-unknown", c.ID, "hedged a call the ledger never saw")
+		return
+	}
+	if e.state != stRunning {
+		k.violate("hedge-from-"+stateName(e.state), c.ID, "func %s", e.fn)
+	}
+	if e.hedge != 0 {
+		k.violate("hedge-duplicate", c.ID,
+			"hedged to %s while a hedge already runs on %s (func %s)",
+			refString(ref), refString(e.hedge), e.fn)
+	}
+	if e.worker == ref {
+		k.violate("hedge-same-worker", c.ID,
+			"hedged onto the primary's own worker %s (func %s)", refString(ref), e.fn)
+	}
+	e.hedge = ref
+	k.ledger[c.ID] = e
+}
+
+// OnHedgeWin records the speculative copy finishing first: the ledger's
+// execution ref moves to the hedge worker so the ensuing completion and
+// settle flow reads as the winner's. A win for a ref the ledger no
+// longer tracks (the entry moved on under at-least-once overlap) is a
+// tolerated late event.
+func (k *Checker) OnHedgeWin(c *function.Call, region, worker int) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	ref := packRef(region, worker)
+	e, ok := k.ledger[c.ID]
+	if !ok {
+		k.lateEvents++
+		return
+	}
+	if e.hedge != ref {
+		k.lateEvents++
+		return
+	}
+	e.worker = ref
+	e.hedge = 0
+	k.ledger[c.ID] = e
+}
+
+// OnHedgeCancel records a speculative copy retired without winning (the
+// primary finished first, the copy failed, or its primary's worker was
+// evacuated).
+func (k *Checker) OnHedgeCancel(c *function.Call) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e, ok := k.ledger[c.ID]
+	if !ok {
+		k.lateEvents++
+		return
+	}
+	e.hedge = 0
+	k.ledger[c.ID] = e
+}
+
 // OnAck records the durable queue settling the call as done — the happy
 // terminal state. The shard's ack is authoritative: under at-least-once
 // overlap a superseded execution's ack can land while a redelivered
@@ -564,7 +650,51 @@ func (k *Checker) settle(c *function.Call, kind string) {
 	}
 	e.state = stSettling
 	e.worker = 0
+	e.hedge = 0
 	k.ledger[c.ID] = e
+}
+
+// OnRelease records a scheduler gracefully handing a leased call back to
+// its shard during a regional drain: the lease dissolves and the call is
+// plain queued work again — no settle detour, no retry accounting.
+func (k *Checker) OnRelease(c *function.Call) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e, ok := k.ledger[c.ID]
+	if !ok {
+		k.lateEvents++
+		return
+	}
+	if e.state != stLeased {
+		k.violate("release-from-"+stateName(e.state), c.ID, "func %s", e.fn)
+	}
+	e.state = stQueued
+	e.worker = 0
+	e.hedge = 0
+	k.ledger[c.ID] = e
+}
+
+// OnDrainMigrate records a drain controller moving a queued call's
+// durable home to a peer region's shard. The ledger keys conservation on
+// the submission region, which the move does not change, so the entry
+// only needs to still be queued for the move to be legal.
+func (k *Checker) OnDrainMigrate(c *function.Call) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e, ok := k.ledger[c.ID]
+	if !ok {
+		k.lateEvents++
+		return
+	}
+	if e.state != stQueued {
+		k.violate("drain-migrate-from-"+stateName(e.state), c.ID, "func %s", e.fn)
+	}
 }
 
 // OnRetry records a settled call pushed back onto the queue for another
@@ -754,6 +884,7 @@ func (k *Checker) OnRecoverRequeue(c *function.Call) {
 	}
 	e.state = stQueued
 	e.worker = 0
+	e.hedge = 0
 	k.ledger[c.ID] = e
 }
 

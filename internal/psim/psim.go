@@ -65,6 +65,11 @@ type Options struct {
 	// Chaos injects a deterministic per-partition fault schedule (gray
 	// worker, rack crash, shard outage, shard crash, submitter crash).
 	Chaos bool
+	// Drain runs the evacuation drill in every partition: the partition's
+	// first region drains at 0.3 of the run and undrains at 0.6, with the
+	// gray-failure defenses (detection, hedging) enabled so the full
+	// resilience stack is exercised under the parallel scheduler.
+	Drain bool
 	// Traced enables per-call trace sampling.
 	Traced bool
 	// Invariants enables the ledger and platform probes in every
@@ -211,6 +216,11 @@ func New(opts Options) *Runner {
 		cfg.Invariants.Enabled = opts.Invariants
 		if opts.SLO {
 			cfg.Observe = cfg.Observe.EnableAll()
+		}
+		if opts.Drain {
+			cfg.Drain.Enabled = true
+			cfg.GrayDetection.Enabled = true
+			cfg.Resilience = cfg.Resilience.EnableAll()
 		}
 		plat := core.New(cfg, pop.Registry)
 
@@ -359,6 +369,22 @@ func (r *Runner) scheduleChaos(deadline sim.Time) {
 	}
 }
 
+// scheduleDrain installs the evacuation drill: each partition drains its
+// first region at 0.3 of the run and undrains it at 0.6, so the drained
+// interval sits entirely inside the run and the backlog has time to
+// recover before the final report.
+func (r *Runner) scheduleDrain(deadline sim.Time) {
+	for _, part := range r.Parts {
+		plat := part.Platform
+		eng := plat.Engine
+		at := func(frac float64) time.Duration {
+			return time.Duration(float64(deadline) * frac)
+		}
+		eng.Schedule(at(0.3), func() { plat.Drainer.Drain(0) })
+		eng.Schedule(at(0.6), func() { plat.Drainer.Undrain(0) })
+	}
+}
+
 // Run starts the generators, runs the group to the virtual deadline and
 // returns the deterministic report.
 func (r *Runner) Run() string {
@@ -368,6 +394,9 @@ func (r *Runner) Run() string {
 	}
 	if r.Opts.Chaos {
 		r.scheduleChaos(deadline)
+	}
+	if r.Opts.Drain {
+		r.scheduleDrain(deadline)
 	}
 	if r.Opts.Seq {
 		r.Group.RunUntilSeq(deadline)
@@ -383,6 +412,7 @@ type partStats struct {
 	dropped, lost, sloMisses                      float64
 	migratedOut, migratedIn, migratedDropped      float64
 	remoteForwarded                               float64
+	drains, drainMigrated                         float64
 	violations, ctrlEvents, sampled, traceDropped uint64
 	gap                                           int64
 }
@@ -397,6 +427,8 @@ func (r *Runner) stats(part *Partition) partStats {
 		migratedOut:     p.MigratedOut.Value(),
 		migratedIn:      p.MigratedIn.Value(),
 		migratedDropped: p.MigratedDropped.Value(),
+		drains:          p.Drainer.Drains.Value(),
+		drainMigrated:   p.Drainer.Migrated.Value(),
 		ctrlEvents:      p.Tracer.ControlCount(),
 	}
 	for _, reg := range p.Regions() {
@@ -425,8 +457,8 @@ func (r *Runner) stats(part *Partition) partStats {
 func (r *Runner) Report() string {
 	var b strings.Builder
 	o := r.Opts
-	fmt.Fprintf(&b, "psim parts=%d regions=%d workers=%d funcs=%d rps=%.0f minutes=%d seed=%d cross=%.2f chaos=%v traced=%v invariants=%v slo=%v\n",
-		o.Parts, o.Regions, o.TotalWorkers, o.Functions, o.RPS, o.Minutes, o.Seed, o.CrossFrac, o.Chaos, o.Traced, o.Invariants, o.SLO)
+	fmt.Fprintf(&b, "psim parts=%d regions=%d workers=%d funcs=%d rps=%.0f minutes=%d seed=%d cross=%.2f chaos=%v drain=%v traced=%v invariants=%v slo=%v\n",
+		o.Parts, o.Regions, o.TotalWorkers, o.Functions, o.RPS, o.Minutes, o.Seed, o.CrossFrac, o.Chaos, o.Drain, o.Traced, o.Invariants, o.SLO)
 	var tot partStats
 	for i, part := range r.Parts {
 		s := r.stats(part)
@@ -434,6 +466,9 @@ func (r *Runner) Report() string {
 			i, len(part.GlobalRegions), s.generated, s.submitted, s.acked, s.completions,
 			s.sloMisses, s.dropped, s.lost, s.migratedOut, s.migratedIn, s.migratedDropped,
 			s.remoteForwarded, s.ctrlEvents)
+		if o.Drain {
+			fmt.Fprintf(&b, " drains=%.0f dmig=%.0f", s.drains, s.drainMigrated)
+		}
 		if o.Invariants {
 			fmt.Fprintf(&b, " viol=%d gap=%+d", s.violations, s.gap)
 		}
@@ -452,12 +487,17 @@ func (r *Runner) Report() string {
 		tot.migratedIn += s.migratedIn
 		tot.migratedDropped += s.migratedDropped
 		tot.remoteForwarded += s.remoteForwarded
+		tot.drains += s.drains
+		tot.drainMigrated += s.drainMigrated
 		tot.violations += s.violations
 	}
 	fmt.Fprintf(&b, "total: gen=%.0f sub=%.0f acked=%.0f done=%.0f slo=%.0f drop=%.0f lost=%.0f out=%.0f in=%.0f indrop=%.0f fwd=%.0f events=%d",
 		tot.generated, tot.submitted, tot.acked, tot.completions, tot.sloMisses,
 		tot.dropped, tot.lost, tot.migratedOut, tot.migratedIn, tot.migratedDropped,
 		tot.remoteForwarded, r.Group.Processed())
+	if o.Drain {
+		fmt.Fprintf(&b, " drains=%.0f dmig=%.0f", tot.drains, tot.drainMigrated)
+	}
 	if o.Invariants {
 		fmt.Fprintf(&b, " viol=%d", tot.violations)
 	}

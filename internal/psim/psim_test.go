@@ -61,6 +61,49 @@ func TestChaosParallelMatchesSeq(t *testing.T) {
 	}
 }
 
+// TestDrainParallelMatchesSeq repeats the gate with the evacuation drill
+// active: each partition drains its first region mid-run, with the full
+// gray-failure stack (detection, hedging) enabled, and the parallel and
+// reference schedules must still agree byte-for-byte.
+func TestDrainParallelMatchesSeq(t *testing.T) {
+	opts := testOptions()
+	opts.Drain = true
+	par := New(opts).Run()
+	opts.Seq = true
+	seq := New(opts).Run()
+	if par != seq {
+		t.Errorf("drain parallel and seq reports differ:\n--- parallel ---\n%s--- seq ---\n%s", par, seq)
+	}
+}
+
+// TestDrainConservation holds the ledger closed across the evacuation
+// drill and demands the drill actually ran in every partition with zero
+// in-flight loss.
+func TestDrainConservation(t *testing.T) {
+	opts := testOptions()
+	opts.Drain = true
+	opts.Minutes = 4
+	r := New(opts)
+	r.Run()
+	if v := r.Violations(); len(v) != 0 {
+		for _, x := range v {
+			t.Errorf("violation: %v", x)
+		}
+	}
+	for i, part := range r.Parts {
+		if got := part.Platform.Drainer.Drains.Value(); got != 1 {
+			t.Errorf("partition %d ran %.0f drains, want 1", i, got)
+		}
+		for _, reg := range part.Platform.Regions() {
+			for _, sh := range reg.Shards {
+				if sh.LostOnCrash.Value() != 0 {
+					t.Errorf("partition %d shard %v lost calls during a graceful drain", i, sh.ID)
+				}
+			}
+		}
+	}
+}
+
 // TestTracedParallelMatchesSeq repeats the gate with per-call tracing
 // sampled, covering the migrate-out trace finalization path.
 func TestTracedParallelMatchesSeq(t *testing.T) {

@@ -91,6 +91,13 @@ type LB struct {
 	// the flush (the client sees failed submissions) until it returns.
 	down bool
 
+	// drained marks regions under an evacuation drill: pickShard refuses
+	// them, so the normal fallback chain (policy destination → local →
+	// index order) reroutes new submissions to peer regions — "stop
+	// admitting" without failing a single client. Nil until a drain ever
+	// starts, so the routing fast path is untouched.
+	drained []bool
+
 	Routed      stats.Counter
 	CrossRegion stats.Counter
 	// Unroutable counts submissions dropped because no shard anywhere was
@@ -244,6 +251,9 @@ func (lb *LB) pickShard(region cluster.RegionID) *durableq.Shard {
 	if int(region) >= len(lb.shards) {
 		return nil
 	}
+	if lb.drained != nil && lb.drained[region] {
+		return nil
+	}
 	pool := lb.shards[region]
 	up := 0
 	for _, sh := range pool {
@@ -265,6 +275,21 @@ func (lb *LB) pickShard(region cluster.RegionID) *durableq.Shard {
 		k--
 	}
 	return nil
+}
+
+// SetRegionDrained marks (or unmarks) a region as under evacuation: no
+// new submissions are persisted there while the flag holds.
+func (lb *LB) SetRegionDrained(region cluster.RegionID, drained bool) {
+	if int(region) >= len(lb.shards) {
+		return
+	}
+	if lb.drained == nil {
+		if !drained {
+			return
+		}
+		lb.drained = make([]bool, len(lb.shards))
+	}
+	lb.drained[region] = drained
 }
 
 func (lb *LB) finishRoute(c *function.Call, shard *durableq.Shard, dst cluster.RegionID) {

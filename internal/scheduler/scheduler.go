@@ -146,6 +146,23 @@ type Scheduler struct {
 	inflight         map[uint64]*worker.Worker
 	inflightByWorker map[*worker.Worker]map[uint64]*function.Call
 
+	// Hedged dispatch (hedges stays nil until Resilience.Hedge enables
+	// it; every hot-path hook is a single nil check when off). est holds
+	// the per-function hedge-delay estimators; hedgeSrc is a dedicated
+	// stream so hedge worker picks never perturb the scheduler's draws.
+	hedges    map[uint64]*hedgeEntry
+	freeHedge []*hedgeEntry
+	hedgeSrc  *rng.Source
+	est       map[string]*hedgeEstimator
+	// HedgeBudget, when set, is the region's shared hedge token bucket
+	// (one per region, shared by its replicas; see NewHedgeBudget).
+	HedgeBudget *HedgeBudget
+
+	// draining marks a regional drain in progress: ticks no-op (no new
+	// work is pulled or dispatched) while completion callbacks keep
+	// running, so in-flight executions finish and ack normally.
+	draining bool
+
 	// down marks the window between Crash and Restart: the replica's
 	// process is gone, so ticks, lease renewal and completion callbacks
 	// all no-op until the restart delay elapses.
@@ -188,8 +205,19 @@ type Scheduler struct {
 	SLOMisses        stats.Counter
 	// ShedCalls counts calls dead-lettered by queue-delay shedding;
 	// ExpiredSwept counts expired calls terminated at dispatch time.
-	ShedCalls         stats.Counter
-	ExpiredSwept      stats.Counter
+	ShedCalls    stats.Counter
+	ExpiredSwept stats.Counter
+	// Hedging: Hedged counts speculative copies dispatched, HedgeWins
+	// those that finished before their primary, HedgeCancelled copies
+	// cancelled because the primary won (or its worker was evacuated),
+	// HedgeDenied hedges skipped for lack of budget tokens.
+	Hedged         stats.Counter
+	HedgeWins      stats.Counter
+	HedgeCancelled stats.Counter
+	HedgeDenied    stats.Counter
+	// Released counts calls handed back gracefully during a regional
+	// drain (distinct from Evacuated: no failure, no retry backoff).
+	Released          stats.Counter
 	SchedulingDelay   *stats.Histogram // start-time→dispatch seconds, reserved calls
 	OpportunistDelay  *stats.Histogram // start-time→dispatch seconds, opportunistic
 	ExecutedSeries    *stats.TimeSeries
@@ -226,6 +254,14 @@ func New(engine *sim.Engine, src *rng.Source, region cluster.RegionID, params Pa
 	// per poll was a top allocation site in the platform profile.
 	s.completeFn = s.complete
 	s.filterFn = s.pollFilter
+	if params.Resilience.Hedge.Enabled {
+		// Split the hedge stream eagerly so runs with hedging on are
+		// deterministic; with it off, no split happens and the
+		// scheduler's draw sequence is byte-identical to before.
+		s.hedges = make(map[uint64]*hedgeEntry)
+		s.est = make(map[string]*hedgeEstimator)
+		s.hedgeSrc = src.Split()
+	}
 	s.pol = s.newPolicy()
 	s.pol.Attach(s)
 	lb.OnWorkerDown(s.onWorkerDown)
@@ -254,6 +290,7 @@ func (s *Scheduler) onWorkerDown(w *worker.Worker) {
 	slices.Sort(ids)
 	for _, id := range ids {
 		c := calls[id]
+		s.abortHedge(id)
 		delete(s.inflight, id)
 		s.cong.OnComplete(c.Spec)
 		s.Trace.Record(c, trace.KindEvacuated, 0)
@@ -352,6 +389,12 @@ func (s *Scheduler) Crash() {
 	s.inflight = make(map[uint64]*worker.Worker)
 	s.inflightByWorker = make(map[*worker.Worker]map[uint64]*function.Call)
 	s.shedStates = nil
+	if s.hedges != nil {
+		// Armed hedge timers die with the process; fireHedge's identity
+		// check (s.hedges[e.id] == e) makes their stale fires no-ops.
+		s.hedges = make(map[uint64]*hedgeEntry)
+		s.freeHedge = nil
+	}
 	// Policy state (forecasters, per-tick counters) lives in process
 	// memory too: a crash rebuilds the instance from configuration.
 	s.oppGate = false
@@ -390,7 +433,7 @@ func (s *Scheduler) Buffered() int {
 func (s *Scheduler) RunQLen() int { return s.runLen }
 
 func (s *Scheduler) tick() {
-	if s.down {
+	if s.down || s.draining {
 		return
 	}
 	if s.AllowPull != nil && !s.AllowPull() {
@@ -863,6 +906,7 @@ func (s *Scheduler) dispatch() {
 		s.Dispatched.Inc()
 		s.Trace.Record(c, trace.KindDispatch, trace.Ref(w.ID.Region, w.ID.Index))
 		s.Inv.OnDispatch(c, int(w.ID.Region), w.ID.Index)
+		s.armHedge(c, w)
 	}
 	s.compactRunQ()
 }
@@ -916,6 +960,7 @@ func (s *Scheduler) DispatchWith(pick func(*function.Call) (*worker.Worker, bool
 		s.Dispatched.Inc()
 		s.Trace.Record(c, trace.KindDispatch, trace.Ref(w.ID.Region, w.ID.Index))
 		s.Inv.OnDispatch(c, int(w.ID.Region), w.ID.Index)
+		s.armHedge(c, w)
 	}
 	s.compactRunQ()
 }
@@ -956,7 +1001,20 @@ func (s *Scheduler) recordDispatchDelay(c *function.Call) {
 	}
 }
 
+// complete is the worker completion callback. With hedging enabled, a
+// call with a live hedge entry resolves the race first (first completion
+// wins, the loser is cancelled); everything else settles directly.
 func (s *Scheduler) complete(c *function.Call, err error) {
+	if s.hedges != nil && s.completeHedged(c, err) {
+		return
+	}
+	s.settle(c, err)
+}
+
+// settle finishes a call once its winning execution is known: release
+// the concurrency slot, ACK or NACK the owning DurableQ, and feed the
+// completion-driven health and hedge-delay estimators.
+func (s *Scheduler) settle(c *function.Call, err error) {
 	w, tracked := s.untrack(c)
 	if !tracked {
 		// Failure detection already evacuated this call (the lease was
@@ -975,6 +1033,14 @@ func (s *Scheduler) complete(c *function.Call, err error) {
 		s.nack(c)
 		return
 	}
+	// Real completion signals feed detection v2 (per-worker exec-time
+	// inflation vs the function's fleet baseline) and the per-function
+	// hedge-delay quantile estimator.
+	execSecs := (c.ExecEndAt - c.ExecStartAt).Seconds()
+	s.lb.ObserveExec(w, c.Spec.Name, execSecs)
+	if s.est != nil {
+		s.hedgeObserve(c.Spec.Name, execSecs)
+	}
 	s.cen.RecordCost(c.Spec, c.CPUWorkM)
 	if c.Expired(now) {
 		s.SLOMisses.Inc()
@@ -990,6 +1056,72 @@ func (s *Scheduler) complete(c *function.Call, err error) {
 		if shard.Ack(c.ID) {
 			s.Acked.Inc()
 		}
+	}
+}
+
+// SetDraining starts or ends this replica's part of a regional drain.
+// Entering a drain stops the tick pipeline (no polling, scheduling or
+// dispatching) and gracefully hands every held-but-not-yet-executing
+// call back to its DurableQ via Release — no failure, no retry backoff,
+// no redelivery accounting — so the drain controller can migrate the
+// critical ones to peer regions. Executions already on workers run to
+// completion and ack normally (zero acked-call loss is the drill's
+// acceptance bar). Leaving a drain simply resumes ticking.
+func (s *Scheduler) SetDraining(drain bool) {
+	if s.draining == drain {
+		return
+	}
+	s.draining = drain
+	if drain && !s.down {
+		s.releaseHeld()
+	}
+}
+
+// Draining reports whether the replica is in a drain.
+func (s *Scheduler) Draining() bool { return s.draining }
+
+// InFlight returns the number of calls currently executing on workers
+// under this replica (the drain controller's quiesce gate).
+func (s *Scheduler) InFlight() int { return len(s.inflight) }
+
+// releaseHeld is evacuate()'s graceful twin: RunQ and buffered calls go
+// back to their owning shards as queued work (Release), keeping their
+// attempt accounting out of the failure/retry machinery.
+func (s *Scheduler) releaseHeld() {
+	for i := s.runHead; i < len(s.runQ); i++ {
+		if c := s.runQ[i]; c != nil {
+			s.cong.OnComplete(c.Spec) // release the concurrency slot
+			s.release(c)
+		}
+	}
+	s.runQ = s.runQ[:0]
+	s.runHead = 0
+	s.runLen = 0
+	// Sorted buffer order for the same reason evacuate() sorts: shard-side
+	// effects must not inherit Go map iteration order.
+	if s.stale {
+		sort.Strings(s.names)
+		s.stale = false
+	}
+	for _, name := range s.names {
+		b := s.buffers[name]
+		for b.Len() > 0 {
+			s.release(b.Pop())
+		}
+	}
+}
+
+// release hands one held call back to its owning shard as plain queued
+// work.
+func (s *Scheduler) release(c *function.Call) {
+	shard := s.origin[c.ID]
+	if shard == nil {
+		return
+	}
+	delete(s.origin, c.ID)
+	s.Trace.Record(c, trace.KindEvacuated, 0)
+	if shard.Release(c.ID) {
+		s.Released.Inc()
 	}
 }
 

@@ -106,6 +106,16 @@ const (
 	// Adopted by the destination's, so a migrated call keeps one span
 	// tree and the breakdown identity closes across partitions.
 	KindMigrated
+	// KindHedgeDispatch: a speculative copy was dispatched to a second
+	// worker because the primary execution outran the function's hedge
+	// delay (arg: hedge worker ref).
+	KindHedgeDispatch
+	// KindHedgeWin: the speculative copy finished first; the primary
+	// execution was cancelled (arg: winning worker ref).
+	KindHedgeWin
+	// KindHedgeCancel: the primary finished first; the speculative copy
+	// was cancelled (arg: cancelled worker ref).
+	KindHedgeCancel
 
 	numKinds
 )
@@ -116,7 +126,7 @@ var kindNames = [numKinds]string{
 	"exec-start", "exec-end", "downstream-retry", "backpressure",
 	"slo-miss", "evacuated", "nack", "retry", "ack", "dead-letter",
 	"dropped", "lost", "recovered", "expired", "shed", "budget-exhausted",
-	"migrated",
+	"migrated", "hedge-dispatch", "hedge-win", "hedge-cancel",
 }
 
 func (k Kind) String() string {

@@ -147,6 +147,9 @@ type Worker struct {
 	// above 1 (cold or still-profiling code) — the cold-start exposure
 	// the policy matrix reports.
 	ColdExecutions stats.Counter
+	// Cancelled counts executions cancelled mid-flight (a hedged dispatch
+	// elsewhere finished first).
+	Cancelled stats.Counter
 
 	// Trace, when set, records execution events for sampled calls.
 	Trace *trace.Recorder
@@ -488,6 +491,35 @@ func (w *Worker) Probe() (ok bool, slowdown float64) {
 		return false, 0
 	}
 	return true, w.slowdown
+}
+
+// Cancel aborts the in-flight execution of call id without invoking its
+// completion callback: the losing side of a hedged dispatch. All resource
+// accounting unwinds as in finish, but the call object is left untouched
+// (no ExecEndAt stamp, no state change — the winning copy owns those
+// fields). It reports whether an execution was actually cancelled.
+func (w *Worker) Cancel(id uint64) bool {
+	rc, ok := w.running[id]
+	if !ok {
+		return false
+	}
+	now := w.engine.Now()
+	rc.timer.Stop()
+	c := rc.call
+	delete(w.running, id)
+	w.cpuInUse -= rc.cpuRate
+	w.workMem -= rc.memMB
+	if e := w.code[c.Spec.Name]; e != nil {
+		e.active--
+		e.lastUsed = now
+	}
+	w.Cancelled.Inc()
+	w.Acct.ExecEnd(now, c.Criticality(), rc.cpuRate)
+	// The partial execution's core-seconds are wasted work: the winner
+	// redid (or finished) it elsewhere.
+	w.Acct.Waste(c.Spec.Team, rc.cpuRate, now-c.ExecStartAt)
+	w.putRC(rc)
+	return true
 }
 
 func (w *Worker) finish(rc *runningCall) {

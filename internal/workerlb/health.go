@@ -53,6 +53,12 @@ type workerHealth struct {
 	state      HealthState
 	missed     int
 	slowStreak int
+	// lastFlip is when the prober last flipped this worker between
+	// Healthy and Gray. With outlier detection on, probe-driven
+	// Gray↔Healthy transitions are rate-limited to one per probation
+	// window — the hysteresis that stops a worker flapping at the
+	// threshold from oscillating routing.
+	lastFlip sim.Time
 }
 
 // StartHealthChecks begins probing every worker each interval. Before the
@@ -72,10 +78,13 @@ func (lb *LB) StartHealthChecks(engine *sim.Engine, hp HealthParams) {
 		hp.GraySlowdownThreshold = 1.0000001
 	}
 	lb.hp = hp
+	lb.engine = engine
 	lb.health = make([]workerHealth, len(lb.workers))
-	lb.index = make(map[*worker.Worker]int, len(lb.workers))
-	for i, w := range lb.workers {
-		lb.index[w] = i
+	if lb.index == nil {
+		lb.index = make(map[*worker.Worker]int, len(lb.workers))
+		for i, w := range lb.workers {
+			lb.index[w] = i
+		}
 	}
 	lb.prober = engine.Every(hp.Interval, lb.probeAll)
 }
@@ -120,29 +129,48 @@ func (lb *LB) probeAll() {
 		}
 		if slowdown >= lb.hp.GraySlowdownThreshold {
 			h.slowStreak++
-			if h.slowStreak >= lb.hp.GrayThreshold && h.state == Healthy {
+			if h.slowStreak >= lb.hp.GrayThreshold && h.state == Healthy && lb.flipAllowed(h) {
 				h.state = Gray
+				h.lastFlip = lb.engine.Now()
 				lb.DetectedGray.Inc()
 				lb.Trace.Control("health.gray", w.ID.String())
 			}
 		} else {
 			h.slowStreak = 0
-			if h.state == Gray {
+			if h.state == Gray && lb.flipAllowed(h) {
 				h.state = Healthy
+				h.lastFlip = lb.engine.Now()
 				lb.DetectedRecovered.Inc()
 				lb.Trace.Control("health.recovered", w.ID.String())
 			}
 		}
+		lb.observeProbe(i, slowdown)
 	}
+}
+
+// flipAllowed rate-limits probe-driven Healthy↔Gray flips to one per
+// probation window when outlier detection (and with it hysteresis) is
+// configured. Without detection v2 the legacy behavior — immediate flips
+// — is preserved exactly.
+func (lb *LB) flipAllowed(h *workerHealth) bool {
+	if lb.outliers == nil {
+		return true
+	}
+	return h.lastFlip == 0 || lb.engine.Now()-h.lastFlip >= lb.op.Probation
 }
 
 // StateOf returns the detected health of a pool worker. Without health
 // checks configured, detection degenerates to direct observation: a
-// failed worker reads as Dead immediately (zero detection lag).
+// failed worker reads as Dead immediately (zero detection lag). A worker
+// the outlier scorer has ejected reads as Gray on top of either view, so
+// choose/Usable route around it with no extra logic.
 func (lb *LB) StateOf(w *worker.Worker) HealthState {
 	if lb.health == nil {
 		if w.Failed() {
 			return Dead
+		}
+		if lb.EjectedWorker(w) {
+			return Gray
 		}
 		return Healthy
 	}
@@ -150,20 +178,26 @@ func (lb *LB) StateOf(w *worker.Worker) HealthState {
 	if !ok {
 		return Healthy
 	}
-	return lb.health[i].state
+	if s := lb.health[i].state; s != Healthy {
+		return s
+	}
+	if lb.outliers != nil && lb.outliers[i].state == outlierEjected {
+		return Gray
+	}
+	return Healthy
 }
 
 // DetectedHealthy counts workers currently believed healthy (not Dead,
-// not Gray). Schedulers gate polling on this — never on Worker.Failed —
-// so every failure reaction flows through the detection protocol and its
-// configured lag.
+// not Gray, not ejected). Schedulers gate polling on this — never on
+// Worker.Failed — so every failure reaction flows through the detection
+// protocol and its configured lag.
 func (lb *LB) DetectedHealthy() int {
-	if lb.health == nil {
+	if lb.health == nil && lb.outliers == nil {
 		return lb.Alive()
 	}
 	n := 0
-	for i := range lb.health {
-		if lb.health[i].state == Healthy {
+	for _, w := range lb.workers {
+		if lb.StateOf(w) == Healthy {
 			n++
 		}
 	}

@@ -1,0 +1,204 @@
+package workerlb
+
+import (
+	"testing"
+	"time"
+
+	"xfaas/internal/rng"
+	"xfaas/internal/sim"
+)
+
+func testOP() OutlierParams {
+	return OutlierParams{
+		Alpha:              1, // score = latest inflation: crisp transitions
+		EjectThreshold:     2,
+		ReinstateThreshold: 1.3,
+		Probation:          10 * time.Second,
+		MinSamples:         3,
+	}
+}
+
+// TestOutlierEjectAndReinstate walks one worker through the full state
+// machine: trusted → probation (no routing change) → ejected (reads Gray)
+// → reinstated, with the probe feedback path carrying it back.
+func TestOutlierEjectAndReinstate(t *testing.T) {
+	e := sim.NewEngine()
+	workers := pool(e, 3, 100000)
+	lb := New(rng.New(1), workers)
+	lb.StartOutlierDetection(e, testOP())
+	if !lb.OutlierDetection() {
+		t.Fatal("detection not reported on")
+	}
+
+	// Fleet baseline from the healthy pair, then a 6x-inflated worker 2.
+	// (The inflated worker is a third of the sample stream, so it drags
+	// the baseline up toward 8/3; 6x keeps its inflation ratio above the
+	// eject threshold of 2 even at that polluted baseline.)
+	healed := false // worker 2 recovers for good the moment it is ejected
+	tk := e.Every(time.Second, func() {
+		lb.ObserveExec(workers[0], "f", 1.0)
+		lb.ObserveExec(workers[1], "f", 1.0)
+		switch {
+		case lb.EjectedWorker(workers[2]):
+			// An ejected worker gets no dispatches; only probes feed it.
+			healed = true
+			lb.observeProbe(lb.index[workers[2]], 1.0)
+		case healed:
+			lb.ObserveExec(workers[2], "f", 1.0)
+		default:
+			lb.ObserveExec(workers[2], "f", 6.0)
+		}
+	})
+	defer tk.Stop()
+
+	// MinSamples=3 inflated completions put worker 2 in probation; the
+	// window must elapse before routing changes.
+	e.RunFor(5 * time.Second)
+	if lb.EjectedWorker(workers[2]) {
+		t.Fatal("ejected during probation: routing flipped before the window elapsed")
+	}
+	if lb.outliers[lb.index[workers[2]]].state != outlierProbation {
+		t.Fatalf("state = %v, want probation", lb.outliers[lb.index[workers[2]]].state)
+	}
+
+	e.RunFor(10 * time.Second)
+	if !lb.EjectedWorker(workers[2]) {
+		t.Fatal("not ejected after a full probation window of bad scores")
+	}
+	if got := lb.StateOf(workers[2]); got != Gray {
+		t.Fatalf("StateOf(ejected) = %v, want Gray", got)
+	}
+	if lb.Ejected.Value() != 1 {
+		t.Fatalf("Ejected = %v", lb.Ejected.Value())
+	}
+	// Healthy peers are untouched.
+	if lb.EjectedWorker(workers[0]) || lb.StateOf(workers[0]) != Healthy {
+		t.Fatal("healthy worker mis-scored")
+	}
+
+	// Clean probes (inflation 1.0) clear the score; reinstatement still
+	// waits out a full window from ejection.
+	e.RunFor(25 * time.Second)
+	if lb.EjectedWorker(workers[2]) {
+		t.Fatal("not reinstated after recovery plus a probation window")
+	}
+	if lb.Reinstated.Value() != 1 {
+		t.Fatalf("Reinstated = %v", lb.Reinstated.Value())
+	}
+	if got := lb.StateOf(workers[2]); got != Healthy {
+		t.Fatalf("StateOf(reinstated) = %v, want Healthy", got)
+	}
+}
+
+// TestOutlierHysteresisFlapping is the regression for the hysteresis
+// guarantee: whatever inflation sequence a flapping worker produces, its
+// routing state (ejected or not) flips at most once per probation window.
+// Table-driven over probe sequences; seq[k] is the inflation sample fed
+// at second k, cycling.
+func TestOutlierHysteresisFlapping(t *testing.T) {
+	const probation = 10 * time.Second
+	cases := []struct {
+		name     string
+		seq      []float64
+		secs     int
+		minFlips int // at least this many (the detector must not go blind)
+	}{
+		{"fast-flap-2s-period", []float64{6, 1}, 120, 0},
+		{"fast-flap-4s-period", []float64{6, 6, 1, 1}, 120, 0},
+		{"slow-flap-15s-half", []float64{6, 6, 6, 6, 6, 6, 6, 6, 6, 6, 6, 6, 6, 6, 6, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}, 120, 1},
+		{"persistent-gray", []float64{6}, 120, 1},
+		{"healthy", []float64{1}, 120, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := sim.NewEngine()
+			workers := pool(e, 3, 100000)
+			lb := New(rng.New(1), workers)
+			op := testOP()
+			op.Probation = probation
+			op.MinSamples = 1
+			lb.StartOutlierDetection(e, op)
+
+			var flips []sim.Time
+			ejected := false
+			tick := 0
+			tk := e.Every(time.Second, func() {
+				lb.ObserveExec(workers[0], "f", 1.0)
+				lb.ObserveExec(workers[1], "f", 1.0)
+				// The flapping worker's samples arrive via completions
+				// while routed-to and via probes once ejected — both are
+				// inflation readings, so the sequence drives either path.
+				x := tc.seq[tick%len(tc.seq)]
+				if lb.EjectedWorker(workers[2]) {
+					lb.observeProbe(lb.index[workers[2]], x)
+				} else {
+					lb.ObserveExec(workers[2], "f", x)
+				}
+				tick++
+				if now := lb.EjectedWorker(workers[2]); now != ejected {
+					ejected = now
+					flips = append(flips, e.Now())
+				}
+			})
+			e.RunFor(time.Duration(tc.secs) * time.Second)
+			tk.Stop()
+
+			if len(flips) < tc.minFlips {
+				t.Fatalf("routing flipped %d times, want at least %d", len(flips), tc.minFlips)
+			}
+			for i := 1; i < len(flips); i++ {
+				if gap := flips[i] - flips[i-1]; gap < sim.Time(probation) {
+					t.Fatalf("flips %d and %d only %v apart, want ≥ %v (flips at %v)",
+						i-1, i, gap, probation, flips)
+				}
+			}
+		})
+	}
+}
+
+// TestHeartbeatFlipRateLimited covers the probe-side hysteresis: with
+// outlier detection configured, the heartbeat prober may flip a worker
+// Healthy↔Gray at most once per probation window even when the worker's
+// measured slowdown oscillates across the gray threshold every probe.
+func TestHeartbeatFlipRateLimited(t *testing.T) {
+	const probation = 20 * time.Second
+	run := func(withHysteresis bool) float64 {
+		e := sim.NewEngine()
+		workers := pool(e, 2, 100000)
+		lb := New(rng.New(1), workers)
+		lb.StartHealthChecks(e, testHP()) // 1s probes, gray ≥ 3 slow in a row
+		if withHysteresis {
+			op := testOP()
+			op.Probation = probation
+			lb.StartOutlierDetection(e, op)
+		}
+		// Slow for 5s, fast for 5s, forever: fast enough to flap an
+		// unguarded prober every cycle.
+		phase := 0
+		tk := e.Every(5*time.Second, func() {
+			phase++
+			if phase%2 == 1 {
+				workers[0].SetSlowdown(8)
+			} else {
+				workers[0].SetSlowdown(1)
+			}
+		})
+		e.RunFor(2 * time.Minute)
+		tk.Stop()
+		return lb.DetectedGray.Value() + lb.DetectedRecovered.Value()
+	}
+
+	raw := run(false)
+	limited := run(true)
+	if raw < 8 {
+		t.Fatalf("setup: unguarded prober flipped only %.0f times; the flap pattern is too slow", raw)
+	}
+	// 2 minutes / 20s probation allows at most 7 flips (one per window
+	// boundary, plus the initial detection).
+	if cap := float64(2*time.Minute/probation) + 1; limited > cap {
+		t.Fatalf("hysteresis allowed %.0f flips in 2m, want ≤ %.0f (unguarded: %.0f)", limited, cap, raw)
+	}
+	if limited == 0 {
+		t.Fatal("hysteresis suppressed detection entirely")
+	}
+}

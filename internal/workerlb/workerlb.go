@@ -30,6 +30,13 @@ type LB struct {
 	prober *sim.Ticker
 	onDown []func(*worker.Worker)
 
+	// Completion-driven outlier detection (nil outliers until
+	// StartOutlierDetection).
+	engine   *sim.Engine
+	op       OutlierParams
+	outliers []workerOutlier
+	baseline map[string]*fleetBaseline
+
 	Dispatched stats.Counter
 	Rejected   stats.Counter
 	// DetectedDead / DetectedGray / DetectedRecovered count health-state
@@ -37,6 +44,9 @@ type LB struct {
 	DetectedDead      stats.Counter
 	DetectedGray      stats.Counter
 	DetectedRecovered stats.Counter
+	// Ejected / Reinstated count routing flips by the outlier scorer.
+	Ejected    stats.Counter
+	Reinstated stats.Counter
 
 	// Trace, when set, receives control-plane events for health-state
 	// transitions (the durable record chaos tests assert on).
@@ -165,7 +175,7 @@ func (lb *LB) DispatchTo(c *function.Call, done worker.DoneFunc) (*worker.Worker
 // draw stands and the dispatch fails in-band via admission control.
 func (lb *LB) choose(pool []*worker.Worker) *worker.Worker {
 	w := pool[lb.src.Intn(len(pool))]
-	if lb.health == nil {
+	if lb.health == nil && lb.outliers == nil {
 		return w
 	}
 	for tries := 0; tries < 3 && lb.StateOf(w) != Healthy; tries++ {
@@ -182,7 +192,7 @@ func (lb *LB) Usable(w *worker.Worker) bool {
 	if w.Failed() {
 		return false
 	}
-	if lb.health == nil {
+	if lb.health == nil && lb.outliers == nil {
 		return true
 	}
 	return lb.StateOf(w) == Healthy

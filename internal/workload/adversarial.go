@@ -214,3 +214,53 @@ func BuildNoisyNeighbor(pop *Population, cfg NoisyNeighborConfig, src *rng.Sourc
 		draw: src.Split(),
 	})
 }
+
+// GrayMixConfig shapes the gray-tail workload: a steady population of
+// site-critical functions with tight, low-variance execution times — the
+// traffic whose tail latency a subtly degraded worker wrecks without ever
+// tripping a heartbeat probe.
+type GrayMixConfig struct {
+	// Functions CritHigh functions each offer RPSPerFunc steadily.
+	Functions  int
+	RPSPerFunc float64
+	// ExecSecs is the nominal execution time; the low sigma below keeps
+	// healthy exec times tight so a 3× inflation is unambiguous.
+	ExecSecs float64
+}
+
+// DefaultGrayMix returns the scenario-library gray-tail mix.
+func DefaultGrayMix() GrayMixConfig {
+	return GrayMixConfig{Functions: 12, RPSPerFunc: 1.0, ExecSecs: 1.0}
+}
+
+// BuildGrayMix instantiates the gray-tail mix into pop. Functions are
+// named crit-NN.
+func BuildGrayMix(pop *Population, cfg GrayMixConfig, src *rng.Source) {
+	res := function.ResourceModel{
+		CPUMu: math.Log(10), CPUSigma: 0.2,
+		MemMu: math.Log(8), MemSigma: 0.2,
+		TimeMu: math.Log(cfg.ExecSecs), TimeSigma: 0.1,
+		CodeMB: 8, JITCodeMB: 4,
+	}
+	for i := 0; i < cfg.Functions; i++ {
+		name := fmt.Sprintf("crit-%02d", i)
+		team := fmt.Sprintf("team-crit-%02d", i)
+		spec := &function.Spec{
+			Name:        name,
+			Namespace:   "main",
+			Runtime:     "php",
+			Team:        team,
+			Trigger:     function.TriggerQueue,
+			Criticality: function.CritHigh,
+			Quota:       function.QuotaReserved,
+			QuotaMIPS:   1e9,
+			Deadline:    10 * time.Minute,
+			Retry:       function.DefaultRetry,
+			Zone:        isolation.NewZone(isolation.Internal),
+			Resources:   res,
+		}
+		pop.Registry.MustRegister(spec)
+		pop.TeamOf[name] = team
+		pop.Models = append(pop.Models, NewModel(spec, cfg.RPSPerFunc, team, src.Split()))
+	}
+}
